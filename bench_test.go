@@ -1,0 +1,239 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (go test -bench=. -benchmem). Each BenchmarkFigNN/BenchmarkTableI runs
+// the corresponding harness experiment; custom metrics report the headline
+// quantities (seconds, rates, speedups) next to the usual ns/op.
+package eccheck_test
+
+import (
+	"context"
+	"testing"
+
+	"eccheck"
+	"eccheck/internal/harness"
+)
+
+func BenchmarkTableIModelSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TableI(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+func BenchmarkFig3RecoveryRate(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig3(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mid := pts[len(pts)/2]
+		gap = mid.Erasure - mid.Replication
+	}
+	b.ReportMetric(gap, "rate-gap@p")
+}
+
+func BenchmarkFig4SerializationOverhead(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = pts[len(pts)-1].SerializationShare
+	}
+	b.ReportMetric(100*share, "ser-share-%@max-bw")
+}
+
+func BenchmarkFig10CheckpointTime(b *testing.B) {
+	var speedup, vsBase3 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig10(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[1] // GPT-2 5.3B
+		speedup = r.Total["base1"].Seconds() / r.Total["eccheck"].Seconds()
+		vsBase3 = r.Total["eccheck"].Seconds() / r.Total["base3"].Seconds()
+	}
+	b.ReportMetric(speedup, "speedup-vs-base1")
+	b.ReportMetric(vsBase3, "cost-vs-base3")
+}
+
+func BenchmarkFig11Breakdown(b *testing.B) {
+	var step3Share float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig11(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[1]
+		total := r.Step1 + r.Step2 + r.Step3
+		step3Share = r.Step3.Seconds() / total.Seconds()
+	}
+	b.ReportMetric(100*step3Share, "step3-share-%")
+}
+
+func BenchmarkFig12IterationOverhead(b *testing.B) {
+	var ecOverhead float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig12(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hf := pts[len(pts)-1]
+		base := pts[0].AvgIteration["eccheck"].Seconds()
+		ecOverhead = (hf.AvgIteration["eccheck"].Seconds() - base) / base
+	}
+	b.ReportMetric(100*ecOverhead, "ec-overhead-%@interval5")
+}
+
+func BenchmarkFig13Recovery(b *testing.B) {
+	var speedupA, speedupB float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig13(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := res.ScenarioA[1]
+		speedupA = a.Resume["base1"].Seconds() / a.Resume["eccheck"].Seconds()
+		sb := res.ScenarioB[1]
+		speedupB = sb.Resume["base1"].Seconds() / sb.Resume["eccheck"].Seconds()
+	}
+	b.ReportMetric(speedupA, "recovery-speedup-13a")
+	b.ReportMetric(speedupB, "recovery-speedup-13b")
+}
+
+func BenchmarkFig14Scalability(b *testing.B) {
+	var base1Growth, ecGrowth float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig14(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base1Growth = rows[3].Total["base1"].Seconds() / rows[0].Total["base1"].Seconds()
+		ecGrowth = rows[3].Total["eccheck"].Seconds() / rows[0].Total["eccheck"].Seconds()
+	}
+	b.ReportMetric(base1Growth, "base1-growth-4to32")
+	b.ReportMetric(ecGrowth, "eccheck-growth-4to32")
+}
+
+func BenchmarkFig15FaultTolerance(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig15(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1] // n=64, p=0.2
+		gap = last.Erasure - last.Replication
+	}
+	b.ReportMetric(gap, "rate-gap@n64-p0.2")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	var pipelineGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Ablations(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipelineGain = res.SequentialStep3.Seconds() / res.PipelinedStep3.Seconds()
+	}
+	b.ReportMetric(pipelineGain, "pipeline-gain")
+}
+
+// BenchmarkCommVolume verifies and times the §V-F closed form: the plan's
+// total communication volume equals m·W packets.
+func BenchmarkCommVolume(b *testing.B) {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 4, TPDegree: 4, PPStages: 4, K: 2, M: 2,
+		DisableRemote: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(sys.DataNodes()) + len(sys.ParityNodes()); got != 4 {
+			b.Fatal("bad plan")
+		}
+	}
+}
+
+// BenchmarkFunctionalSave measures the real distributed save path
+// (encode + XOR reduce + P2P over the in-process transport) end to end.
+func BenchmarkFunctionalSave(b *testing.B) {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4, K: 2, M: 2,
+		DisableRemote: true, BufferSize: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 16
+	opt.Seed = 1
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytesPerRound int64
+	for _, sd := range dicts {
+		bytesPerRound += int64(sd.TensorBytes())
+	}
+	ctx := context.Background()
+	b.SetBytes(bytesPerRound)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Save(ctx, dicts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalRecovery measures the real distributed decode path
+// after the worst recoverable failure (both data nodes).
+func BenchmarkFunctionalRecovery(b *testing.B) {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4, K: 2, M: 2,
+		DisableRemote: true, BufferSize: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 16
+	opt.Seed = 2
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, node := range sys.DataNodes() {
+			if err := sys.FailNode(node); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.ReplaceNode(node); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, _, err := sys.Load(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command eccheck-bench regenerates the tables and figures of the ECCheck
+// paper's evaluation section. Each experiment prints the same rows/series
+// the paper reports, computed from the library's timing and analysis
+// layers.
+//
+// Usage:
+//
+//	eccheck-bench            # run every experiment
+//	eccheck-bench fig10 fig13
+//	eccheck-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"eccheck/internal/harness"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(io.Writer) error
+}
+
+func experiments() []experiment {
+	wrap := func(fn func(io.Writer) error) func(io.Writer) error { return fn }
+	return []experiment{
+		{"table1", "model configurations with analytic sizes", wrap(func(w io.Writer) error {
+			_, err := harness.TableI(w)
+			return err
+		})},
+		{"fig3", "cluster recovery rate: replication vs erasure coding", wrap(func(w io.Writer) error {
+			_, err := harness.Fig3(w)
+			return err
+		})},
+		{"fig4", "serialization share of checkpoint time vs bandwidth", wrap(func(w io.Writer) error {
+			_, err := harness.Fig4(w)
+			return err
+		})},
+		{"fig10", "checkpointing time across models and methods", wrap(func(w io.Writer) error {
+			_, err := harness.Fig10(w)
+			return err
+		})},
+		{"fig11", "ECCheck time breakdown (steps 1-3)", wrap(func(w io.Writer) error {
+			_, err := harness.Fig11(w)
+			return err
+		})},
+		{"fig12", "iteration time vs checkpoint frequency", wrap(func(w io.Writer) error {
+			_, err := harness.Fig12(w)
+			return err
+		})},
+		{"fig13", "recovery time in both failure scenarios", wrap(func(w io.Writer) error {
+			_, err := harness.Fig13(w)
+			return err
+		})},
+		{"fig14", "scalability of checkpointing time with GPU count", wrap(func(w io.Writer) error {
+			_, err := harness.Fig14(w)
+			return err
+		})},
+		{"fig15", "fault tolerance at equal redundancy vs group size", wrap(func(w io.Writer) error {
+			_, err := harness.Fig15(w)
+			return err
+		})},
+		{"ablation", "design-choice ablations (scheduling, pipelining, selection, code)", wrap(func(w io.Writer) error {
+			_, err := harness.Ablations(w)
+			return err
+		})},
+		{"groupsize", "group-based checkpointing trade-off (the paper's future-work study)", wrap(func(w io.Writer) error {
+			_, err := harness.GroupSizeStudy(w)
+			return err
+		})},
+		{"frequency", "Young-Daly optimal checkpoint interval and expected waste per method", wrap(func(w io.Writer) error {
+			_, err := harness.FrequencyStudy(w)
+			return err
+		})},
+		{"incremental", "delta-update volume vs changed state fraction (functional layer)", wrap(func(w io.Writer) error {
+			_, err := harness.IncrementalStudy(w)
+			return err
+		})},
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return 0
+	}
+
+	selected := flag.Args()
+	if len(selected) == 0 {
+		for _, e := range exps {
+			selected = append(selected, e.name)
+		}
+	}
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+	sort.Strings(selected)
+
+	failed := false
+	for i, name := range selected {
+		e, ok := byName[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			failed = true
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := e.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

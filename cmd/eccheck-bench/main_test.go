@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := experiments()
+	if len(exps) < 10 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	for _, want := range []string{"table1", "fig3", "fig4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "groupsize"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestExperimentsProduceOutput(t *testing.T) {
+	// Run the cheap analytical experiments end to end through the
+	// registry (the timing ones are covered by the harness tests).
+	for _, name := range []string{"table1", "fig3", "fig4", "fig15"} {
+		for _, e := range experiments() {
+			if e.name != name {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := e.run(&buf); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", name)
+			}
+			if !strings.Contains(strings.ToLower(buf.String()), strings.TrimPrefix(name, "fig")) &&
+				name != "table1" {
+				t.Errorf("%s output does not mention itself", name)
+			}
+		}
+	}
+}

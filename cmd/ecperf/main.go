@@ -1,0 +1,77 @@
+// Command ecperf measures the raw Cauchy Reed-Solomon coding throughput of
+// this machine: encoding and reconstruction bandwidth across (k, m)
+// configurations and thread-pool widths, the numbers that size ECCheck's
+// EncodeRate parameter.
+//
+// Usage:
+//
+//	ecperf [-size 67108864] [-iters 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eccheck/internal/ecpool"
+	"eccheck/internal/erasure"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		size  = flag.Int("size", 64<<20, "chunk size in bytes")
+		iters = flag.Int("iters", 5, "iterations per measurement")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-8s %-8s %10s %14s\n", "code", "threads", "xors", "encode GB/s")
+	for _, km := range [][2]int{{2, 2}, {4, 2}, {8, 4}} {
+		code, err := erasure.New(km[0], km[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		chunk := code.ChunkAlign(*size)
+		data := make([][]byte, km[0])
+		parity := make([][]byte, km[1])
+		for i := range data {
+			data[i] = make([]byte, chunk)
+			for j := 0; j < chunk; j += 4096 {
+				data[i][j] = byte(i + j)
+			}
+		}
+		for i := range parity {
+			parity[i] = make([]byte, chunk)
+		}
+
+		for _, threads := range []int{1, 2, 4, 8} {
+			pool := ecpool.NewPool(threads)
+			// Warm up once, then measure.
+			if err := pool.Encode(code, data, parity); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				pool.Close()
+				return 1
+			}
+			start := time.Now()
+			for i := 0; i < *iters; i++ {
+				if err := pool.Encode(code, data, parity); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					pool.Close()
+					return 1
+				}
+			}
+			elapsed := time.Since(start)
+			pool.Close()
+			processed := float64(*iters) * float64(km[0]) * float64(chunk)
+			gbps := processed / elapsed.Seconds() / 1e9
+			fmt.Printf("(%d,%d)   %-8d %10d %14.2f\n",
+				km[0], km[1], threads, code.EncodeXORCount(), gbps)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+// Package eccheck is an erasure-coded in-memory checkpointing system for
+// distributed DNN training, reproducing "ECCheck: Enhancing In-Memory
+// Checkpoint with Erasure Coding in Distributed DNN Training" (ICDCS 2025).
+//
+// Distributed training jobs checkpoint their sharded state dicts into the
+// host memory of the training nodes themselves, protected by a systematic
+// Cauchy Reed-Solomon code: the n nodes are split into k data nodes and m
+// parity nodes, and any m concurrent machine failures are survivable — at
+// the same memory redundancy where replication-based in-memory
+// checkpointing (GEMINI-style) tolerates strictly fewer failure patterns.
+//
+// The package exposes the paper's three-call API:
+//
+//	sys, err := eccheck.Initialize(eccheck.Config{
+//	    Nodes: 4, GPUsPerNode: 4, TPDegree: 4, PPStages: 4, K: 2, M: 2,
+//	})
+//	...
+//	report, err := sys.Save(ctx, dicts)   // eccheck.save
+//	...
+//	dicts, lrep, err := sys.Load(ctx)     // eccheck.load after failures
+//
+// Save runs the serialization-free encoding protocol: each worker's state
+// dict is decomposed into non-tensor metadata, tensor keys, and contiguous
+// tensor payloads; the payloads become erasure-code packets consumed in
+// place, streamed through a pipelined encode / XOR-reduce / P2P placement
+// protocol. Load runs the matching recovery workflows (pure replacement
+// when all data chunks survive, distributed decode otherwise) and restores
+// full fault tolerance.
+//
+// The library also ships the complete evaluation harness of the paper —
+// workload models, the three baselines, the reliability analysis, and one
+// benchmark per table and figure; see the README and EXPERIMENTS.md.
+package eccheck

@@ -1,0 +1,216 @@
+package eccheck
+
+import (
+	"context"
+	"fmt"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/core"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/transport"
+)
+
+// TransportKind selects how nodes exchange checkpoint bytes.
+type TransportKind int
+
+// Supported transports.
+const (
+	// TransportMemory runs all nodes in-process over channels (the
+	// default; used by simulations and tests).
+	TransportMemory TransportKind = iota + 1
+	// TransportTCP runs every node behind a real TCP socket on loopback,
+	// exercising the full network stack.
+	TransportTCP
+)
+
+// Config parameterises Initialize.
+type Config struct {
+	// Nodes is the machine count n = K + M.
+	Nodes int
+	// GPUsPerNode is the worker count per machine.
+	GPUsPerNode int
+	// TPDegree and PPStages fix the hybrid-parallel layout (data
+	// parallelism is inferred).
+	TPDegree int
+	PPStages int
+	// K data nodes and M parity nodes; the system tolerates any M
+	// concurrent machine failures.
+	K, M int
+	// BufferSize is the pipeline buffer size (default 64 MB).
+	BufferSize int
+	// RemotePersistEvery persists every Nth checkpoint to remote storage;
+	// 0 keeps the default (10), negative disables.
+	RemotePersistEvery int
+	// RemoteBandwidth is the aggregate remote-storage bandwidth in
+	// bytes/second (default 5 Gbps). Set together with WithRemote.
+	RemoteBandwidth float64
+	// DisableRemote turns off the remote persistence tier entirely.
+	DisableRemote bool
+	// Incremental enables delta checkpointing: nodes cache their workers'
+	// packets (one extra packet of host memory each) and SaveIncremental
+	// ships only changed buffer slices, updating data and parity chunks in
+	// place via the code's linearity.
+	Incremental bool
+	// Transport selects the node interconnect (default TransportMemory).
+	Transport TransportKind
+}
+
+// System is a running ECCheck deployment: the engine plus the cluster,
+// network and remote-store substrates it manages.
+type System struct {
+	ckpt   *core.Checkpointer
+	net    transport.Network
+	clus   *cluster.Cluster
+	remote *remotestore.Store
+	topo   *Topology
+}
+
+// SaveReport summarises one checkpoint round.
+type SaveReport = core.SaveReport
+
+// LoadReport summarises one recovery.
+type LoadReport = core.LoadReport
+
+// Initialize validates the configuration, selects data and parity nodes
+// (sweep-line maximum-overlap pairing), fixes the Cauchy Reed-Solomon
+// encoding matrix and the communication strategy, and allocates the
+// system. It is the paper's eccheck.initialize.
+func Initialize(cfg Config) (*System, error) {
+	topo, err := NewTopology(cfg.Nodes, cfg.GPUsPerNode, cfg.TPDegree, cfg.PPStages)
+	if err != nil {
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+
+	var net transport.Network
+	switch cfg.Transport {
+	case 0, TransportMemory:
+		net, err = transport.NewMemory(cfg.Nodes)
+	case TransportTCP:
+		net, err = transport.NewTCPLoopback(cfg.Nodes)
+	default:
+		return nil, fmt.Errorf("eccheck: unknown transport %d", cfg.Transport)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+
+	clus, err := cluster.New(cfg.Nodes, cfg.GPUsPerNode)
+	if err != nil {
+		_ = net.Close()
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+
+	var remote *remotestore.Store
+	if !cfg.DisableRemote {
+		rate := cfg.RemoteBandwidth
+		if rate == 0 {
+			rate = 5e9 / 8 // the paper's 5 Gbps aggregate
+		}
+		remote, err = remotestore.New(rate)
+		if err != nil {
+			_ = net.Close()
+			return nil, fmt.Errorf("eccheck: %w", err)
+		}
+	}
+
+	persistEvery := cfg.RemotePersistEvery
+	if persistEvery < 0 {
+		persistEvery = 0
+		remote = nil
+	}
+	ckpt, err := core.New(core.Config{
+		Topo:               topo,
+		K:                  cfg.K,
+		M:                  cfg.M,
+		BufferSize:         cfg.BufferSize,
+		RemotePersistEvery: persistEvery,
+		IncrementalCache:   cfg.Incremental,
+	}, net, clus, remote)
+	if err != nil {
+		_ = net.Close()
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+	return &System{ckpt: ckpt, net: net, clus: clus, remote: remote, topo: topo}, nil
+}
+
+// Close releases the system's resources.
+func (s *System) Close() error {
+	s.ckpt.Close()
+	return s.net.Close()
+}
+
+// Topology returns the training topology.
+func (s *System) Topology() *Topology { return s.topo }
+
+// Version returns the latest checkpoint version (0 before the first save).
+func (s *System) Version() int { return s.ckpt.Version() }
+
+// Save checkpoints all workers' state dicts (indexed by world rank) into
+// erasure-coded in-memory chunks: the paper's eccheck.save.
+func (s *System) Save(ctx context.Context, dicts []*StateDict) (*SaveReport, error) {
+	return s.ckpt.Save(ctx, dicts)
+}
+
+// Load recovers the latest checkpoint from the surviving in-memory chunks,
+// restores full fault tolerance, and returns every worker's state dict:
+// the paper's eccheck.load. Failed machines must be replaced first with
+// ReplaceNode.
+func (s *System) Load(ctx context.Context) ([]*StateDict, *LoadReport, error) {
+	return s.ckpt.Load(ctx)
+}
+
+// LoadFromRemote recovers from the remote persistence tier (catastrophic
+// failures beyond M machines). Version 0 selects the newest persisted one.
+func (s *System) LoadFromRemote(version int) ([]*StateDict, error) {
+	return s.ckpt.LoadFromRemote(version)
+}
+
+// FailNode simulates a machine failure: the node's volatile host memory —
+// including its checkpoint chunk — is destroyed.
+func (s *System) FailNode(node int) error { return s.clus.Fail(node) }
+
+// ReplaceNode brings a failed machine back as a fresh, empty node.
+func (s *System) ReplaceNode(node int) error { return s.clus.Replace(node) }
+
+// AliveNodes lists the currently healthy machines.
+func (s *System) AliveNodes() []int { return s.clus.AliveNodes() }
+
+// NodeMemoryBytes returns a node's host-memory checkpoint footprint: the
+// redundancy cost, directly comparable with replication-based designs.
+func (s *System) NodeMemoryBytes(node int) int { return s.clus.MemoryBytes(node) }
+
+// DataNodes returns the machines selected (by the sweep-line algorithm) to
+// store data chunks.
+func (s *System) DataNodes() []int {
+	return append([]int(nil), s.ckpt.Plan().DataNodes...)
+}
+
+// ParityNodes returns the machines storing parity chunks.
+func (s *System) ParityNodes() []int {
+	return append([]int(nil), s.ckpt.Plan().ParityNodes...)
+}
+
+// FaultTolerance returns the number of concurrent machine failures the
+// system survives (m).
+func (s *System) FaultTolerance() int { return s.ckpt.Code().M() }
+
+// IncrementalReport summarises a delta checkpoint round.
+type IncrementalReport = core.IncrementalReport
+
+// SaveIncremental checkpoints by patching the previous coded checkpoint
+// with per-buffer deltas (requires Config.Incremental). When no usable
+// previous state exists — first save, or caches lost to a failure — it
+// transparently performs a full save.
+func (s *System) SaveIncremental(ctx context.Context, dicts []*StateDict) (*IncrementalReport, error) {
+	return s.ckpt.SaveIncremental(ctx, dicts)
+}
+
+// VerifyReport summarises an integrity scan.
+type VerifyReport = core.VerifyReport
+
+// VerifyIntegrity recomputes parity from the stored data chunks and checks
+// it against the stored parity chunks, detecting silent host-memory
+// corruption before a recovery depends on it.
+func (s *System) VerifyIntegrity() (*VerifyReport, error) {
+	return s.ckpt.VerifyIntegrity()
+}

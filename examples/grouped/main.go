@@ -1,0 +1,87 @@
+// Grouped checkpointing: a larger cluster divided into independent ECCheck
+// groups — the paper's scalability scheme. Per-node communication stays
+// m·s regardless of cluster size, each group survives m concurrent
+// failures, and group saves/recoveries run concurrently. The demo kills
+// two machines in every group at once (four failures cluster-wide) and
+// recovers byte-exact.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"eccheck"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := eccheck.InitializeGrouped(eccheck.GroupedConfig{
+		Nodes:         8,
+		GPUsPerNode:   2,
+		GroupSize:     4, // two groups of four nodes
+		K:             2,
+		M:             2,
+		BufferSize:    128 << 10,
+		DisableRemote: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+	fmt.Printf("8-node cluster, %d groups of 4 (k=2, m=2 per group)\n", sys.NumGroups())
+
+	cfg := eccheck.ModelZoo()[0]
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 61
+	dicts, err := eccheck.BuildClusterStateDicts(cfg, sys.Topology(), opt)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	rep, err := sys.Save(ctx, dicts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint v%d: %d concurrent group saves in %v\n",
+		rep.Version, len(rep.Groups), rep.Elapsed)
+
+	// Two failures in EVERY group simultaneously: four machines down
+	// cluster-wide. A flat (k=2, m=2) code over 8 nodes could not promise
+	// this; grouping buys per-group failure budgets.
+	victims := []int{0, 2, 5, 7}
+	for _, v := range victims {
+		if err := sys.FailNode(v); err != nil {
+			return err
+		}
+		if err := sys.ReplaceNode(v); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("machines %v failed (2 per group) and were replaced\n", victims)
+
+	recovered, lrep, err := sys.Load(ctx)
+	if err != nil {
+		return err
+	}
+	for gi, grep := range lrep.Groups {
+		fmt.Printf("group %d: %s workflow, chunks %v rebuilt\n",
+			gi, grep.Workflow, grep.MissingChunks)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(recovered[rank]) {
+			return fmt.Errorf("rank %d differs after recovery", rank)
+		}
+	}
+	fmt.Printf("recovered v%d across both groups in %v: byte-exact ✓\n",
+		lrep.Version, lrep.Elapsed)
+	return nil
+}

@@ -1,0 +1,3 @@
+module eccheck
+
+go 1.22

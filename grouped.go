@@ -1,0 +1,127 @@
+package eccheck
+
+import (
+	"context"
+	"fmt"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/core"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/transport"
+)
+
+// GroupedConfig parameterises InitializeGrouped: group-based checkpointing
+// applies ECCheck independently within fixed groups of machines, keeping
+// per-node communication constant (m·s) as the cluster grows — the
+// scalability scheme of the paper's §V-F and conclusion.
+type GroupedConfig struct {
+	// Nodes is the total machine count.
+	Nodes int
+	// GPUsPerNode is the worker count per machine.
+	GPUsPerNode int
+	// GroupSize is the machines per group (= K + M); it must divide Nodes.
+	GroupSize int
+	// K data nodes and M parity nodes per group; each group tolerates any
+	// M concurrent failures.
+	K, M int
+	// BufferSize is the pipeline buffer (default 64 MB).
+	BufferSize int
+	// RemotePersistEvery persists every Nth save (0 default, <0 off).
+	RemotePersistEvery int
+	// RemoteBandwidth is the remote tier's aggregate bandwidth.
+	RemoteBandwidth float64
+	// DisableRemote turns the remote tier off.
+	DisableRemote bool
+}
+
+// GroupedSystem is a running group-based deployment.
+type GroupedSystem struct {
+	grouped *core.Grouped
+	net     transport.Network
+	clus    *cluster.Cluster
+	topo    *Topology
+}
+
+// GroupedSaveReport aggregates per-group save reports.
+type GroupedSaveReport = core.GroupedSaveReport
+
+// GroupedLoadReport aggregates per-group recoveries.
+type GroupedLoadReport = core.GroupedLoadReport
+
+// InitializeGrouped builds one ECCheck instance per machine group over a
+// shared cluster and network.
+func InitializeGrouped(cfg GroupedConfig) (*GroupedSystem, error) {
+	if cfg.GroupSize <= 0 {
+		return nil, fmt.Errorf("eccheck: group size must be positive, got %d", cfg.GroupSize)
+	}
+	topo, err := NewTopology(cfg.Nodes, cfg.GPUsPerNode, cfg.GPUsPerNode, cfg.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+	net, err := transport.NewMemory(cfg.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+	clus, err := cluster.New(cfg.Nodes, cfg.GPUsPerNode)
+	if err != nil {
+		_ = net.Close()
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+	var remote *remotestore.Store
+	if !cfg.DisableRemote {
+		rate := cfg.RemoteBandwidth
+		if rate == 0 {
+			rate = 5e9 / 8
+		}
+		remote, err = remotestore.New(rate)
+		if err != nil {
+			_ = net.Close()
+			return nil, fmt.Errorf("eccheck: %w", err)
+		}
+	}
+	grouped, err := core.NewGrouped(core.GroupedConfig{
+		Topo:               topo,
+		GroupSize:          cfg.GroupSize,
+		K:                  cfg.K,
+		M:                  cfg.M,
+		BufferSize:         cfg.BufferSize,
+		RemotePersistEvery: cfg.RemotePersistEvery,
+	}, net, clus, remote)
+	if err != nil {
+		_ = net.Close()
+		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+	return &GroupedSystem{grouped: grouped, net: net, clus: clus, topo: topo}, nil
+}
+
+// Close releases all resources.
+func (s *GroupedSystem) Close() error {
+	s.grouped.Close()
+	return s.net.Close()
+}
+
+// Topology returns the full-cluster topology.
+func (s *GroupedSystem) Topology() *Topology { return s.topo }
+
+// NumGroups returns the group count.
+func (s *GroupedSystem) NumGroups() int { return s.grouped.NumGroups() }
+
+// GroupOfNode returns the group a machine belongs to.
+func (s *GroupedSystem) GroupOfNode(node int) int { return s.grouped.GroupOfNode(node) }
+
+// Save checkpoints all groups concurrently.
+func (s *GroupedSystem) Save(ctx context.Context, dicts []*StateDict) (*GroupedSaveReport, error) {
+	return s.grouped.Save(ctx, dicts)
+}
+
+// Load recovers all groups concurrently. Any group with more than M lost
+// chunks fails the recovery.
+func (s *GroupedSystem) Load(ctx context.Context) ([]*StateDict, *GroupedLoadReport, error) {
+	return s.grouped.Load(ctx)
+}
+
+// FailNode destroys a machine's volatile host memory.
+func (s *GroupedSystem) FailNode(node int) error { return s.clus.Fail(node) }
+
+// ReplaceNode brings a failed machine back empty.
+func (s *GroupedSystem) ReplaceNode(node int) error { return s.clus.Replace(node) }

@@ -1,0 +1,85 @@
+package eccheck_test
+
+import (
+	"context"
+	"testing"
+
+	"eccheck"
+)
+
+func TestGroupedPublicAPI(t *testing.T) {
+	sys, err := eccheck.InitializeGrouped(eccheck.GroupedConfig{
+		Nodes:         8,
+		GPUsPerNode:   1,
+		GroupSize:     4,
+		K:             2,
+		M:             2,
+		BufferSize:    64 << 10,
+		DisableRemote: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := sys.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if sys.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d", sys.NumGroups())
+	}
+	if sys.GroupOfNode(5) != 1 {
+		t.Errorf("GroupOfNode(5) = %d", sys.GroupOfNode(5))
+	}
+
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 64
+	opt.Seed = 21
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rep, err := sys.Save(ctx, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || len(rep.Groups) != 2 {
+		t.Errorf("save report %+v", rep)
+	}
+
+	// Two failures per group simultaneously (four cluster-wide).
+	for _, node := range []int{0, 1, 4, 6} {
+		if err := sys.FailNode(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ReplaceNode(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, lrep, err := sys.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Version != 1 {
+		t.Errorf("recovered version %d", lrep.Version)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(got[rank]) {
+			t.Errorf("rank %d differs", rank)
+		}
+	}
+}
+
+func TestInitializeGroupedValidation(t *testing.T) {
+	if _, err := eccheck.InitializeGrouped(eccheck.GroupedConfig{
+		Nodes: 8, GPUsPerNode: 1, GroupSize: 0,
+	}); err == nil {
+		t.Error("zero group size: want error")
+	}
+	if _, err := eccheck.InitializeGrouped(eccheck.GroupedConfig{
+		Nodes: 8, GPUsPerNode: 1, GroupSize: 3, K: 2, M: 1,
+	}); err == nil {
+		t.Error("group size not dividing nodes: want error")
+	}
+}

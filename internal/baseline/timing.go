@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"eccheck/internal/simnet"
+	"eccheck/internal/testbed"
+)
+
+// TimingReport models one baseline checkpoint round at paper scale.
+type TimingReport struct {
+	// Stall is the training interruption.
+	Stall time.Duration
+	// Total is the full checkpoint latency; for synchronous schemes it
+	// equals Stall.
+	Total time.Duration
+}
+
+// TimingInput describes the workload for the timing models.
+type TimingInput struct {
+	// Resources is the hardware model.
+	Resources testbed.Resources
+	// ShardBytes is the per-worker checkpoint size s.
+	ShardBytes int64
+	// World is the worker count W.
+	World int
+	// GPUsPerNode is g.
+	GPUsPerNode int
+}
+
+func (in TimingInput) validate() error {
+	if err := in.Resources.Validate(); err != nil {
+		return err
+	}
+	if in.ShardBytes <= 0 || in.World <= 0 || in.GPUsPerNode <= 0 {
+		return fmt.Errorf("baseline: invalid timing input %+v", in)
+	}
+	return nil
+}
+
+// Base1Time models the synchronous remote checkpoint: per-worker
+// serialization (parallel across workers) followed by the full checkpoint
+// crossing the shared remote uplink. Training blocks throughout.
+func Base1Time(in TimingInput) (*TimingReport, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	ser, err := simnet.DurationForBytes(in.ShardBytes, in.Resources.SerializeRate)
+	if err != nil {
+		return nil, err
+	}
+	xfer, err := simnet.DurationForBytes(int64(in.World)*in.ShardBytes, in.Resources.RemoteRate)
+	if err != nil {
+		return nil, err
+	}
+	total := ser + xfer
+	return &TimingReport{Stall: total, Total: total}, nil
+}
+
+// Base2Time models the two-phase scheme: the stall is the snapshot (DtoH
+// copy); serialization and the remote transfer proceed asynchronously and
+// bound the achievable checkpoint frequency.
+func Base2Time(in TimingInput) (*TimingReport, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	snap, err := simnet.DurationForBytes(in.ShardBytes, in.Resources.PCIeBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	ser, err := simnet.DurationForBytes(in.ShardBytes, in.Resources.SerializeRate)
+	if err != nil {
+		return nil, err
+	}
+	xfer, err := simnet.DurationForBytes(int64(in.World)*in.ShardBytes, in.Resources.RemoteRate)
+	if err != nil {
+		return nil, err
+	}
+	return &TimingReport{Stall: snap, Total: snap + ser + xfer}, nil
+}
+
+// Base3Time models GEMINI-style replication: the stall is the DtoH copy;
+// each node then broadcasts its workers' shards to its group peers over
+// the inter-node fabric.
+func Base3Time(in TimingInput, groupSize int) (*TimingReport, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if groupSize < 2 {
+		return nil, fmt.Errorf("baseline: group size must be >= 2, got %d", groupSize)
+	}
+	snap, err := simnet.DurationForBytes(in.ShardBytes, in.Resources.PCIeBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	nodeBytes := int64(in.GPUsPerNode) * in.ShardBytes * int64(groupSize-1)
+	bcast, err := simnet.DurationForBytes(nodeBytes, in.Resources.NICBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return &TimingReport{Stall: snap, Total: snap + bcast}, nil
+}
+
+// RecoverReport models baseline recovery time at paper scale.
+type RecoverReport struct {
+	// Resume is the time until training can continue.
+	Resume time.Duration
+}
+
+// Base1RecoverTime (also base2): pull the whole checkpoint back over the
+// remote uplink and deserialize.
+func Base1RecoverTime(in TimingInput) (*RecoverReport, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	xfer, err := simnet.DurationForBytes(int64(in.World)*in.ShardBytes, in.Resources.RemoteRate)
+	if err != nil {
+		return nil, err
+	}
+	deser, err := simnet.DurationForBytes(in.ShardBytes, in.Resources.DeserializeRate)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoverReport{Resume: xfer + deser}, nil
+}
+
+// Base3RecoverTime models replica fetch: each replaced node pulls its
+// workers' shards from a surviving group peer. recoverable must be checked
+// by the caller (a fully failed group cannot recover at all).
+func Base3RecoverTime(in TimingInput) (*RecoverReport, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	nodeBytes := int64(in.GPUsPerNode) * in.ShardBytes
+	fetch, err := simnet.DurationForBytes(nodeBytes, in.Resources.NICBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoverReport{Resume: fetch}, nil
+}

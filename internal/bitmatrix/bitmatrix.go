@@ -1,0 +1,385 @@
+// Package bitmatrix converts GF(2^w) matrices into their binary expansions
+// and compiles those expansions into XOR schedules, enabling XOR-only Cauchy
+// Reed-Solomon coding: the technique ECCheck adopts so that checkpoint
+// encoding touches memory only with wide XOR operations.
+//
+// An element e of GF(2^w) expands to a w×w binary matrix B(e) whose column c
+// holds the bit representation of e·α^c. Multiplying a region by e then
+// becomes XORs of w equally sized "packets" of the region, selected by the
+// ones of B(e).
+package bitmatrix
+
+import (
+	"fmt"
+	"math/bits"
+
+	"eccheck/internal/gf"
+)
+
+// Bitmatrix is a dense binary matrix. It is the w-fold binary expansion of a
+// matrix over GF(2^w): a source matrix of shape R×C expands to shape
+// (R·w)×(C·w).
+type Bitmatrix struct {
+	rows int
+	cols int
+	bits []uint8 // row-major, one byte per bit for simplicity of indexing
+}
+
+// New returns a zero bitmatrix of the given shape.
+func New(rows, cols int) (*Bitmatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("bitmatrix: invalid shape %dx%d", rows, cols)
+	}
+	return &Bitmatrix{rows: rows, cols: cols, bits: make([]uint8, rows*cols)}, nil
+}
+
+// Rows returns the number of binary rows.
+func (b *Bitmatrix) Rows() int { return b.rows }
+
+// Cols returns the number of binary columns.
+func (b *Bitmatrix) Cols() int { return b.cols }
+
+// At reports whether the bit at (r, c) is set.
+func (b *Bitmatrix) At(r, c int) bool { return b.bits[r*b.cols+c] != 0 }
+
+// Set assigns the bit at (r, c).
+func (b *Bitmatrix) Set(r, c int, v bool) {
+	if v {
+		b.bits[r*b.cols+c] = 1
+	} else {
+		b.bits[r*b.cols+c] = 0
+	}
+}
+
+// Ones returns the number of set bits, the XOR-cost proxy of the matrix.
+func (b *Bitmatrix) Ones() int {
+	n := 0
+	for _, v := range b.bits {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// rowBits returns row r packed into uint64 words for fast Hamming distance.
+func (b *Bitmatrix) rowBits(r int) []uint64 {
+	words := (b.cols + 63) / 64
+	out := make([]uint64, words)
+	base := r * b.cols
+	for c := 0; c < b.cols; c++ {
+		if b.bits[base+c] != 0 {
+			out[c/64] |= 1 << (c % 64)
+		}
+	}
+	return out
+}
+
+// FromMatrix expands a matrix over GF(2^w) into its bitmatrix form.
+func FromMatrix(f *gf.Field, m *gf.Matrix) (*Bitmatrix, error) {
+	w := int(f.W())
+	out, err := New(m.Rows()*w, m.Cols()*w)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			v := m.At(i, j)
+			for c := 0; c < w; c++ {
+				for r := 0; r < w; r++ {
+					if v&(1<<r) != 0 {
+						out.Set(i*w+r, j*w+c, true)
+					}
+				}
+				v = f.Mul(v, 2)
+			}
+		}
+	}
+	return out, nil
+}
+
+// OpKind distinguishes schedule operations.
+type OpKind int
+
+// Schedule operation kinds. The first write into a destination packet is a
+// copy; subsequent writes accumulate with XOR.
+const (
+	OpCopy OpKind = iota + 1
+	OpXOR
+)
+
+// Op is one step of an XOR schedule: combine source packet
+// (SrcChunk, SrcPacket) into destination packet (DstChunk, DstPacket).
+// Source chunk indices address the k data chunks when < k and previously
+// computed destination chunks when >= k (used by smart schedules that derive
+// one parity packet from another).
+type Op struct {
+	Kind      OpKind
+	SrcChunk  int
+	SrcPacket int
+	DstChunk  int
+	DstPacket int
+}
+
+// Schedule is an ordered XOR program computing dstRows output packets from
+// k·w input packets.
+type Schedule struct {
+	// W is the packets-per-chunk factor (the field word size).
+	W int
+	// K is the number of input (data) chunks.
+	K int
+	// DstChunks is the number of output chunks the schedule produces.
+	DstChunks int
+	// Ops is the program, executed in order.
+	Ops []Op
+}
+
+// XORCount returns the number of OpXOR steps, the dominant cost of encoding.
+func (s *Schedule) XORCount() int {
+	n := 0
+	for _, op := range s.Ops {
+		if op.Kind == OpXOR {
+			n++
+		}
+	}
+	return n
+}
+
+// Compile turns the parity part of a bitmatrix (shape (m·w)×(k·w)) into a
+// straightforward schedule: each destination packet is a copy of its first
+// contributing source packet followed by XORs of the rest.
+func Compile(bm *Bitmatrix, k, m, w int) (*Schedule, error) {
+	if bm.rows != m*w || bm.cols != k*w {
+		return nil, fmt.Errorf("bitmatrix: schedule shape mismatch: bitmatrix %dx%d, want %dx%d",
+			bm.rows, bm.cols, m*w, k*w)
+	}
+	s := &Schedule{W: w, K: k, DstChunks: m}
+	for r := 0; r < m*w; r++ {
+		first := true
+		for c := 0; c < k*w; c++ {
+			if !bm.At(r, c) {
+				continue
+			}
+			kind := OpXOR
+			if first {
+				kind = OpCopy
+				first = false
+			}
+			s.Ops = append(s.Ops, Op{
+				Kind:      kind,
+				SrcChunk:  c / w,
+				SrcPacket: c % w,
+				DstChunk:  k + r/w,
+				DstPacket: r % w,
+			})
+		}
+		if first {
+			return nil, fmt.Errorf("bitmatrix: output row %d has no contributing inputs", r)
+		}
+	}
+	return s, nil
+}
+
+// CompileSmart builds a schedule that may derive an output packet from a
+// previously computed output packet when their bitmatrix rows are similar
+// (differ in fewer positions than the row has ones). This is the classic
+// "smart scheduling" optimisation for CRS codes and reduces XOR count for
+// dense Cauchy rows.
+func CompileSmart(bm *Bitmatrix, k, m, w int) (*Schedule, error) {
+	if bm.rows != m*w || bm.cols != k*w {
+		return nil, fmt.Errorf("bitmatrix: schedule shape mismatch: bitmatrix %dx%d, want %dx%d",
+			bm.rows, bm.cols, m*w, k*w)
+	}
+	s := &Schedule{W: w, K: k, DstChunks: m}
+
+	type doneRow struct {
+		row  int
+		bits []uint64
+		ones int
+	}
+	var done []doneRow
+
+	rowOnes := func(words []uint64) int {
+		n := 0
+		for _, word := range words {
+			n += bits64(word)
+		}
+		return n
+	}
+
+	for r := 0; r < m*w; r++ {
+		cur := bm.rowBits(r)
+		ones := rowOnes(cur)
+		if ones == 0 {
+			return nil, fmt.Errorf("bitmatrix: output row %d has no contributing inputs", r)
+		}
+
+		// Find the cheapest base: either from scratch (cost = ones) or
+		// derived from an earlier output row (cost = hamming distance + 1).
+		bestBase := -1
+		bestCost := ones
+		for _, d := range done {
+			dist := 0
+			for i := range cur {
+				dist += bits64(cur[i] ^ d.bits[i])
+			}
+			if dist+1 < bestCost {
+				bestCost = dist + 1
+				bestBase = d.row
+			}
+		}
+
+		dst := Op{DstChunk: k + r/w, DstPacket: r % w}
+		if bestBase >= 0 {
+			// Copy the base output packet, then XOR the differing inputs.
+			base := bm.rowBits(bestBase)
+			op := dst
+			op.Kind = OpCopy
+			op.SrcChunk = k + bestBase/w
+			op.SrcPacket = bestBase % w
+			s.Ops = append(s.Ops, op)
+			for c := 0; c < k*w; c++ {
+				if (cur[c/64]>>(c%64))&1 != (base[c/64]>>(c%64))&1 {
+					op := dst
+					op.Kind = OpXOR
+					op.SrcChunk = c / w
+					op.SrcPacket = c % w
+					s.Ops = append(s.Ops, op)
+				}
+			}
+		} else {
+			first := true
+			for c := 0; c < k*w; c++ {
+				if (cur[c/64]>>(c%64))&1 == 0 {
+					continue
+				}
+				op := dst
+				op.Kind = OpXOR
+				if first {
+					op.Kind = OpCopy
+					first = false
+				}
+				op.SrcChunk = c / w
+				op.SrcPacket = c % w
+				s.Ops = append(s.Ops, op)
+			}
+		}
+		done = append(done, doneRow{row: r, bits: cur, ones: ones})
+	}
+	return s, nil
+}
+
+func bits64(v uint64) int { return bits.OnesCount64(v) }
+
+// Execute runs the schedule over real memory. data holds the K source
+// chunks; out holds DstChunks destination chunks. Every chunk must have the
+// same length, divisible by W so it splits into W packets.
+func (s *Schedule) Execute(data, out [][]byte) error {
+	if len(data) != s.K {
+		return fmt.Errorf("bitmatrix: execute with %d data chunks, want %d", len(data), s.K)
+	}
+	if len(out) != s.DstChunks {
+		return fmt.Errorf("bitmatrix: execute with %d output chunks, want %d", len(out), s.DstChunks)
+	}
+	if len(data) == 0 || len(out) == 0 {
+		return nil
+	}
+	size := len(data[0])
+	if size%s.W != 0 {
+		return fmt.Errorf("bitmatrix: chunk size %d not divisible by w=%d", size, s.W)
+	}
+	for i, d := range data {
+		if len(d) != size {
+			return fmt.Errorf("bitmatrix: data chunk %d has size %d, want %d", i, len(d), size)
+		}
+	}
+	for i, p := range out {
+		if len(p) != size {
+			return fmt.Errorf("bitmatrix: output chunk %d has size %d, want %d", i, len(p), size)
+		}
+	}
+	psize := size / s.W
+
+	packet := func(chunk, pkt int) ([]byte, error) {
+		var buf []byte
+		switch {
+		case chunk < s.K:
+			buf = data[chunk]
+		case chunk < s.K+s.DstChunks:
+			buf = out[chunk-s.K]
+		default:
+			return nil, fmt.Errorf("bitmatrix: chunk index %d out of range", chunk)
+		}
+		return buf[pkt*psize : (pkt+1)*psize], nil
+	}
+
+	for _, op := range s.Ops {
+		src, err := packet(op.SrcChunk, op.SrcPacket)
+		if err != nil {
+			return err
+		}
+		dst, err := packet(op.DstChunk, op.DstPacket)
+		if err != nil {
+			return err
+		}
+		switch op.Kind {
+		case OpCopy:
+			copy(dst, src)
+		case OpXOR:
+			if err := gf.XORSlice(dst, src); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("bitmatrix: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// ExecuteRange runs the schedule over the byte range [lo, hi) of each
+// packet, allowing one encode to be split across a worker pool. lo and hi
+// are offsets within a packet (0 <= lo <= hi <= packetSize).
+func (s *Schedule) ExecuteRange(data, out [][]byte, lo, hi int) error {
+	if len(data) != s.K || len(out) != s.DstChunks {
+		return fmt.Errorf("bitmatrix: execute-range chunk count mismatch (data=%d want %d, out=%d want %d)",
+			len(data), s.K, len(out), s.DstChunks)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	size := len(data[0])
+	if size%s.W != 0 {
+		return fmt.Errorf("bitmatrix: chunk size %d not divisible by w=%d", size, s.W)
+	}
+	psize := size / s.W
+	if lo < 0 || hi > psize || lo > hi {
+		return fmt.Errorf("bitmatrix: invalid packet range [%d, %d) for packet size %d", lo, hi, psize)
+	}
+
+	packet := func(chunk, pkt int) []byte {
+		var buf []byte
+		if chunk < s.K {
+			buf = data[chunk]
+		} else {
+			buf = out[chunk-s.K]
+		}
+		base := pkt * psize
+		return buf[base+lo : base+hi]
+	}
+
+	for _, op := range s.Ops {
+		src := packet(op.SrcChunk, op.SrcPacket)
+		dst := packet(op.DstChunk, op.DstPacket)
+		switch op.Kind {
+		case OpCopy:
+			copy(dst, src)
+		case OpXOR:
+			if err := gf.XORSlice(dst, src); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("bitmatrix: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package bitmatrix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"eccheck/internal/cauchy"
+	"eccheck/internal/gf"
+)
+
+// referenceEncode computes parity chunks with plain field arithmetic under
+// the bitmatrix packet layout: a chunk of size S is w packets of S/w bytes,
+// and the GF(2^w) symbol at bit position t is assembled from bit t of each
+// packet (bit of packet r contributes bit r of the symbol). It is the oracle
+// the bitmatrix schedules must agree with.
+func referenceEncode(t *testing.T, f *gf.Field, parity *gf.Matrix, data [][]byte) [][]byte {
+	t.Helper()
+	m, k := parity.Rows(), parity.Cols()
+	w := int(f.W())
+	size := len(data[0])
+	psize := size / w
+	nbits := psize * 8
+
+	getBit := func(buf []byte, t int) int { return int(buf[t/8]>>(t%8)) & 1 }
+	setBit := func(buf []byte, t int, v int) {
+		if v != 0 {
+			buf[t/8] |= 1 << (t % 8)
+		}
+	}
+	symbol := func(chunk []byte, t int) int {
+		s := 0
+		for r := 0; r < w; r++ {
+			s |= getBit(chunk[r*psize:(r+1)*psize], t) << r
+		}
+		return s
+	}
+
+	out := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		out[i] = make([]byte, size)
+		for t := 0; t < nbits; t++ {
+			p := 0
+			for j := 0; j < k; j++ {
+				p ^= f.Mul(parity.At(i, j), symbol(data[j], t))
+			}
+			for r := 0; r < w; r++ {
+				setBit(out[i][r*psize:(r+1)*psize], t, (p>>r)&1)
+			}
+		}
+	}
+	return out
+}
+
+func makeData(r *rand.Rand, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		r.Read(data[i])
+	}
+	return data
+}
+
+func TestFromMatrixIdentity(t *testing.T) {
+	f := gf.MustField(8)
+	id, err := f.Identity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := FromMatrix(f, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Rows() != 24 || bm.Cols() != 24 {
+		t.Fatalf("shape %dx%d, want 24x24", bm.Rows(), bm.Cols())
+	}
+	for r := 0; r < 24; r++ {
+		for c := 0; c < 24; c++ {
+			if bm.At(r, c) != (r == c) {
+				t.Fatalf("identity bitmatrix wrong at (%d, %d)", r, c)
+			}
+		}
+	}
+}
+
+func TestBitmatrixOnes(t *testing.T) {
+	bm, err := New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Ones() != 0 {
+		t.Errorf("fresh bitmatrix has %d ones", bm.Ones())
+	}
+	bm.Set(0, 0, true)
+	bm.Set(3, 2, true)
+	if bm.Ones() != 2 {
+		t.Errorf("Ones() = %d, want 2", bm.Ones())
+	}
+	bm.Set(0, 0, false)
+	if bm.Ones() != 1 {
+		t.Errorf("Ones() = %d after clear, want 1", bm.Ones())
+	}
+}
+
+func TestNewInvalidShape(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("New(0,3): want error")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Error("New(3,-1): want error")
+	}
+}
+
+// The central correctness test: bitmatrix XOR schedules (plain and smart)
+// must produce exactly the same parity bytes as field-arithmetic encoding.
+func TestSchedulesMatchFieldArithmetic(t *testing.T) {
+	f := gf.MustField(8)
+	w := int(f.W())
+	r := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ k, m int }{{2, 2}, {3, 2}, {4, 2}, {2, 3}, {5, 4}} {
+		for _, improve := range []bool{false, true} {
+			gen, err := cauchy.Generator(f, tc.k, tc.m, cauchy.Options{Improve: improve})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parityRows := make([]int, tc.m)
+			for i := range parityRows {
+				parityRows[i] = tc.k + i
+			}
+			parity, err := gen.SubMatrix(parityRows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bm, err := FromMatrix(f, parity)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			size := 16 * w // small but multiple of w
+			data := makeData(r, tc.k, size)
+			want := referenceEncode(t, f, parity, data)
+
+			for name, compile := range map[string]func(*Bitmatrix, int, int, int) (*Schedule, error){
+				"plain": Compile,
+				"smart": CompileSmart,
+			} {
+				sched, err := compile(bm, tc.k, tc.m, w)
+				if err != nil {
+					t.Fatalf("%s k=%d m=%d: %v", name, tc.k, tc.m, err)
+				}
+				out := make([][]byte, tc.m)
+				for i := range out {
+					out[i] = make([]byte, size)
+				}
+				if err := sched.Execute(data, out); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i := range out {
+					if !bytes.Equal(out[i], want[i]) {
+						t.Errorf("%s improve=%v k=%d m=%d: parity %d mismatch",
+							name, improve, tc.k, tc.m, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSmartScheduleNeverWorse(t *testing.T) {
+	f := gf.MustField(8)
+	w := int(f.W())
+	for _, tc := range []struct{ k, m int }{{4, 2}, {6, 3}, {8, 4}, {10, 2}} {
+		gen, err := cauchy.Generator(f, tc.k, tc.m, cauchy.Options{Improve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]int, tc.m)
+		for i := range rows {
+			rows[i] = tc.k + i
+		}
+		parity, err := gen.SubMatrix(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := FromMatrix(f, parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Compile(bm, tc.k, tc.m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smart, err := CompileSmart(bm, tc.k, tc.m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.XORCount() > plain.XORCount() {
+			t.Errorf("k=%d m=%d: smart schedule has %d XORs > plain %d",
+				tc.k, tc.m, smart.XORCount(), plain.XORCount())
+		}
+	}
+}
+
+func TestExecuteRangeMatchesExecute(t *testing.T) {
+	f := gf.MustField(8)
+	w := int(f.W())
+	r := rand.New(rand.NewSource(13))
+	k, m := 4, 2
+	gen, err := cauchy.Generator(f, k, m, cauchy.Options{Improve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := gen.SubMatrix([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := FromMatrix(f, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := CompileSmart(bm, k, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	size := 64 * w
+	data := makeData(r, k, size)
+	want := make([][]byte, m)
+	for i := range want {
+		want[i] = make([]byte, size)
+	}
+	if err := sched.Execute(data, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Execute in three uneven sub-ranges of the packet.
+	got := make([][]byte, m)
+	for i := range got {
+		got[i] = make([]byte, size)
+	}
+	psize := size / w
+	splits := []int{0, 7, 40, psize}
+	for s := 0; s+1 < len(splits); s++ {
+		if err := sched.ExecuteRange(data, got, splits[s], splits[s+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("ranged execution parity %d differs from full execution", i)
+		}
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	f := gf.MustField(8)
+	w := int(f.W())
+	gen, err := cauchy.Generator(f, 2, 2, cauchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := gen.SubMatrix([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := FromMatrix(f, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Compile(bm, 2, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := func(n, size int) [][]byte {
+		out := make([][]byte, n)
+		for i := range out {
+			out[i] = make([]byte, size)
+		}
+		return out
+	}
+
+	if err := sched.Execute(good(1, 16), good(2, 16)); err == nil {
+		t.Error("wrong data chunk count: want error")
+	}
+	if err := sched.Execute(good(2, 16), good(1, 16)); err == nil {
+		t.Error("wrong output chunk count: want error")
+	}
+	if err := sched.Execute(good(2, 15), good(2, 15)); err == nil {
+		t.Error("size not divisible by w: want error")
+	}
+	data := good(2, 16)
+	data[1] = make([]byte, 24)
+	if err := sched.Execute(data, good(2, 16)); err == nil {
+		t.Error("ragged data chunks: want error")
+	}
+	if err := sched.ExecuteRange(good(2, 16), good(2, 16), 1, 0); err == nil {
+		t.Error("inverted range: want error")
+	}
+	if err := sched.ExecuteRange(good(2, 16), good(2, 16), 0, 3); err == nil {
+		t.Error("range beyond packet: want error")
+	}
+}
+
+func TestCompileShapeMismatch(t *testing.T) {
+	bm, err := New(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(bm, 3, 2, 8); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+	if _, err := CompileSmart(bm, 3, 2, 8); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+}
+
+func TestCompileEmptyRowFails(t *testing.T) {
+	bm, err := New(8, 8) // all zero: every output row empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(bm, 1, 1, 8); err == nil {
+		t.Error("empty output row: want error")
+	}
+	if _, err := CompileSmart(bm, 1, 1, 8); err == nil {
+		t.Error("empty output row: want error")
+	}
+}

@@ -1,0 +1,222 @@
+// Package cluster models the machines of a distributed training job for the
+// functional layer: each node exposes volatile host memory (a keyed blob
+// store standing in for the CPU RAM that in-memory checkpoints occupy) and
+// a failure switch. Failing a node clears its host memory — the defining
+// property of in-memory checkpointing that erasure coding exists to
+// survive — and replacing a node brings it back empty.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cluster is a set of nodes with volatile host memory. It is safe for
+// concurrent use.
+type Cluster struct {
+	mu      sync.RWMutex
+	nodes   int
+	workers int // per node
+	hostMem []map[string][]byte
+	failed  []bool
+	// epochs counts how many times each node has been replaced, letting
+	// tests assert a node restarted empty.
+	epochs []int
+}
+
+// New constructs a cluster of n nodes with g workers each.
+func New(nodes, workersPerNode int) (*Cluster, error) {
+	if nodes <= 0 || workersPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: need positive nodes and workers (got %d, %d)",
+			nodes, workersPerNode)
+	}
+	c := &Cluster{
+		nodes:   nodes,
+		workers: workersPerNode,
+		hostMem: make([]map[string][]byte, nodes),
+		failed:  make([]bool, nodes),
+		epochs:  make([]int, nodes),
+	}
+	for i := range c.hostMem {
+		c.hostMem[i] = make(map[string][]byte)
+	}
+	return c, nil
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// WorkersPerNode returns the per-node worker count.
+func (c *Cluster) WorkersPerNode() int { return c.workers }
+
+func (c *Cluster) checkNode(node int) error {
+	if node < 0 || node >= c.nodes {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", node, c.nodes)
+	}
+	return nil
+}
+
+// Store writes a blob into a node's host memory. Storing on a failed node
+// is an error: its memory does not exist.
+func (c *Cluster) Store(node int, key string, blob []byte) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed[node] {
+		return fmt.Errorf("cluster: node %d is failed", node)
+	}
+	c.hostMem[node][key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Load reads a blob from a node's host memory.
+func (c *Cluster) Load(node int, key string) ([]byte, error) {
+	if err := c.checkNode(node); err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.failed[node] {
+		return nil, fmt.Errorf("cluster: node %d is failed", node)
+	}
+	blob, ok := c.hostMem[node][key]
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %d has no blob %q", node, key)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Has reports whether the node holds the key (false on failed nodes).
+func (c *Cluster) Has(node int, key string) bool {
+	if err := c.checkNode(node); err != nil {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.failed[node] {
+		return false
+	}
+	_, ok := c.hostMem[node][key]
+	return ok
+}
+
+// Keys lists the node's stored keys in sorted order (empty on failure).
+func (c *Cluster) Keys(node int) []string {
+	if err := c.checkNode(node); err != nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.failed[node] {
+		return nil
+	}
+	out := make([]string, 0, len(c.hostMem[node]))
+	for k := range c.hostMem[node] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemoryBytes returns the node's total stored bytes, the redundancy-cost
+// metric the paper compares replication and erasure coding on.
+func (c *Cluster) MemoryBytes(node int) int {
+	if err := c.checkNode(node); err != nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, b := range c.hostMem[node] {
+		total += len(b)
+	}
+	return total
+}
+
+// Fail marks a node failed and destroys its host memory.
+func (c *Cluster) Fail(node int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed[node] {
+		return fmt.Errorf("cluster: node %d already failed", node)
+	}
+	c.failed[node] = true
+	c.hostMem[node] = make(map[string][]byte) // memory is volatile
+	return nil
+}
+
+// Replace brings a failed node back as a fresh machine with empty memory.
+func (c *Cluster) Replace(node int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.failed[node] {
+		return fmt.Errorf("cluster: node %d is not failed", node)
+	}
+	c.failed[node] = false
+	c.hostMem[node] = make(map[string][]byte)
+	c.epochs[node]++
+	return nil
+}
+
+// Alive reports whether the node is up.
+func (c *Cluster) Alive(node int) bool {
+	if err := c.checkNode(node); err != nil {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return !c.failed[node]
+}
+
+// AliveNodes returns the indices of all live nodes, ascending.
+func (c *Cluster) AliveNodes() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]int, 0, c.nodes)
+	for i, f := range c.failed {
+		if !f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FailedNodes returns the indices of all failed nodes, ascending.
+func (c *Cluster) FailedNodes() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int
+	for i, f := range c.failed {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Epoch returns how many times the node has been replaced.
+func (c *Cluster) Epoch(node int) int {
+	if err := c.checkNode(node); err != nil {
+		return -1
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epochs[node]
+}
+
+// WorkerNode returns the node hosting the given world-rank worker.
+func (c *Cluster) WorkerNode(worker int) (int, error) {
+	if worker < 0 || worker >= c.nodes*c.workers {
+		return 0, fmt.Errorf("cluster: worker %d out of range [0, %d)", worker, c.nodes*c.workers)
+	}
+	return worker / c.workers, nil
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import "testing"
+
+func TestSubClusterMapping(t *testing.T) {
+	parent, err := New(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Sub(parent, []int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Nodes() != 3 || sub.WorkersPerNode() != 2 {
+		t.Errorf("shape %dx%d", sub.Nodes(), sub.WorkersPerNode())
+	}
+	// Local 0 maps to global 3.
+	if err := sub.Store(0, "k", []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parent.Load(3, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Error("store did not reach global node 3")
+	}
+	if !sub.Has(0, "k") || sub.Has(1, "k") {
+		t.Error("Has mapping wrong")
+	}
+	blob, err := sub.Load(0, "k")
+	if err != nil || blob[0] != 7 {
+		t.Errorf("Load = %v, %v", blob, err)
+	}
+}
+
+func TestSubClusterFailureVisibility(t *testing.T) {
+	parent, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Sub(parent, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Alive(1) {
+		t.Error("failure of global 3 not visible as local 1")
+	}
+	if sub.Alive(0) != true {
+		t.Error("local 0 should be alive")
+	}
+	if err := sub.Store(1, "x", nil); err == nil {
+		t.Error("store on failed node: want error")
+	}
+}
+
+func TestSubValidation(t *testing.T) {
+	parent, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sub(nil, []int{0}); err == nil {
+		t.Error("nil parent: want error")
+	}
+	if _, err := Sub(parent, nil); err == nil {
+		t.Error("empty node set: want error")
+	}
+	if _, err := Sub(parent, []int{0, 0}); err == nil {
+		t.Error("duplicate nodes: want error")
+	}
+	if _, err := Sub(parent, []int{0, 9}); err == nil {
+		t.Error("out of range: want error")
+	}
+	sub, err := Sub(parent, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Load(5, "x"); err == nil {
+		t.Error("local out of range: want error")
+	}
+	if sub.Alive(5) {
+		t.Error("out-of-range Alive should be false")
+	}
+	if err := sub.Store(-1, "x", nil); err == nil {
+		t.Error("negative local: want error")
+	}
+	if sub.Has(9, "x") {
+		t.Error("out-of-range Has should be false")
+	}
+}

@@ -1,0 +1,244 @@
+// Package core implements the ECCheck engine: erasure-coded in-memory
+// checkpointing for distributed DNN training. It is the paper's primary
+// contribution, built on the substrate packages:
+//
+//   - serialization-free encoding protocol: each worker's sharded state
+//     dict is decomposed (statedict), its tensor payload becomes a packet
+//     consumed in place by the Cauchy Reed-Solomon coder (erasure), and
+//     only the tiny metadata components are serialized and broadcast;
+//   - distributed three-step checkpointing: per-worker encoding, XOR
+//     reduction across reduction groups, and P2P placement of data and
+//     parity chunks, following a placement.Plan (sweep-line node selection
+//     and reduction-target assignment);
+//   - buffered, pipelined execution: packets stream through fixed-size
+//     data and encoding buffers so encoding, reduction and communication
+//     overlap;
+//   - two recovery workflows: replacement-only (all data chunks intact)
+//     and distributed decode (data chunks lost), both restoring full fault
+//     tolerance afterwards;
+//   - low-frequency remote persistence against catastrophic failures.
+//
+// Save and Load run one goroutine per node over a transport.Network, so the
+// functional engine is a real distributed protocol that also runs unchanged
+// over TCP.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/ecpool"
+	"eccheck/internal/erasure"
+	"eccheck/internal/parallel"
+	"eccheck/internal/placement"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/transport"
+)
+
+// Default buffer configuration from the paper's evaluation settings.
+const (
+	// DefaultBufferSize is the paper's 64 MB pipeline buffer.
+	DefaultBufferSize = 64 << 20
+	// DefaultDataBuffers and DefaultEncodingBuffers bound the pipeline
+	// depth per worker (12 data + 24 encoding buffers in the paper).
+	DefaultDataBuffers     = 12
+	DefaultEncodingBuffers = 24
+	// DefaultRemotePersistEvery persists to remote storage every Nth save.
+	DefaultRemotePersistEvery = 10
+)
+
+// Config parameterises a Checkpointer.
+type Config struct {
+	// Topo is the training topology; the node count must equal K+M.
+	Topo *parallel.Topology
+	// K and M are the erasure-code parameters: K data nodes, M parity
+	// nodes, tolerating any M concurrent machine failures.
+	K, M int
+	// BufferSize is the pipeline buffer size in bytes; packets stream
+	// through buffers of this size so encoding, XOR reduction and P2P
+	// communication overlap. Defaults to DefaultBufferSize.
+	BufferSize int
+	// EncoderThreads sizes the CPU thread pool accelerating encoding.
+	// Defaults to GOMAXPROCS.
+	EncoderThreads int
+	// RemotePersistEvery persists every Nth checkpoint to remote storage
+	// (step 4); 0 disables remote persistence.
+	RemotePersistEvery int
+	// RemotePrefix namespaces remote-store keys (used by grouped
+	// checkpointing so groups do not collide).
+	RemotePrefix string
+	// RemoteRetain bounds how many persisted checkpoint versions stay in
+	// remote storage; older ones are garbage-collected after each persist.
+	// 0 keeps everything.
+	RemoteRetain int
+	// IncrementalCache makes every node retain its own workers' packets in
+	// host memory so SaveIncremental can diff against them. Costs one
+	// extra packet of memory per worker.
+	IncrementalCache bool
+	// CodeOptions tune the Cauchy Reed-Solomon code.
+	CodeOptions []erasure.Option
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.BufferSize == 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	if c.RemotePersistEvery == 0 {
+		c.RemotePersistEvery = DefaultRemotePersistEvery
+	}
+	return c
+}
+
+// HostStore is the volatile per-node host memory the engine checkpoints
+// into. cluster.Cluster implements it; cluster.Sub provides the group-view
+// used by grouped checkpointing.
+type HostStore interface {
+	// Nodes returns the node count.
+	Nodes() int
+	// WorkersPerNode returns the per-node worker count.
+	WorkersPerNode() int
+	// Alive reports whether the node is up.
+	Alive(node int) bool
+	// Store writes a blob into a node's host memory.
+	Store(node int, key string, blob []byte) error
+	// Load reads a blob from a node's host memory.
+	Load(node int, key string) ([]byte, error)
+	// Has reports whether the node holds the key.
+	Has(node int, key string) bool
+}
+
+var _ HostStore = (*cluster.Cluster)(nil)
+
+// Checkpointer is the ECCheck engine bound to a cluster, a network and an
+// optional remote store. It corresponds to the paper's eccheck.initialize:
+// construction fixes the encoding matrix and communication strategy.
+type Checkpointer struct {
+	cfg    Config
+	plan   *placement.Plan
+	code   *erasure.Code
+	pool   *ecpool.Pool
+	net    transport.Network
+	clus   HostStore
+	remote *remotestore.Store // may be nil
+
+	version int
+}
+
+// New validates the configuration, compiles the communication plan (data
+// and parity node selection via sweep line, reduction targets, transfers)
+// and constructs the code. remote may be nil to disable step 4.
+func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.Store) (*Checkpointer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if net == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if clus == nil {
+		return nil, fmt.Errorf("core: nil cluster")
+	}
+	if net.Size() != cfg.Topo.Nodes() {
+		return nil, fmt.Errorf("core: network has %d nodes, topology %d", net.Size(), cfg.Topo.Nodes())
+	}
+	if clus.Nodes() != cfg.Topo.Nodes() || clus.WorkersPerNode() != cfg.Topo.GPUsPerNode() {
+		return nil, fmt.Errorf("core: cluster %dx%d does not match topology %dx%d",
+			clus.Nodes(), clus.WorkersPerNode(), cfg.Topo.Nodes(), cfg.Topo.GPUsPerNode())
+	}
+	if cfg.BufferSize <= 0 {
+		return nil, fmt.Errorf("core: buffer size must be positive, got %d", cfg.BufferSize)
+	}
+	if cfg.BufferSize%64 != 0 {
+		return nil, fmt.Errorf("core: buffer size %d must be a multiple of 64 (the coding alignment)",
+			cfg.BufferSize)
+	}
+	plan, err := placement.New(cfg.Topo, cfg.K, cfg.M)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	code, err := erasure.New(cfg.K, cfg.M, cfg.CodeOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Checkpointer{
+		cfg:    cfg,
+		plan:   plan,
+		code:   code,
+		pool:   ecpool.NewPool(cfg.EncoderThreads),
+		net:    net,
+		clus:   clus,
+		remote: remote,
+	}, nil
+}
+
+// Close releases the encoder pool. The network and cluster are owned by the
+// caller.
+func (c *Checkpointer) Close() {
+	c.pool.Close()
+}
+
+// scalarMulPooled computes dst = coef · src, splitting the region across
+// the checkpointer's CPU thread pool — the paper's thread-pool
+// acceleration of encoding. Small regions fall back to the serial path to
+// avoid dispatch overhead.
+func (c *Checkpointer) scalarMulPooled(coef int, dst, src []byte) error {
+	const poolThreshold = 256 << 10
+	if coef == 0 || len(dst) < poolThreshold || c.pool.Workers() <= 1 {
+		return c.code.ScalarMulInto(coef, dst, src)
+	}
+	sched, err := c.code.ScalarSchedule(coef)
+	if err != nil {
+		return err
+	}
+	return c.pool.RunSchedule(sched, [][]byte{src}, [][]byte{dst})
+}
+
+// Plan returns the compiled communication plan.
+func (c *Checkpointer) Plan() *placement.Plan { return c.plan }
+
+// Code returns the erasure code in use.
+func (c *Checkpointer) Code() *erasure.Code { return c.code }
+
+// Version returns the version of the most recent successful save (0 before
+// the first).
+func (c *Checkpointer) Version() int { return c.version }
+
+// SaveReport summarises one checkpointing round.
+type SaveReport struct {
+	// Version is the checkpoint version written.
+	Version int
+	// PacketBytes is the per-worker packet size after alignment padding.
+	PacketBytes int
+	// SmallBytes is the broadcast metadata volume (all workers).
+	SmallBytes int
+	// RemotePersisted reports whether step 4 ran this round.
+	RemotePersisted bool
+	// Elapsed is the wall time of the functional round.
+	Elapsed time.Duration
+}
+
+// LoadReport summarises a recovery.
+type LoadReport struct {
+	// Version is the checkpoint version recovered.
+	Version int
+	// Workflow is "replacement" (all data chunks intact) or "decode".
+	Workflow string
+	// MissingChunks are the chunk indices that had to be restored.
+	MissingChunks []int
+	// Elapsed is the wall time of the functional recovery.
+	Elapsed time.Duration
+}
+
+// Host-memory key layout.
+func keySmallMeta(rank int) string { return fmt.Sprintf("small/%d/meta", rank) }
+func keySmallKeys(rank int) string { return fmt.Sprintf("small/%d/keys", rank) }
+func keySegment(chunk, seg int) string {
+	return fmt.Sprintf("chunk/%d/seg/%d", chunk, seg)
+}
+func keyManifest() string { return "manifest" }
+
+func remoteKey(prefix string, version, rank int) string {
+	return fmt.Sprintf("eccheck/%sv%d/rank%d", prefix, version, rank)
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/parallel"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/statedict"
+	"eccheck/internal/transport"
+)
+
+// Grouped applies ECCheck within fixed node groups, the scalability scheme
+// the paper's §V-F and conclusion describe: a large cluster divides into
+// groups of G nodes, each running an independent (k, m) instance, so
+// per-node communication stays m·s while the cluster grows — at the cost
+// of tolerating m failures per group rather than m anywhere. Group saves
+// and recoveries run concurrently; their node sets are disjoint, so their
+// traffic never collides.
+type Grouped struct {
+	topo      *parallel.Topology
+	groupSize int
+	groups    []*Checkpointer
+}
+
+// GroupedConfig parameterises NewGrouped.
+type GroupedConfig struct {
+	// Topo is the full-cluster topology.
+	Topo *parallel.Topology
+	// GroupSize is the nodes per group; it must divide the node count and
+	// equal K+M.
+	GroupSize int
+	// K and M are the per-group code parameters.
+	K, M int
+	// BufferSize is the per-instance pipeline buffer.
+	BufferSize int
+	// RemotePersistEvery persists every Nth save (0 = default, <0 = off).
+	RemotePersistEvery int
+}
+
+// NewGrouped builds one ECCheck instance per group over views of the
+// shared cluster and network.
+func NewGrouped(cfg GroupedConfig, net transport.Network, clus *cluster.Cluster, remote *remotestore.Store) (*Grouped, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	n := cfg.Topo.Nodes()
+	if cfg.GroupSize < 2 {
+		return nil, fmt.Errorf("core: group size must be >= 2, got %d", cfg.GroupSize)
+	}
+	if n%cfg.GroupSize != 0 {
+		return nil, fmt.Errorf("core: group size %d does not divide %d nodes", cfg.GroupSize, n)
+	}
+	if cfg.K+cfg.M != cfg.GroupSize {
+		return nil, fmt.Errorf("core: k+m = %d must equal group size %d", cfg.K+cfg.M, cfg.GroupSize)
+	}
+	g := cfg.Topo.GPUsPerNode()
+
+	numGroups := n / cfg.GroupSize
+	grouped := &Grouped{topo: cfg.Topo, groupSize: cfg.GroupSize}
+	for gi := 0; gi < numGroups; gi++ {
+		nodes := make([]int, cfg.GroupSize)
+		for i := range nodes {
+			nodes[i] = gi*cfg.GroupSize + i
+		}
+		subTopo, err := parallel.NewTopology(cfg.GroupSize, g, g, cfg.GroupSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		subNet, err := transport.Sub(net, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		subClus, err := cluster.Sub(clus, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		ckpt, err := New(Config{
+			Topo:               subTopo,
+			K:                  cfg.K,
+			M:                  cfg.M,
+			BufferSize:         cfg.BufferSize,
+			RemotePersistEvery: cfg.RemotePersistEvery,
+			RemotePrefix:       fmt.Sprintf("group%d/", gi),
+		}, subNet, subClus, remote)
+		if err != nil {
+			grouped.Close()
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		grouped.groups = append(grouped.groups, ckpt)
+	}
+	return grouped, nil
+}
+
+// Close releases all group instances.
+func (g *Grouped) Close() {
+	for _, ck := range g.groups {
+		ck.Close()
+	}
+}
+
+// NumGroups returns the group count.
+func (g *Grouped) NumGroups() int { return len(g.groups) }
+
+// GroupOfNode returns the group index of a machine.
+func (g *Grouped) GroupOfNode(node int) int { return node / g.groupSize }
+
+// Group returns the group's checkpointer (for inspection).
+func (g *Grouped) Group(i int) *Checkpointer { return g.groups[i] }
+
+// ranksOfGroup returns the world-rank range a group's workers cover.
+func (g *Grouped) ranksOfGroup(gi int) (lo, hi int) {
+	workersPerGroup := g.groupSize * g.topo.GPUsPerNode()
+	return gi * workersPerGroup, (gi + 1) * workersPerGroup
+}
+
+// GroupedSaveReport aggregates the per-group save reports.
+type GroupedSaveReport struct {
+	// Version is the cluster-wide checkpoint version.
+	Version int
+	// Groups holds the per-group reports in group order.
+	Groups []*SaveReport
+	// Elapsed is the wall time of the concurrent round.
+	Elapsed time.Duration
+}
+
+// Save checkpoints the whole cluster: every group saves its workers' dicts
+// concurrently.
+func (g *Grouped) Save(ctx context.Context, dicts []*statedict.StateDict) (*GroupedSaveReport, error) {
+	started := time.Now()
+	if len(dicts) != g.topo.World() {
+		return nil, fmt.Errorf("core: got %d dicts, want world size %d", len(dicts), g.topo.World())
+	}
+	reports := make([]*SaveReport, len(g.groups))
+	errs := make([]error, len(g.groups))
+	var wg sync.WaitGroup
+	for gi := range g.groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			lo, hi := g.ranksOfGroup(gi)
+			reports[gi], errs[gi] = g.groups[gi].Save(ctx, dicts[lo:hi])
+		}(gi)
+	}
+	wg.Wait()
+	for gi, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+	}
+	return &GroupedSaveReport{
+		Version: reports[0].Version,
+		Groups:  reports,
+		Elapsed: time.Since(started),
+	}, nil
+}
+
+// GroupedLoadReport aggregates the per-group recoveries.
+type GroupedLoadReport struct {
+	// Version is the recovered cluster-wide version.
+	Version int
+	// Groups holds the per-group reports in group order.
+	Groups []*LoadReport
+	// Elapsed is the wall time of the concurrent recovery.
+	Elapsed time.Duration
+}
+
+// VerifyIntegrity scans every group's coded checkpoint and merges the
+// reports (corrupt segment indices are per group; the group index is the
+// slice position).
+func (g *Grouped) VerifyIntegrity() ([]*VerifyReport, error) {
+	out := make([]*VerifyReport, len(g.groups))
+	for gi, ck := range g.groups {
+		rep, err := ck.VerifyIntegrity()
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+		out[gi] = rep
+	}
+	return out, nil
+}
+
+// Load recovers every group concurrently. A group with more than m lost
+// chunks fails the whole recovery (fall back to remote storage).
+func (g *Grouped) Load(ctx context.Context) ([]*statedict.StateDict, *GroupedLoadReport, error) {
+	started := time.Now()
+	out := make([]*statedict.StateDict, g.topo.World())
+	reports := make([]*LoadReport, len(g.groups))
+	errs := make([]error, len(g.groups))
+	var wg sync.WaitGroup
+	for gi := range g.groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			dicts, rep, err := g.groups[gi].Load(ctx)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			lo, _ := g.ranksOfGroup(gi)
+			for local, sd := range dicts {
+				out[lo+local] = sd
+			}
+			reports[gi] = rep
+		}(gi)
+	}
+	wg.Wait()
+	for gi, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: group %d: %w", gi, err)
+		}
+	}
+	version := 0
+	for _, rep := range reports {
+		if rep.Version > version {
+			version = rep.Version
+		}
+	}
+	return out, &GroupedLoadReport{
+		Version: version,
+		Groups:  reports,
+		Elapsed: time.Since(started),
+	}, nil
+}

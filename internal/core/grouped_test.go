@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/statedict"
+	"eccheck/internal/transport"
+)
+
+// groupedRig wires an 8-node cluster split into two 4-node groups with
+// k = m = 2 per group.
+func groupedRig(t *testing.T) (*Grouped, *cluster.Cluster, []*statedict.StateDict) {
+	t.Helper()
+	topo, err := parallel.NewTopology(8, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewMemory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := cluster.New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := remotestore.New(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := NewGrouped(GroupedConfig{
+		Topo:               topo,
+		GroupSize:          4,
+		K:                  2,
+		M:                  2,
+		BufferSize:         64 << 10,
+		RemotePersistEvery: -1,
+	}, net, clus, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		grouped.Close()
+		_ = net.Close()
+	})
+
+	opt := model.NewBuildOptions()
+	opt.Scale = 64
+	opt.Seed = 17
+	dicts, err := model.BuildClusterStateDicts(model.GPT2_345M(), topo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grouped, clus, dicts
+}
+
+func TestNewGroupedValidation(t *testing.T) {
+	topo, err := parallel.NewTopology(8, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewMemory(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	clus, err := cluster.New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrouped(GroupedConfig{Topo: nil}, net, clus, nil); err == nil {
+		t.Error("nil topo: want error")
+	}
+	if _, err := NewGrouped(GroupedConfig{Topo: topo, GroupSize: 1, K: 1, M: 0}, net, clus, nil); err == nil {
+		t.Error("group size 1: want error")
+	}
+	if _, err := NewGrouped(GroupedConfig{Topo: topo, GroupSize: 3, K: 2, M: 1}, net, clus, nil); err == nil {
+		t.Error("group size not dividing nodes: want error")
+	}
+	if _, err := NewGrouped(GroupedConfig{Topo: topo, GroupSize: 4, K: 2, M: 1}, net, clus, nil); err == nil {
+		t.Error("k+m != group size: want error")
+	}
+}
+
+func TestGroupedSaveLoadNoFailure(t *testing.T) {
+	grouped, _, dicts := groupedRig(t)
+	ctx := context.Background()
+	rep, err := grouped.Save(ctx, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || len(rep.Groups) != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	got, lrep, err := grouped.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Version != 1 {
+		t.Errorf("recovered version %d", lrep.Version)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(got[rank]) {
+			t.Errorf("rank %d differs", rank)
+		}
+	}
+}
+
+// Grouped tolerance: m failures in EVERY group simultaneously are
+// survivable — 2·m total across the cluster, which a single flat (k, m)
+// instance could not promise.
+func TestGroupedSurvivesMFailuresPerGroup(t *testing.T) {
+	grouped, clus, dicts := groupedRig(t)
+	ctx := context.Background()
+	if _, err := grouped.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	// Fail two nodes in each group (4 failures cluster-wide).
+	for _, node := range []int{0, 2, 5, 7} {
+		if err := clus.Fail(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := clus.Replace(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, lrep, err := grouped.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrep.Groups) != 2 {
+		t.Fatalf("%d group reports", len(lrep.Groups))
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(got[rank]) {
+			t.Errorf("rank %d differs", rank)
+		}
+	}
+}
+
+// More than m failures inside one group sinks the recovery even though the
+// cluster-wide failure count is small: the grouping trade-off.
+func TestGroupedGroupOverload(t *testing.T) {
+	grouped, clus, dicts := groupedRig(t)
+	ctx := context.Background()
+	if _, err := grouped.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{0, 1, 2} { // three failures in group 0
+		if err := clus.Fail(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := clus.Replace(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := grouped.Load(ctx); err == nil {
+		t.Fatal("3 failures in one group with m=2 must not be recoverable")
+	}
+}
+
+func TestGroupedBookkeeping(t *testing.T) {
+	grouped, _, _ := groupedRig(t)
+	if grouped.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d", grouped.NumGroups())
+	}
+	if grouped.GroupOfNode(3) != 0 || grouped.GroupOfNode(4) != 1 {
+		t.Error("GroupOfNode wrong")
+	}
+	if grouped.Group(1) == nil {
+		t.Error("Group(1) nil")
+	}
+	lo, hi := grouped.ranksOfGroup(1)
+	if lo != 8 || hi != 16 {
+		t.Errorf("group 1 ranks [%d, %d)", lo, hi)
+	}
+}
+
+func TestGroupedSaveValidation(t *testing.T) {
+	grouped, _, dicts := groupedRig(t)
+	if _, err := grouped.Save(context.Background(), dicts[:4]); err == nil {
+		t.Error("short dict slice: want error")
+	}
+}
+
+func TestGroupedVerifyIntegrity(t *testing.T) {
+	grouped, clus, dicts := groupedRig(t)
+	ctx := context.Background()
+	if _, err := grouped.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := grouped.VerifyIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for gi, rep := range reports {
+		if len(rep.CorruptSegments) != 0 {
+			t.Errorf("group %d reports corruption %v", gi, rep.CorruptSegments)
+		}
+		if rep.SegmentsChecked == 0 {
+			t.Errorf("group %d checked nothing", gi)
+		}
+	}
+	// Corrupt one byte in group 1's territory (node 4's chunk) and re-scan.
+	key := ""
+	for _, k := range clus.Keys(4) {
+		if len(k) > 5 && k[:5] == "chunk" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("node 4 stores no chunk segment")
+	}
+	blob, err := clus.Load(4, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[7] ^= 0x80
+	if err := clus.Store(4, key, blob); err != nil {
+		t.Fatal(err)
+	}
+	reports, err = grouped.VerifyIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports[0].CorruptSegments) != 0 {
+		t.Error("group 0 should be clean")
+	}
+	if len(reports[1].CorruptSegments) == 0 {
+		t.Error("group 1 corruption not detected")
+	}
+}

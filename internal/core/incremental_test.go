@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"eccheck/internal/statedict"
+)
+
+func incrementalRig(t *testing.T) *testRig {
+	t.Helper()
+	return newRig(t, 4, 2, 2, 2, func(cfg *Config) {
+		cfg.IncrementalCache = true
+		cfg.RemotePersistEvery = -1
+	})
+}
+
+// mutateSomeTensors flips a byte in the first tensor of the given ranks
+// and bumps the iteration counter everywhere.
+func mutateSomeTensors(dicts []*statedict.StateDict, ranks []int, iter int64) []*statedict.StateDict {
+	out := make([]*statedict.StateDict, len(dicts))
+	for rank, sd := range dicts {
+		out[rank] = sd.Clone()
+		out[rank].SetMeta("iteration", statedict.Int(iter))
+	}
+	for _, rank := range ranks {
+		entries := out[rank].TensorEntries()
+		entries[0].Tensor.Data()[0] ^= 0xA5
+	}
+	return out
+}
+
+func TestIncrementalRequiresCacheConfig(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	if _, err := rig.ckpt.SaveIncremental(context.Background(), rig.dicts); err == nil {
+		t.Error("incremental without cache config: want error")
+	}
+}
+
+func TestIncrementalFirstSaveFallsBackToFull(t *testing.T) {
+	rig := incrementalRig(t)
+	rep, err := rig.ckpt.SaveIncremental(context.Background(), rig.dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Full {
+		t.Error("first incremental save must fall back to full")
+	}
+	if rep.Version != 1 {
+		t.Errorf("version %d", rep.Version)
+	}
+}
+
+func TestIncrementalUpdateRecoversExactly(t *testing.T) {
+	rig := incrementalRig(t)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Change two workers' tensors; everyone's metadata changes.
+	newDicts := mutateSomeTensors(rig.dicts, []int{1, 6}, 101)
+	rep, err := rig.ckpt.SaveIncremental(ctx, newDicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Full {
+		t.Fatal("second save should be incremental")
+	}
+	if rep.Version != 2 {
+		t.Errorf("version %d", rep.Version)
+	}
+	if rep.ChangedBuffers == 0 || rep.ChangedBuffers >= rep.TotalBuffers {
+		t.Errorf("changed %d of %d buffers; want a sparse update",
+			rep.ChangedBuffers, rep.TotalBuffers)
+	}
+
+	// The coded checkpoint must be internally consistent after the patch.
+	vrep, err := rig.ckpt.VerifyIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrep.CorruptSegments) != 0 {
+		t.Fatalf("incremental update corrupted segments %v", vrep.CorruptSegments)
+	}
+
+	// Recovery after the worst failure returns the NEW state.
+	for _, node := range rig.ckpt.Plan().DataNodes {
+		if err := rig.clus.Fail(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := rig.clus.Replace(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, lrep, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Version != 2 {
+		t.Errorf("recovered version %d", lrep.Version)
+	}
+	dictsEqual(t, newDicts, got)
+}
+
+func TestIncrementalNoChangeShipsNothing(t *testing.T) {
+	rig := incrementalRig(t)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rig.ckpt.SaveIncremental(ctx, rig.dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Full {
+		t.Fatal("should be incremental")
+	}
+	if rep.ChangedBuffers != 0 {
+		t.Errorf("identical state changed %d buffers", rep.ChangedBuffers)
+	}
+	// Still recoverable at the new version.
+	got, lrep, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Version != 2 {
+		t.Errorf("version %d", lrep.Version)
+	}
+	dictsEqual(t, rig.dicts, got)
+}
+
+func TestIncrementalAfterRecoveryFallsBackToFull(t *testing.T) {
+	rig := incrementalRig(t)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	victim := rig.ckpt.Plan().ParityNodes[0]
+	if err := rig.clus.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.clus.Replace(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rig.ckpt.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The replaced node's packet cache is gone: incremental must detect
+	// it and run a full save.
+	newDicts := mutateSomeTensors(rig.dicts, []int{0}, 55)
+	rep, err := rig.ckpt.SaveIncremental(ctx, newDicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Full {
+		t.Error("missing caches after replacement: want full-save fallback")
+	}
+	got, _, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dictsEqual(t, newDicts, got)
+}
+
+func TestIncrementalChainOfUpdates(t *testing.T) {
+	rig := incrementalRig(t)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	current := rig.dicts
+	for step := 0; step < 5; step++ {
+		current = mutateSomeTensors(current, []int{step % 8, (step * 3) % 8}, int64(200+step))
+		rep, err := rig.ckpt.SaveIncremental(ctx, current)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if rep.Full {
+			t.Fatalf("step %d fell back to full", step)
+		}
+	}
+	// Fail a data node and a parity node, then recover the final state.
+	plan := rig.ckpt.Plan()
+	for _, node := range []int{plan.DataNodes[1], plan.ParityNodes[0]} {
+		if err := rig.clus.Fail(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := rig.clus.Replace(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, lrep, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Version != 6 {
+		t.Errorf("recovered version %d, want 6", lrep.Version)
+	}
+	dictsEqual(t, current, got)
+}

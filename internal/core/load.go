@@ -1,0 +1,488 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eccheck/internal/gf"
+	"eccheck/internal/serialize"
+	"eccheck/internal/statedict"
+)
+
+// Recovery message tags.
+func tagRebuild(chunk, seg int) string { return fmt.Sprintf("rc/%d/%d", chunk, seg) }
+func tagSmallSyncMeta(rank int) string { return fmt.Sprintf("rsm/%d", rank) }
+func tagSmallSyncKeys(rank int) string { return fmt.Sprintf("rsk/%d", rank) }
+func tagPacket(rank int) string        { return fmt.Sprintf("rp/%d", rank) }
+
+// recoverySpec is the coordinator's view of the failure, shared read-only
+// by all node goroutines.
+type recoverySpec struct {
+	version     int
+	packetBytes int
+	// bufSize is the buffer size the checkpoint was encoded with; decode
+	// must slice packets identically because the coding region is the
+	// buffer slice.
+	bufSize int
+	// basis is the k chunk indices the rebuild reads from.
+	basis []int
+	// missing is the chunk indices to rebuild, in ascending order.
+	missing []int
+	// transform expresses each missing chunk (row) in terms of the basis
+	// chunks (columns). Nil when nothing is missing.
+	transform *gf.Matrix
+	// needSmall marks nodes whose small components were lost.
+	needSmall []bool
+	// smallSource is the node that re-broadcasts small components.
+	smallSource int
+}
+
+// Load recovers the latest checkpoint from the distributed in-memory
+// chunks: the paper's eccheck.load. All nodes must be alive (replace failed
+// machines with cluster.Replace first). It returns every worker's
+// reconstructed state dict, rebuilds the missing chunks so full fault
+// tolerance is restored, and reports which workflow ran.
+func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadReport, error) {
+	started := time.Now()
+	topo := c.cfg.Topo
+	n := topo.Nodes()
+	for node := 0; node < n; node++ {
+		if !c.clus.Alive(node) {
+			return nil, nil, fmt.Errorf("core: node %d is failed; replace it before loading", node)
+		}
+	}
+
+	// Assess chunk availability from host memory.
+	span := topo.World() / c.cfg.K
+	type nodeState struct {
+		intact  bool
+		version int
+		packet  int
+		bufSize int
+	}
+	states := make([]nodeState, n)
+	latest := 0
+	for node := 0; node < n; node++ {
+		blob, err := c.clus.Load(node, keyManifest())
+		if err != nil {
+			continue // no manifest: node lost its memory
+		}
+		v, p, b, err := parseManifest(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		chunk := c.plan.ChunkOfNode[node]
+		ok := true
+		for s := 0; s < span; s++ {
+			if !c.clus.Has(node, keySegment(chunk, s)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		states[node] = nodeState{intact: true, version: v, packet: p, bufSize: b}
+		if v > latest {
+			latest = v
+		}
+	}
+	if latest == 0 {
+		return nil, nil, fmt.Errorf("core: no intact in-memory checkpoint found; recover from remote storage")
+	}
+
+	var availableChunks, missingChunks []int
+	packetBytes := 0
+	savedBufSize := 0
+	for node := 0; node < n; node++ {
+		chunk := c.plan.ChunkOfNode[node]
+		if states[node].intact && states[node].version == latest {
+			availableChunks = append(availableChunks, chunk)
+			packetBytes = states[node].packet
+			savedBufSize = states[node].bufSize
+		} else {
+			missingChunks = append(missingChunks, chunk)
+		}
+	}
+	if len(availableChunks) < c.cfg.K {
+		return nil, nil, fmt.Errorf("core: only %d of %d chunks survive (need k=%d); recover from remote storage",
+			len(availableChunks), n, c.cfg.K)
+	}
+	sort.Ints(availableChunks)
+	sort.Ints(missingChunks)
+
+	// Workflow selection: if every data chunk survives, recovery is pure
+	// replacement; otherwise surviving chunks are decoded.
+	workflow := "replacement"
+	for _, cIdx := range missingChunks {
+		if cIdx < c.cfg.K {
+			workflow = "decode"
+			break
+		}
+	}
+
+	spec := &recoverySpec{
+		version:     latest,
+		packetBytes: packetBytes,
+		bufSize:     savedBufSize,
+		missing:     missingChunks,
+		needSmall:   make([]bool, n),
+		smallSource: -1,
+	}
+	if workflow == "replacement" {
+		// Basis = the data chunks; the transform rows are plain generator
+		// rows, making parity rebuild literally a re-encode.
+		for j := 0; j < c.cfg.K; j++ {
+			spec.basis = append(spec.basis, j)
+		}
+	} else {
+		spec.basis = append([]int(nil), availableChunks[:c.cfg.K]...)
+	}
+	if len(missingChunks) > 0 {
+		tm, err := c.code.TransformMatrix(spec.basis, missingChunks)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		spec.transform = tm
+	}
+	for node := 0; node < n; node++ {
+		if states[node].intact && states[node].version == latest {
+			if spec.smallSource == -1 {
+				spec.smallSource = node
+			}
+		} else {
+			spec.needSmall[node] = true
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	dicts := make([]*statedict.StateDict, topo.World())
+	var dictsMu sync.Mutex
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			local, err := c.nodeLoad(ctx, node, spec)
+			if err != nil {
+				errc <- fmt.Errorf("core: node %d load: %w", node, err)
+				cancel()
+				return
+			}
+			dictsMu.Lock()
+			for rank, sd := range local {
+				dicts[rank] = sd
+			}
+			dictsMu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return nil, nil, err
+	}
+	c.version = latest
+
+	return dicts, &LoadReport{
+		Version:       latest,
+		Workflow:      workflow,
+		MissingChunks: missingChunks,
+		Elapsed:       time.Since(started),
+	}, nil
+}
+
+// nodeLoad runs one node's side of recovery and returns its local workers'
+// reconstructed state dicts.
+func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpec) (map[int]*statedict.StateDict, error) {
+	topo := c.cfg.Topo
+	plan := c.plan
+	world := topo.World()
+	span := world / c.cfg.K
+	bufSize := spec.bufSize
+	if bufSize <= 0 {
+		bufSize = c.cfg.BufferSize
+	}
+	packetBytes := spec.packetBytes
+	numBuffers := (packetBytes + bufSize - 1) / bufSize
+
+	ep, err := c.net.Endpoint(node)
+	if err != nil {
+		return nil, err
+	}
+
+	myChunk := plan.ChunkOfNode[node]
+	basisPos := -1
+	for i, b := range spec.basis {
+		if b == myChunk {
+			basisPos = i
+		}
+	}
+	missingPos := -1
+	for i, m := range spec.missing {
+		if m == myChunk {
+			missingPos = i
+		}
+	}
+
+	sliceBounds := func(b int) (int, int) {
+		lo := b * bufSize
+		hi := lo + bufSize
+		if hi > packetBytes {
+			hi = packetBytes
+		}
+		return lo, hi
+	}
+	nodeOfChunk := func(chunk int) int {
+		if chunk < c.cfg.K {
+			return plan.DataNodes[chunk]
+		}
+		return plan.ParityNodes[chunk-c.cfg.K]
+	}
+
+	// Load (or prepare to rebuild) this node's chunk segments.
+	chunkSegs := make([][]byte, span)
+	if missingPos == -1 {
+		for s := 0; s < span; s++ {
+			seg, err := c.clus.Load(node, keySegment(myChunk, s))
+			if err != nil {
+				return nil, err
+			}
+			chunkSegs[s] = seg
+		}
+	} else {
+		for s := range chunkSegs {
+			chunkSegs[s] = make([]byte, packetBytes)
+		}
+	}
+
+	// --- Phase R1: distributed rebuild of missing chunks. ---
+	// Basis holders stream coefficient-multiplied slices to each missing
+	// chunk's owner; owners XOR-accumulate k contributions per slice.
+	var rebuildErr error
+	var rebuildWG sync.WaitGroup
+	if missingPos != -1 {
+		rebuildWG.Add(1)
+		go func() {
+			defer rebuildWG.Done()
+			for s := 0; s < span; s++ {
+				for b := 0; b < numBuffers; b++ {
+					lo, hi := sliceBounds(b)
+					for i := 0; i < c.cfg.K; i++ {
+						srcNode := nodeOfChunk(spec.basis[i])
+						var payload []byte
+						if srcNode == node {
+							// A node can be both basis holder and rebuild
+							// target only if its chunk is both intact and
+							// missing, which cannot happen; guard anyway.
+							rebuildErr = fmt.Errorf("core: node %d is basis and target", node)
+							return
+						}
+						payload, err := ep.Recv(ctx, srcNode, tagRebuild(myChunk, s))
+						if err != nil {
+							rebuildErr = err
+							return
+						}
+						if len(payload) != hi-lo {
+							rebuildErr = fmt.Errorf("core: rebuild slice size %d, want %d", len(payload), hi-lo)
+							return
+						}
+						if err := gf.XORSlice(chunkSegs[s][lo:hi], payload); err != nil {
+							rebuildErr = err
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	if basisPos != -1 && spec.transform != nil {
+		for row, missingChunk := range spec.missing {
+			dstNode := nodeOfChunk(missingChunk)
+			coef := spec.transform.At(row, basisPos)
+			for s := 0; s < span; s++ {
+				for b := 0; b < numBuffers; b++ {
+					lo, hi := sliceBounds(b)
+					contribution := make([]byte, hi-lo)
+					if err := c.scalarMulPooled(coef, contribution, chunkSegs[s][lo:hi]); err != nil {
+						return nil, err
+					}
+					if err := ep.Send(ctx, dstNode, tagRebuild(missingChunk, s), contribution); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	rebuildWG.Wait()
+	if rebuildErr != nil {
+		return nil, rebuildErr
+	}
+	if missingPos != -1 {
+		// Persist the rebuilt chunk: fault tolerance is restored.
+		for s := 0; s < span; s++ {
+			if err := c.clus.Store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.clus.Store(node, keyManifest(), manifestBlob(spec.version, packetBytes, bufSize)); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Phase R2: re-broadcast small components to nodes that lost them. ---
+	if node == spec.smallSource {
+		for peer := 0; peer < topo.Nodes(); peer++ {
+			if !spec.needSmall[peer] || peer == node {
+				continue
+			}
+			for rank := 0; rank < world; rank++ {
+				meta, err := c.clus.Load(node, keySmallMeta(rank))
+				if err != nil {
+					return nil, err
+				}
+				keys, err := c.clus.Load(node, keySmallKeys(rank))
+				if err != nil {
+					return nil, err
+				}
+				if err := ep.Send(ctx, peer, tagSmallSyncMeta(rank), meta); err != nil {
+					return nil, err
+				}
+				if err := ep.Send(ctx, peer, tagSmallSyncKeys(rank), keys); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if spec.needSmall[node] {
+		for rank := 0; rank < world; rank++ {
+			meta, err := ep.Recv(ctx, spec.smallSource, tagSmallSyncMeta(rank))
+			if err != nil {
+				return nil, err
+			}
+			keys, err := ep.Recv(ctx, spec.smallSource, tagSmallSyncKeys(rank))
+			if err != nil {
+				return nil, err
+			}
+			if err := c.clus.Store(node, keySmallMeta(rank), meta); err != nil {
+				return nil, err
+			}
+			if err := c.clus.Store(node, keySmallKeys(rank), keys); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- Phase R3: distribute original packets so every worker resumes. ---
+	// Data nodes serve the segments of their (possibly just rebuilt) chunk.
+	if myChunk < c.cfg.K {
+		for w := 0; w < world; w++ {
+			if plan.DataGroupOf[w] != myChunk {
+				continue
+			}
+			dstNode, err := topo.NodeOf(w)
+			if err != nil {
+				return nil, err
+			}
+			if dstNode == node {
+				continue
+			}
+			if err := ep.Send(ctx, dstNode, tagPacket(w), chunkSegs[plan.SegmentOf[w]]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	g := topo.GPUsPerNode()
+	out := make(map[int]*statedict.StateDict, g)
+	for w := node * g; w < (node+1)*g; w++ {
+		j := plan.DataGroupOf[w]
+		var packet []byte
+		if plan.DataNodes[j] == node {
+			packet = chunkSegs[plan.SegmentOf[w]]
+		} else {
+			srcNode := plan.DataNodes[j]
+			p, err := ep.Recv(ctx, srcNode, tagPacket(w))
+			if err != nil {
+				return nil, err
+			}
+			packet = p
+		}
+		sd, err := c.reassembleWorker(node, w, packet)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = sd
+	}
+	return out, nil
+}
+
+// reassembleWorker rebuilds a worker's state dict from its packet and the
+// broadcast small components stored on the node.
+func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte) (*statedict.StateDict, error) {
+	meta, err := c.clus.Load(node, keySmallMeta(rank))
+	if err != nil {
+		return nil, fmt.Errorf("rank %d small meta: %w", rank, err)
+	}
+	keys, err := c.clus.Load(node, keySmallKeys(rank))
+	if err != nil {
+		return nil, fmt.Errorf("rank %d small keys: %w", rank, err)
+	}
+	sizes, err := statedict.TensorSizes(keys)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d: %w", rank, err)
+	}
+	buffers := make([][]byte, len(sizes))
+	off := 0
+	for i, size := range sizes {
+		if off+size > len(packet) {
+			return nil, fmt.Errorf("rank %d: packet of %d bytes too small for tensor %d", rank, len(packet), i)
+		}
+		buffers[i] = append([]byte(nil), packet[off:off+size]...)
+		off += size
+	}
+	sd, err := statedict.Reassemble(meta, keys, buffers)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d: %w", rank, err)
+	}
+	return sd, nil
+}
+
+// LoadFromRemote recovers every worker's state dict from the remote
+// persistent store (the catastrophic-failure path). version 0 loads the
+// most recent persisted version at or below the checkpointer's counter.
+func (c *Checkpointer) LoadFromRemote(version int) ([]*statedict.StateDict, error) {
+	if c.remote == nil {
+		return nil, fmt.Errorf("core: no remote store configured")
+	}
+	if version == 0 {
+		for v := c.version; v >= 1; v-- {
+			if c.remote.Has(remoteKey(c.cfg.RemotePrefix, v, 0)) {
+				version = v
+				break
+			}
+		}
+		if version == 0 {
+			return nil, fmt.Errorf("core: no persisted checkpoint found in remote storage")
+		}
+	}
+	world := c.cfg.Topo.World()
+	out := make([]*statedict.StateDict, world)
+	for rank := 0; rank < world; rank++ {
+		blob, _, err := c.remote.Get(0, remoteKey(c.cfg.RemotePrefix, version, rank))
+		if err != nil {
+			return nil, fmt.Errorf("core: remote load rank %d: %w", rank, err)
+		}
+		sd, err := serialize.Unmarshal(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: remote load rank %d: %w", rank, err)
+		}
+		out[rank] = sd
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/statedict"
+	"eccheck/internal/tensor"
+	"eccheck/internal/transport"
+)
+
+// TestSaveLoadPropertyAcrossConfigurations is the engine's acid test: for
+// a sweep of (nodes, gpus, k, m) configurations and random failure sets of
+// size <= m, a save followed by fail/replace/load recovers every worker's
+// state byte-exactly and restores every chunk.
+func TestSaveLoadPropertyAcrossConfigurations(t *testing.T) {
+	configs := []struct {
+		nodes, gpus, k, m int
+	}{
+		{2, 1, 1, 1},
+		{3, 2, 2, 1},
+		{4, 1, 2, 2},
+		{4, 3, 2, 2},
+		{5, 2, 2, 3},
+		{6, 1, 3, 3},
+		{6, 2, 4, 2},
+	}
+	r := rand.New(rand.NewSource(71))
+	ctx := context.Background()
+
+	for _, tc := range configs {
+		topo, err := parallel.NewTopology(tc.nodes, tc.gpus, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.World()%tc.k != 0 {
+			t.Fatalf("config %+v: k does not divide world", tc)
+		}
+		net, err := transport.NewMemory(tc.nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clus, err := cluster.New(tc.nodes, tc.gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := New(Config{
+			Topo: topo, K: tc.k, M: tc.m, BufferSize: 16 << 10,
+		}, net, clus, nil)
+		if err != nil {
+			t.Fatalf("config %+v: %v", tc, err)
+		}
+
+		// Random ragged state dicts: different tensor counts and sizes per
+		// worker, exercising packet padding.
+		dicts := make([]*statedict.StateDict, topo.World())
+		for rank := range dicts {
+			sd := statedict.New()
+			sd.SetMeta("rank", statedict.Int(int64(rank)))
+			sd.SetMeta("cfg", statedict.String("prop"))
+			tensors := 1 + r.Intn(4)
+			for ti := 0; ti < tensors; ti++ {
+				rows := 1 + r.Intn(40)
+				cols := 1 + r.Intn(40)
+				ts, err := tensor.New(tensor.Float32, rows, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts.FillPattern(uint64(rank*100 + ti))
+				if err := sd.SetTensor(keyName(ti), ts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dicts[rank] = sd
+		}
+
+		if _, err := ckpt.Save(ctx, dicts); err != nil {
+			t.Fatalf("config %+v save: %v", tc, err)
+		}
+
+		// Three random failure rounds per configuration.
+		for round := 0; round < 3; round++ {
+			count := r.Intn(tc.m + 1)
+			nodes := r.Perm(tc.nodes)[:count]
+			for _, node := range nodes {
+				if err := clus.Fail(node); err != nil {
+					t.Fatal(err)
+				}
+				if err := clus.Replace(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, _, err := ckpt.Load(ctx)
+			if err != nil {
+				t.Fatalf("config %+v round %d (failed %v): %v", tc, round, nodes, err)
+			}
+			for rank := range dicts {
+				if !dicts[rank].Equal(got[rank]) {
+					t.Fatalf("config %+v round %d: rank %d differs", tc, round, rank)
+				}
+			}
+			// Every node must hold its chunk again.
+			span := topo.World() / tc.k
+			for node := 0; node < tc.nodes; node++ {
+				chunk := ckpt.Plan().ChunkOfNode[node]
+				for s := 0; s < span; s++ {
+					if !clus.Has(node, keySegment(chunk, s)) {
+						t.Fatalf("config %+v round %d: node %d missing segment %d", tc, round, node, s)
+					}
+				}
+			}
+		}
+		ckpt.Close()
+		_ = net.Close()
+	}
+}
+
+func keyName(i int) string {
+	return string(rune('a'+i)) + ".weight"
+}
+
+// TestSaveWithRaggedShardSizes checks that workers with very different
+// payload sizes (stage-0 embeddings vs deep stages) pad to a common packet
+// and still recover exactly.
+func TestSaveWithRaggedShardSizes(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	clus, err := cluster.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := New(Config{Topo: topo, K: 2, M: 2, BufferSize: 8 << 10}, net, clus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+
+	// The model builder already produces ragged shards (embeddings on
+	// stage 0); verify the size skew is real and survives recovery.
+	opt := model.NewBuildOptions()
+	opt.Scale = 64
+	opt.Seed = 12
+	dicts, err := model.BuildClusterStateDicts(model.GPT2_345M(), topo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dicts[0].TensorBytes() <= dicts[7].TensorBytes() {
+		t.Fatal("expected stage-0 shard to be larger (embeddings)")
+	}
+	ctx := context.Background()
+	rep, err := ckpt.Save(ctx, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PacketBytes < dicts[0].TensorBytes() {
+		t.Errorf("packet %d smaller than largest shard %d", rep.PacketBytes, dicts[0].TensorBytes())
+	}
+	for _, node := range []int{0, 3} {
+		if err := clus.Fail(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := clus.Replace(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := ckpt.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(got[rank]) {
+			t.Errorf("rank %d differs", rank)
+		}
+	}
+}

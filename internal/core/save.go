@@ -1,0 +1,561 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"eccheck/internal/gf"
+	"eccheck/internal/serialize"
+	"eccheck/internal/statedict"
+)
+
+// Message tags of the save protocol. Buffers within one tag stream are
+// sequential, so per-stream FIFO delivery keeps them ordered.
+func tagSmallMeta(rank int) string             { return fmt.Sprintf("sm/%d", rank) }
+func tagSmallKeys(rank int) string             { return fmt.Sprintf("sk/%d", rank) }
+func tagXOR(group, parityIdx int) string       { return fmt.Sprintf("xr/%d/%d", group, parityIdx) }
+func tagParityP2P(parityIdx, group int) string { return fmt.Sprintf("pp/%d/%d", parityIdx, group) }
+func tagDataP2P(chunk, seg int) string         { return fmt.Sprintf("pd/%d/%d", chunk, seg) }
+
+// Save checkpoints all workers' state dicts: the paper's eccheck.save.
+// dicts is indexed by world rank; each node goroutine only touches its own
+// workers' dicts, so the call behaves like a true distributed protocol. On
+// success every node's host memory holds exactly its data or parity chunk
+// plus the broadcast small components.
+func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (*SaveReport, error) {
+	started := time.Now()
+	world := c.cfg.Topo.World()
+	if len(dicts) != world {
+		return nil, fmt.Errorf("core: got %d state dicts, want world size %d", len(dicts), world)
+	}
+	for rank, sd := range dicts {
+		if sd == nil {
+			return nil, fmt.Errorf("core: nil state dict for rank %d", rank)
+		}
+	}
+	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
+		if !c.clus.Alive(node) {
+			return nil, fmt.Errorf("core: cannot checkpoint with node %d failed", node)
+		}
+	}
+
+	// Agree on the packet size: the aligned maximum tensor payload. In the
+	// real system this is part of the state synchronization that precedes
+	// every checkpoint.
+	packetBytes := 0
+	for _, sd := range dicts {
+		if b := sd.TensorBytes(); b > packetBytes {
+			packetBytes = b
+		}
+	}
+	packetBytes = c.code.ChunkAlign(packetBytes)
+	if packetBytes == 0 {
+		return nil, fmt.Errorf("core: all state dicts are empty")
+	}
+	version := c.version + 1
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errc := make(chan error, c.cfg.Topo.Nodes())
+	var wg sync.WaitGroup
+	smallTotal := make([]int, c.cfg.Topo.Nodes())
+	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			small, err := c.nodeSave(ctx, node, version, packetBytes, dicts)
+			if err != nil {
+				errc <- fmt.Errorf("core: node %d save: %w", node, err)
+				cancel()
+				return
+			}
+			smallTotal[node] = small
+		}(node)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+	c.version = version
+
+	report := &SaveReport{
+		Version:     version,
+		PacketBytes: packetBytes,
+		SmallBytes:  smallTotal[0],
+	}
+
+	// Step 4: low-frequency remote persistence.
+	if c.remote != nil && c.cfg.RemotePersistEvery > 0 && version%c.cfg.RemotePersistEvery == 0 {
+		for rank, sd := range dicts {
+			blob, err := serialize.Marshal(sd)
+			if err != nil {
+				return nil, fmt.Errorf("core: remote persist rank %d: %w", rank, err)
+			}
+			if _, err := c.remote.Put(0, remoteKey(c.cfg.RemotePrefix, version, rank), blob); err != nil {
+				return nil, fmt.Errorf("core: remote persist rank %d: %w", rank, err)
+			}
+		}
+		report.RemotePersisted = true
+
+		// Garbage-collect persisted versions beyond the retention bound.
+		if c.cfg.RemoteRetain > 0 {
+			expired := version - c.cfg.RemoteRetain*c.cfg.RemotePersistEvery
+			for v := expired; v > 0; v -= c.cfg.RemotePersistEvery {
+				if !c.remote.Has(remoteKey(c.cfg.RemotePrefix, v, 0)) {
+					break
+				}
+				for rank := range dicts {
+					c.remote.Delete(remoteKey(c.cfg.RemotePrefix, v, rank))
+				}
+			}
+		}
+	}
+	report.Elapsed = time.Since(started)
+	return report, nil
+}
+
+// buildPacket packs a worker's decomposed tensor data into one contiguous,
+// zero-padded packet of the agreed size.
+func buildPacket(dec *statedict.Decomposition, packetBytes int) ([]byte, error) {
+	if dec.TensorBytes() > packetBytes {
+		return nil, fmt.Errorf("core: tensor payload %d exceeds packet size %d",
+			dec.TensorBytes(), packetBytes)
+	}
+	packet := make([]byte, packetBytes)
+	off := 0
+	for _, buf := range dec.TensorData {
+		off += copy(packet[off:], buf)
+	}
+	return packet, nil
+}
+
+// manifestBlob encodes the per-node checkpoint manifest. The buffer size
+// is recorded because it defines the coding-region layout: decode and
+// verification must slice packets exactly as the encode did.
+func manifestBlob(version, packetBytes, bufferSize int) []byte {
+	out := make([]byte, 0, 3*binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(version))
+	out = binary.AppendUvarint(out, uint64(packetBytes))
+	out = binary.AppendUvarint(out, uint64(bufferSize))
+	return out
+}
+
+func parseManifest(blob []byte) (version, packetBytes, bufferSize int, err error) {
+	v, n := binary.Uvarint(blob)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("core: corrupt manifest")
+	}
+	p, n2 := binary.Uvarint(blob[n:])
+	if n2 <= 0 {
+		return 0, 0, 0, fmt.Errorf("core: corrupt manifest")
+	}
+	b, n3 := binary.Uvarint(blob[n+n2:])
+	if n3 <= 0 {
+		return 0, 0, 0, fmt.Errorf("core: corrupt manifest")
+	}
+	return int(v), int(p), int(b), nil
+}
+
+// reduceKey identifies one buffer of one XOR reduction.
+type reduceKey struct {
+	group  int
+	parity int
+	buf    int
+}
+
+// reduceState accumulates the k contributions of one reduction buffer.
+type reduceState struct {
+	acc       []byte
+	remaining int
+}
+
+// nodeSave runs one node's side of the checkpointing round and returns the
+// broadcast small-component volume it observed.
+func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes int, dicts []*statedict.StateDict) (int, error) {
+	topo := c.cfg.Topo
+	plan := c.plan
+	g := topo.GPUsPerNode()
+	world := topo.World()
+	span := world / c.cfg.K
+	bufSize := c.cfg.BufferSize
+	numBuffers := (packetBytes + bufSize - 1) / bufSize
+
+	ep, err := c.net.Endpoint(node)
+	if err != nil {
+		return 0, err
+	}
+
+	// --- Step 1: decompose local dicts and offload tensor data into
+	// contiguous packets (the DtoH copy; training resumes after this). ---
+	localWorkers := make([]int, 0, g)
+	for w := node * g; w < (node+1)*g; w++ {
+		localWorkers = append(localWorkers, w)
+	}
+	packets := make(map[int][]byte, g)   // rank -> packet
+	smalls := make(map[int][2][]byte, g) // rank -> {metaBlob, keysBlob}
+	for _, w := range localWorkers {
+		dec, err := dicts[w].Decompose()
+		if err != nil {
+			return 0, fmt.Errorf("rank %d decompose: %w", w, err)
+		}
+		pkt, err := buildPacket(dec, packetBytes)
+		if err != nil {
+			return 0, fmt.Errorf("rank %d: %w", w, err)
+		}
+		packets[w] = pkt
+		smalls[w] = [2][]byte{dec.MetaBlob, dec.KeysBlob}
+	}
+
+	// --- Step 2: broadcast the small components; store everything. ---
+	for _, w := range localWorkers {
+		blobs := smalls[w]
+		for peer := 0; peer < topo.Nodes(); peer++ {
+			if peer == node {
+				continue
+			}
+			if err := ep.Send(ctx, peer, tagSmallMeta(w), blobs[0]); err != nil {
+				return 0, err
+			}
+			if err := ep.Send(ctx, peer, tagSmallKeys(w), blobs[1]); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.clus.Store(node, keySmallMeta(w), blobs[0]); err != nil {
+			return 0, err
+		}
+		if err := c.clus.Store(node, keySmallKeys(w), blobs[1]); err != nil {
+			return 0, err
+		}
+	}
+	smallBytes := 0
+	for rank := 0; rank < world; rank++ {
+		srcNode, err := topo.NodeOf(rank)
+		if err != nil {
+			return 0, err
+		}
+		if srcNode == node {
+			smallBytes += len(smalls[rank][0]) + len(smalls[rank][1])
+			continue
+		}
+		meta, err := ep.Recv(ctx, srcNode, tagSmallMeta(rank))
+		if err != nil {
+			return 0, err
+		}
+		keys, err := ep.Recv(ctx, srcNode, tagSmallKeys(rank))
+		if err != nil {
+			return 0, err
+		}
+		smallBytes += len(meta) + len(keys)
+		if err := c.clus.Store(node, keySmallMeta(rank), meta); err != nil {
+			return 0, err
+		}
+		if err := c.clus.Store(node, keySmallKeys(rank), keys); err != nil {
+			return 0, err
+		}
+	}
+
+	// --- Step 3: pipelined encode, XOR reduction, P2P placement. ---
+	myChunk := plan.ChunkOfNode[node]
+	chunkSegs := make([][]byte, span)
+	for s := range chunkSegs {
+		chunkSegs[s] = make([]byte, packetBytes)
+	}
+
+	// Accumulators for reductions targeted at this node.
+	var (
+		accMu sync.Mutex
+		accs  = map[reduceKey]*reduceState{}
+	)
+	sliceBounds := func(b int) (int, int) {
+		lo := b * bufSize
+		hi := lo + bufSize
+		if hi > packetBytes {
+			hi = packetBytes
+		}
+		return lo, hi
+	}
+
+	// deliveries counts everything that must land on this node before its
+	// chunk is complete.
+	var deliveries sync.WaitGroup
+	errOnce := make(chan error, 64)
+	fail := func(err error) {
+		select {
+		case errOnce <- err:
+		default:
+		}
+	}
+
+	// finalize runs when a reduction buffer has all k contributions: write
+	// into the local chunk or forward to the parity node.
+	finalize := func(k reduceKey, acc []byte) {
+		defer deliveries.Done()
+		parityChunk := c.cfg.K + k.parity
+		dstNode := plan.ParityNodes[k.parity]
+		lo, _ := sliceBounds(k.buf)
+		if dstNode == node {
+			copy(chunkSegs[k.group][lo:lo+len(acc)], acc)
+			return
+		}
+		if err := ep.Send(ctx, dstNode, tagParityP2P(k.parity, k.group), acc); err != nil {
+			fail(fmt.Errorf("parity p2p chunk %d group %d: %w", parityChunk, k.group, err))
+		}
+	}
+
+	// contribute XORs one contribution into the accumulator for (g, i, b).
+	contribute := func(k reduceKey, contribution []byte) {
+		accMu.Lock()
+		st, ok := accs[k]
+		if !ok {
+			st = &reduceState{acc: make([]byte, len(contribution)), remaining: c.cfg.K}
+			accs[k] = st
+		}
+		if err := gf.XORSlice(st.acc, contribution); err != nil {
+			accMu.Unlock()
+			fail(err)
+			return
+		}
+		st.remaining--
+		done := st.remaining == 0
+		if done {
+			delete(accs, k)
+		}
+		accMu.Unlock()
+		if done {
+			finalize(k, st.acc)
+		}
+	}
+
+	// Count expected deliveries and spawn receivers.
+	// Reduction targets on this node: one finalize per (reduction, buffer).
+	for _, r := range plan.Reductions {
+		tNode, err := topo.NodeOf(r.Target)
+		if err != nil {
+			return 0, err
+		}
+		if tNode != node {
+			continue
+		}
+		deliveries.Add(numBuffers) // finalizes
+		// Remote contributions arrive over the network, one stream per
+		// source node; several workers on one source node share a stream.
+		remoteBySrc := map[int]int{}
+		for _, w := range r.Workers {
+			srcNode, err := topo.NodeOf(w)
+			if err != nil {
+				return 0, err
+			}
+			if srcNode != node {
+				remoteBySrc[srcNode]++
+			}
+		}
+		for srcNode, count := range remoteBySrc {
+			go func(r reduceKeyBase, srcNode, count int) {
+				for b := 0; b < numBuffers; b++ {
+					for n := 0; n < count; n++ {
+						payload, err := ep.Recv(ctx, srcNode, tagXOR(r.group, r.parity))
+						if err != nil {
+							fail(err)
+							return
+						}
+						contribute(reduceKey{group: r.group, parity: r.parity, buf: b}, payload)
+					}
+				}
+			}(reduceKeyBase{group: r.Group, parity: r.ParityIndex}, srcNode, count)
+		}
+	}
+
+	// Parity segments arriving via P2P (this node is a parity node and the
+	// reduction target was elsewhere).
+	if myChunk >= c.cfg.K {
+		pi := myChunk - c.cfg.K
+		for _, r := range plan.Reductions {
+			if r.ParityIndex != pi {
+				continue
+			}
+			tNode, err := topo.NodeOf(r.Target)
+			if err != nil {
+				return 0, err
+			}
+			if tNode == node {
+				continue // finalize writes locally
+			}
+			deliveries.Add(numBuffers)
+			go func(group, tNode, pi int) {
+				for b := 0; b < numBuffers; b++ {
+					payload, err := ep.Recv(ctx, tNode, tagParityP2P(pi, group))
+					if err != nil {
+						fail(err)
+						return
+					}
+					lo, _ := sliceBounds(b)
+					copy(chunkSegs[group][lo:lo+len(payload)], payload)
+					deliveries.Done()
+				}
+			}(r.Group, tNode, pi)
+		}
+	}
+
+	// Data segments arriving via P2P (this node is a data node).
+	if myChunk >= 0 && myChunk < c.cfg.K {
+		for w := 0; w < world; w++ {
+			if plan.DataGroupOf[w] != myChunk {
+				continue
+			}
+			srcNode, err := topo.NodeOf(w)
+			if err != nil {
+				return 0, err
+			}
+			if srcNode == node {
+				continue
+			}
+			seg := plan.SegmentOf[w]
+			deliveries.Add(numBuffers)
+			go func(srcNode, seg int) {
+				for b := 0; b < numBuffers; b++ {
+					payload, err := ep.Recv(ctx, srcNode, tagDataP2P(myChunk, seg))
+					if err != nil {
+						fail(err)
+						return
+					}
+					lo, _ := sliceBounds(b)
+					copy(chunkSegs[seg][lo:lo+len(payload)], payload)
+					deliveries.Done()
+				}
+			}(srcNode, seg)
+		}
+	}
+
+	// Sender/compute loop: stream buffers through the pipeline. A bounded
+	// channel of encoded contributions decouples the encoding stage from
+	// the communication stage, as in the paper's pipelined execution.
+	type outMsg struct {
+		dstNode int
+		tag     string
+		payload []byte
+		local   *reduceKey // non-nil: local contribution instead of a send
+	}
+	sendQueue := make(chan outMsg, DefaultEncodingBuffers)
+	var sendWG sync.WaitGroup
+	sendWG.Add(1)
+	go func() {
+		defer sendWG.Done()
+		for msg := range sendQueue {
+			if msg.local != nil {
+				contribute(*msg.local, msg.payload)
+				continue
+			}
+			if err := ep.Send(ctx, msg.dstNode, msg.tag, msg.payload); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	encodeErr := func() error {
+		for b := 0; b < numBuffers; b++ {
+			lo, hi := sliceBounds(b)
+			// Encoding stage: every local worker contributes to each of
+			// its reduction group's m reductions.
+			for _, r := range plan.Reductions {
+				for _, w := range r.Workers {
+					wNode, err := topo.NodeOf(w)
+					if err != nil {
+						return err
+					}
+					if wNode != node {
+						continue
+					}
+					coef, err := c.code.ParityCoefficient(r.ParityIndex, plan.DataGroupOf[w])
+					if err != nil {
+						return err
+					}
+					contribution := make([]byte, hi-lo)
+					if err := c.scalarMulPooled(coef, contribution, packets[w][lo:hi]); err != nil {
+						return err
+					}
+					tNode, err := topo.NodeOf(r.Target)
+					if err != nil {
+						return err
+					}
+					k := reduceKey{group: r.Group, parity: r.ParityIndex, buf: b}
+					if tNode == node {
+						sendQueue <- outMsg{local: &k, payload: contribution}
+					} else {
+						sendQueue <- outMsg{dstNode: tNode, tag: tagXOR(r.Group, r.ParityIndex), payload: contribution}
+					}
+				}
+			}
+			// Data-packet placement for local workers.
+			for _, w := range localWorkers {
+				j := plan.DataGroupOf[w]
+				seg := plan.SegmentOf[w]
+				dstNode := plan.DataNodes[j]
+				if dstNode == node {
+					if myChunk == j {
+						copy(chunkSegs[seg][lo:hi], packets[w][lo:hi])
+					}
+					continue
+				}
+				sendQueue <- outMsg{dstNode: dstNode, tag: tagDataP2P(j, seg), payload: packets[w][lo:hi]}
+			}
+		}
+		return nil
+	}()
+	close(sendQueue)
+	sendWG.Wait()
+	if encodeErr != nil {
+		return 0, encodeErr
+	}
+
+	// Wait for the chunk to be complete.
+	done := make(chan struct{})
+	go func() {
+		deliveries.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case err := <-errOnce:
+		return 0, err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case err := <-errOnce:
+		return 0, err
+	default:
+	}
+
+	// Cache this node's own packets for incremental saves.
+	if c.cfg.IncrementalCache {
+		for _, w := range localWorkers {
+			if err := c.clus.Store(node, keyOwnPacket(w), packets[w]); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Persist the chunk and manifest in host memory.
+	for s := range chunkSegs {
+		if err := c.clus.Store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.clus.Store(node, keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
+		return 0, err
+	}
+	return smallBytes, nil
+}
+
+// reduceKeyBase is reduceKey without the buffer index, used by receiver
+// goroutine captures.
+type reduceKeyBase struct {
+	group  int
+	parity int
+}

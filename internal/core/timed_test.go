@@ -1,0 +1,299 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/simnet"
+	"eccheck/internal/testbed"
+	"eccheck/internal/training"
+	"eccheck/internal/transport"
+)
+
+// paperCheckpointer builds the paper-testbed engine (4 nodes × 4 GPUs,
+// k = m = 2) for timing experiments; no functional state is needed.
+func paperCheckpointer(t *testing.T) *Checkpointer {
+	t.Helper()
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := cluster.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := New(Config{Topo: topo, K: 2, M: 2}, net, clus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ckpt.Close()
+		_ = net.Close()
+	})
+	return ckpt
+}
+
+func shardBytes(t *testing.T, label string) int64 {
+	t.Helper()
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.GPT2Size(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := model.MaxShardBytes(cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTimedSaveValidation(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	if _, err := ckpt.TimedSave(TimedOptions{Resources: testbed.Paper(), PacketBytes: 0}); err == nil {
+		t.Error("zero packet: want error")
+	}
+	bad := testbed.Paper()
+	bad.NICBandwidth = 0
+	if _, err := ckpt.TimedSave(TimedOptions{Resources: bad, PacketBytes: 1 << 20}); err == nil {
+		t.Error("zero NIC bandwidth: want error")
+	}
+	if _, err := ckpt.TimedRecover(TimedOptions{Resources: testbed.Paper(), PacketBytes: 1 << 20}, []int{0, 1, 2}); err == nil {
+		t.Error("too many failures: want error")
+	}
+	if _, err := ckpt.TimedRecover(TimedOptions{Resources: testbed.Paper(), PacketBytes: 1 << 20}, []int{9}); err == nil {
+		t.Error("bad node: want error")
+	}
+	if _, err := ckpt.TimedRecover(TimedOptions{Resources: testbed.Paper(), PacketBytes: 1 << 20}, []int{1, 1}); err == nil {
+		t.Error("duplicate node: want error")
+	}
+}
+
+// The stall must be tiny compared with the full checkpoint latency: that is
+// the asynchrony the protocol exists for (Fig. 11).
+func TestTimedSaveStallMuchSmallerThanTotal(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	rep, err := ckpt.TimedSave(TimedOptions{
+		Resources:   testbed.Paper(),
+		PacketBytes: shardBytes(t, "5.3B"),
+		Pipeline:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stall <= 0 || rep.Step3 <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	if rep.Stall*2 > rep.Total {
+		t.Errorf("stall %v not much smaller than total %v", rep.Stall, rep.Total)
+	}
+	if rep.Total != rep.Step1+rep.Step2+rep.Step3 {
+		t.Errorf("breakdown does not add up: %+v", rep)
+	}
+}
+
+// Step 3 dominates the breakdown, as in Fig. 11.
+func TestTimedSaveStep3Dominates(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	for _, label := range []string{"1.6B", "5.3B", "20B"} {
+		rep, err := ckpt.TimedSave(TimedOptions{
+			Resources:   testbed.Paper(),
+			PacketBytes: shardBytes(t, label),
+			Pipeline:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Step3 < rep.Step1 {
+			t.Errorf("%s: step 3 (%v) should dominate step 1 (%v)", label, rep.Step3, rep.Step1)
+		}
+	}
+}
+
+// Checkpoint time grows with model size (Fig. 10's x-axis).
+func TestTimedSaveMonotoneInModelSize(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	var prev time.Duration
+	for _, label := range []string{"1.6B", "5.3B", "20B"} {
+		rep, err := ckpt.TimedSave(TimedOptions{
+			Resources:   testbed.Paper(),
+			PacketBytes: shardBytes(t, label),
+			Pipeline:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Total <= prev {
+			t.Errorf("%s: total %v not larger than previous %v", label, rep.Total, prev)
+		}
+		prev = rep.Total
+	}
+}
+
+// Pipelining must beat the serialised ablation.
+func TestPipelineBeatsSequential(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	s := shardBytes(t, "5.3B")
+	piped, err := ckpt.TimedSave(TimedOptions{Resources: testbed.Paper(), PacketBytes: s, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ckpt.TimedSave(TimedOptions{Resources: testbed.Paper(), PacketBytes: s, Pipeline: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Step3 >= seq.Step3 {
+		t.Errorf("pipelined step 3 (%v) not faster than sequential (%v)", piped.Step3, seq.Step3)
+	}
+}
+
+// Idle-slot scheduling trades latency for zero interference; contention is
+// faster but collides with training traffic.
+func TestIdleSchedulingEliminatesInterference(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.GPT2Size("5.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := training.NewWorkload(cfg, topo, testbed.Paper().NICBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, period, err := w.BuildTimeline(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := training.ProfileIdleSlots(tl, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 500 * period
+	ext, err := prof.ExtendTimeline(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shardBytes(t, "5.3B")
+
+	scheduled, err := ckpt.TimedSave(TimedOptions{
+		Resources: testbed.Paper(), PacketBytes: s, Pipeline: true,
+		Timeline: ext, ScheduleIdle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := ckpt.TimedSave(TimedOptions{
+		Resources: testbed.Paper(), PacketBytes: s, Pipeline: true,
+		Timeline: ext, ScheduleIdle: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled.Interference != 0 {
+		t.Errorf("idle-scheduled save interferes for %v", scheduled.Interference)
+	}
+	if contended.Interference <= 0 {
+		t.Errorf("contended save reports no interference")
+	}
+	if scheduled.Step3 < contended.Step3 {
+		t.Errorf("idle scheduling (%v) cannot be faster than contention (%v)",
+			scheduled.Step3, contended.Step3)
+	}
+}
+
+// Fig. 13's shape: recovery with surviving data nodes is faster than
+// recovery that must decode.
+func TestTimedRecoverDecodeSlowerThanReplacement(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	opt := TimedOptions{Resources: testbed.Paper(), PacketBytes: shardBytes(t, "5.3B")}
+	plan := ckpt.Plan()
+
+	a, err := ckpt.TimedRecover(opt, []int{plan.ParityNodes[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workflow != "replacement" {
+		t.Errorf("parity failure workflow = %q", a.Workflow)
+	}
+	b, err := ckpt.TimedRecover(opt, []int{plan.DataNodes[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Workflow != "decode" {
+		t.Errorf("data failure workflow = %q", b.Workflow)
+	}
+	if b.Resume <= a.Resume {
+		t.Errorf("decode resume %v not slower than replacement %v", b.Resume, a.Resume)
+	}
+	if a.FullRestore <= a.Resume {
+		t.Errorf("full restore %v should exceed resume %v", a.FullRestore, a.Resume)
+	}
+	empty, err := ckpt.TimedRecover(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Resume != 0 {
+		t.Errorf("no failures should resume instantly, got %v", empty.Resume)
+	}
+}
+
+// Traffic accounting must match the plan's communication volume.
+func TestTrafficMatchesPlanVolume(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	const s = int64(1000)
+	traffic := ckpt.trafficByNode(s)
+	var tx, rx int64
+	for _, tr := range traffic {
+		tx += tr.tx
+		rx += tr.rx
+	}
+	if tx != rx {
+		t.Errorf("tx %d != rx %d", tx, rx)
+	}
+	v := ckpt.Plan().CommVolume()
+	want := int64(v.NetworkTotal()) * s
+	if tx != want {
+		t.Errorf("total traffic %d bytes, plan says %d", tx, want)
+	}
+}
+
+// Sanity against the real timeline code path: a long transfer scheduled
+// into idle slots must finish later than on an idle network.
+func TestScheduledSaveSlowerThanIdleNetwork(t *testing.T) {
+	ckpt := paperCheckpointer(t)
+	var tl simnet.Timeline
+	// A pathological timeline: 50% duty cycle busy.
+	for i := 0; i < 20000; i++ {
+		base := time.Duration(i) * 2 * time.Millisecond
+		if err := tl.AddBusy(base, base+time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := shardBytes(t, "1.6B")
+	idle, err := ckpt.TimedSave(TimedOptions{Resources: testbed.Paper(), PacketBytes: s, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := ckpt.TimedSave(TimedOptions{
+		Resources: testbed.Paper(), PacketBytes: s, Pipeline: true,
+		Timeline: &tl, ScheduleIdle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Step3 <= idle.Step3 {
+		t.Errorf("scheduled step3 %v not slower than idle-network %v", sched.Step3, idle.Step3)
+	}
+}

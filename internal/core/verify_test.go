@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+func TestVerifyIntegrityClean(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rig.ckpt.VerifyIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 {
+		t.Errorf("version %d", rep.Version)
+	}
+	if rep.SegmentsChecked != 4 { // W/k = 8/2
+		t.Errorf("checked %d segments, want 4", rep.SegmentsChecked)
+	}
+	if len(rep.CorruptSegments) != 0 {
+		t.Errorf("clean checkpoint reported corrupt segments %v", rep.CorruptSegments)
+	}
+}
+
+func TestVerifyIntegrityDetectsCorruption(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of a stored data segment on its node.
+	plan := rig.ckpt.Plan()
+	node := plan.DataNodes[0]
+	key := keySegment(0, 2)
+	blob, err := rig.clus.Load(node, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[13] ^= 0xFF
+	if err := rig.clus.Store(node, key, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := rig.ckpt.VerifyIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CorruptSegments) != 1 || rep.CorruptSegments[0] != 2 {
+		t.Errorf("CorruptSegments = %v, want [2]", rep.CorruptSegments)
+	}
+}
+
+func TestVerifyIntegrityErrors(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	// No checkpoint yet: no manifest anywhere.
+	if _, err := rig.ckpt.VerifyIntegrity(); err == nil {
+		t.Error("verify before any save: want error")
+	}
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.clus.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.ckpt.VerifyIntegrity(); err == nil {
+		t.Error("verify with failed node: want error")
+	}
+}

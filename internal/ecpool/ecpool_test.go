@@ -1,0 +1,215 @@
+package ecpool
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"eccheck/internal/erasure"
+)
+
+func TestSplitRange(t *testing.T) {
+	for _, tc := range []struct {
+		total, parts, align int
+		wantParts           int
+	}{
+		{0, 4, 8, 0},
+		{5, 4, 8, 1},   // smaller than alignment: single range
+		{64, 1, 8, 1},  // one worker
+		{64, 4, 8, 4},  // even split
+		{100, 4, 8, 4}, // uneven, aligned interior boundaries
+		{8, 16, 8, 1},
+	} {
+		got := splitRange(tc.total, tc.parts, tc.align)
+		if len(got) != tc.wantParts {
+			t.Errorf("splitRange(%d, %d, %d) = %d parts, want %d",
+				tc.total, tc.parts, tc.align, len(got), tc.wantParts)
+			continue
+		}
+		// Ranges must tile [0, total) exactly with aligned interior bounds.
+		next := 0
+		for i, rg := range got {
+			if rg[0] != next {
+				t.Errorf("range %d starts at %d, want %d", i, rg[0], next)
+			}
+			if rg[0] >= rg[1] {
+				t.Errorf("range %d is empty: %v", i, rg)
+			}
+			if i < len(got)-1 && rg[1]%tc.align != 0 {
+				t.Errorf("interior boundary %d not aligned to %d", rg[1], tc.align)
+			}
+			next = rg[1]
+		}
+		if tc.total > 0 && next != tc.total {
+			t.Errorf("ranges end at %d, want %d", next, tc.total)
+		}
+	}
+}
+
+func TestPoolEncodeMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	code, err := erasure.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		size := code.ChunkAlign(100_000)
+		data := make([][]byte, 4)
+		for i := range data {
+			data[i] = make([]byte, size)
+			r.Read(data[i])
+		}
+		want := make([][]byte, 2)
+		got := make([][]byte, 2)
+		for i := 0; i < 2; i++ {
+			want[i] = make([]byte, size)
+			got[i] = make([]byte, size)
+		}
+		if err := code.Encode(data, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Encode(code, data, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("workers=%d: parity %d mismatch", workers, i)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolRunScheduleMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	code, err := erasure.New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := code.ChunkAlign(50_000)
+	data := make([][]byte, 3)
+	parity := make([][]byte, 2)
+	for i := range data {
+		data[i] = make([]byte, size)
+		r.Read(data[i])
+	}
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	if err := code.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover data chunks 0 and 2 from {1, parity0, parity1}.
+	sched, err := code.TransformSchedule([]int{1, 3, 4}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]byte{data[1], parity[0], parity[1]}
+	want := make([][]byte, 2)
+	got := make([][]byte, 2)
+	for i := range want {
+		want[i] = make([]byte, size)
+		got[i] = make([]byte, size)
+	}
+	if err := sched.Execute(in, want); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(4)
+	defer p.Close()
+	if err := p.RunSchedule(sched, in, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("schedule output %d mismatch", i)
+		}
+	}
+	if !bytes.Equal(want[0], data[0]) || !bytes.Equal(want[1], data[2]) {
+		t.Error("transform did not recover original data")
+	}
+}
+
+func TestPoolXOR(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	p := NewPool(3)
+	defer p.Close()
+	for _, n := range []int{0, 1, 8, 1000, 64 * 1024} {
+		dst := make([]byte, n)
+		src := make([]byte, n)
+		r.Read(dst)
+		r.Read(src)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		if err := p.XOR(dst, src); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(dst, want) {
+			t.Errorf("n=%d: XOR mismatch", n)
+		}
+	}
+	if err := p.XOR(make([]byte, 3), make([]byte, 4)); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() <= 0 {
+		t.Errorf("Workers() = %d, want > 0", p.Workers())
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic or deadlock
+}
+
+func TestPoolEncodeEmptyData(t *testing.T) {
+	code, err := erasure.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(2)
+	defer p.Close()
+	if err := p.Encode(code, nil, nil); err == nil {
+		t.Error("nil data: want error")
+	}
+}
+
+func BenchmarkPoolEncode64MBWorkers(b *testing.B) {
+	code, err := erasure.New(2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := 64 << 20
+	data := make([][]byte, 2)
+	parity := make([][]byte, 2)
+	for i := 0; i < 2; i++ {
+		data[i] = make([]byte, size)
+		parity[i] = make([]byte, size)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			p := NewPool(workers)
+			defer p.Close()
+			b.SetBytes(int64(2 * size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Encode(code, data, parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return "workers=" + strconv.Itoa(workers)
+}

@@ -1,0 +1,118 @@
+package erasure
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchChunks(k, m, size int) (data, parity [][]byte) {
+	data = make([][]byte, k)
+	parity = make([][]byte, m)
+	for i := range data {
+		data[i] = make([]byte, size)
+		for j := 0; j < size; j += 64 {
+			data[i][j] = byte(i*7 + j)
+		}
+	}
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	return data, parity
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, km := range [][2]int{{2, 2}, {4, 2}, {8, 4}} {
+		b.Run(fmt.Sprintf("k%d_m%d", km[0], km[1]), func(b *testing.B) {
+			code, err := New(km[0], km[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := code.ChunkAlign(4 << 20)
+			data, parity := benchChunks(km[0], km[1], size)
+			b.SetBytes(int64(km[0] * size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := code.Encode(data, parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeScheduleVariants(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts []Option
+	}{
+		{"plain", []Option{WithImprovedMatrix(false), WithSmartSchedule(false)}},
+		{"improved", []Option{WithImprovedMatrix(true), WithSmartSchedule(false)}},
+		{"smart", []Option{WithImprovedMatrix(true), WithSmartSchedule(true)}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			code, err := New(4, 2, variant.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := code.ChunkAlign(4 << 20)
+			data, parity := benchChunks(4, 2, size)
+			b.SetBytes(int64(4 * size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := code.Encode(data, parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	code, err := New(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := code.ChunkAlign(4 << 20)
+	data, parity := benchChunks(4, 2, size)
+	if err := code.Encode(data, parity); err != nil {
+		b.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(int64(2 * size)) // two chunks rebuilt
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]byte, len(full))
+		copy(work, full)
+		work[0], work[2] = nil, nil
+		if err := code.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarMul(b *testing.B) {
+	code, err := New(2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := code.ChunkAlign(4 << 20)
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	coef, err := code.ParityCoefficient(1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if coef <= 1 { // pick a non-trivial coefficient
+		coef, err = code.ParityCoefficient(1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.ScalarMulInto(coef, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package erasure
+
+import (
+	"fmt"
+
+	"eccheck/internal/bitmatrix"
+	"eccheck/internal/gf"
+)
+
+// Scalar schedules implement the distributed (per-worker) form of the code:
+// a worker in data group j encodes its own packet for parity index i by
+// multiplying the packet region with the single generator coefficient
+// E[k+i][j]; XOR reduction across the reduction group then sums those
+// contributions into the parity packet. Likewise, recovery multiplies
+// surviving packets by decode-transform coefficients. Both are region ×
+// scalar products over GF(2^w), compiled once per coefficient into an XOR
+// schedule and memoised.
+
+// ScalarSchedule returns a 1-chunk-in, 1-chunk-out XOR schedule computing
+// dst = coef · src over GF(2^w). The coefficient must be nonzero (a zero
+// contribution is simply skipped by callers). Schedules are cached on the
+// Code.
+func (c *Code) ScalarSchedule(coef int) (*bitmatrix.Schedule, error) {
+	if coef <= 0 || coef >= c.field.Size() {
+		return nil, fmt.Errorf("erasure: coefficient %d outside (0, 2^%d)", coef, c.cfg.w)
+	}
+	c.scalarMu.Lock()
+	defer c.scalarMu.Unlock()
+	if c.scalarSchedules == nil {
+		c.scalarSchedules = make(map[int]*bitmatrix.Schedule)
+	}
+	if s, ok := c.scalarSchedules[coef]; ok {
+		return s, nil
+	}
+	mat, err := c.field.NewMatrix(1, 1)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	mat.Set(0, 0, coef)
+	s, err := c.compileMatrix(mat)
+	if err != nil {
+		return nil, err
+	}
+	c.scalarSchedules[coef] = s
+	return s, nil
+}
+
+// ParityCoefficient returns the generator coefficient E[k+i][j]: the factor
+// a data-group-j worker applies to its packet when contributing to parity
+// chunk i.
+func (c *Code) ParityCoefficient(parityIndex, dataGroup int) (int, error) {
+	if parityIndex < 0 || parityIndex >= c.m {
+		return 0, fmt.Errorf("erasure: parity index %d out of range [0, %d)", parityIndex, c.m)
+	}
+	if dataGroup < 0 || dataGroup >= c.k {
+		return 0, fmt.Errorf("erasure: data group %d out of range [0, %d)", dataGroup, c.k)
+	}
+	return c.gen.At(c.k+parityIndex, dataGroup), nil
+}
+
+// ScalarMulInto computes dst = coef · src via the cached schedule. src and
+// dst must be equal-length, ChunkAlign-ed buffers. A zero coefficient
+// clears dst.
+func (c *Code) ScalarMulInto(coef int, dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("erasure: scalar mul length mismatch: dst=%d src=%d", len(dst), len(src))
+	}
+	if coef == 0 {
+		clear(dst)
+		return nil
+	}
+	s, err := c.ScalarSchedule(coef)
+	if err != nil {
+		return err
+	}
+	return s.Execute([][]byte{src}, [][]byte{dst})
+}
+
+// TransformMatrix returns the matrix expressing the wanted chunks in terms
+// of the available chunks (the same computation TransformSchedule compiles,
+// exposed so the distributed recovery path can extract per-worker scalar
+// coefficients).
+func (c *Code) TransformMatrix(available, wanted []int) (*gf.Matrix, error) {
+	if len(available) != c.k {
+		return nil, fmt.Errorf("erasure: need exactly k=%d available chunks, got %d", c.k, len(available))
+	}
+	sub, err := c.gen.SubMatrix(available)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode system is singular: %w", err)
+	}
+	wantedRows, err := c.gen.SubMatrix(wanted)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	out, err := wantedRows.Mul(inv)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	return out, nil
+}

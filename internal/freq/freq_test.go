@@ -1,0 +1,118 @@
+package freq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func params(c, r, mtbf time.Duration) Params {
+	return Params{CheckpointCost: c, RecoveryCost: r, MTBF: mtbf}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params(0, time.Second, time.Hour).Validate(); err == nil {
+		t.Error("zero checkpoint cost: want error")
+	}
+	if err := params(time.Second, -time.Second, time.Hour).Validate(); err == nil {
+		t.Error("negative recovery: want error")
+	}
+	if err := params(time.Second, time.Second, 0).Validate(); err == nil {
+		t.Error("zero MTBF: want error")
+	}
+	if err := params(time.Second, 0, time.Hour).Validate(); err != nil {
+		t.Errorf("zero recovery should be legal: %v", err)
+	}
+}
+
+func TestOptimalIntervalYoungDaly(t *testing.T) {
+	// C = 2s, MTBF = 10000s -> sqrt(2*2*10000) = 200s.
+	p := params(2*time.Second, 30*time.Second, 10000*time.Second)
+	opt, err := OptimalInterval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.Seconds()-200) > 0.5 {
+		t.Errorf("optimal interval %v, want ≈200s", opt)
+	}
+}
+
+func TestOptimalIntervalClampedToCost(t *testing.T) {
+	// Enormous checkpoint cost vs tiny MTBF: the formula would pick an
+	// interval below the cost, which is clamped.
+	p := params(time.Hour, time.Minute, 2*time.Second)
+	opt, err := OptimalInterval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != time.Hour {
+		t.Errorf("interval %v, want clamped to the checkpoint cost", opt)
+	}
+}
+
+// The optimum must actually be (near) a minimum of the waste function.
+func TestOptimalIsMinimum(t *testing.T) {
+	p := params(3*time.Second, 20*time.Second, 3*time.Hour)
+	opt, wOpt, err := OptimalWaste(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, factor := range []float64{0.25, 0.5, 2, 4} {
+		interval := time.Duration(float64(opt) * factor)
+		w, err := WasteFraction(p, interval)
+		if err != nil {
+			t.Fatalf("factor %v: %v", factor, err)
+		}
+		if w < wOpt {
+			t.Errorf("waste at %.2fx optimum (%v) beats optimum (%v)", factor, w, wOpt)
+		}
+	}
+}
+
+func TestWasteFractionValidation(t *testing.T) {
+	p := params(time.Second, time.Second, time.Hour)
+	if _, err := WasteFraction(p, 0); err == nil {
+		t.Error("zero interval: want error")
+	}
+	if _, err := WasteFraction(p, time.Millisecond); err == nil {
+		t.Error("interval below cost: want error")
+	}
+}
+
+func TestWasteCappedAtOne(t *testing.T) {
+	// A failure every second with minutes of recovery: all time is waste.
+	p := params(time.Second, 5*time.Minute, time.Second)
+	w, err := WasteFraction(p, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Errorf("waste %v, want capped at 1", w)
+	}
+}
+
+// The paper's argument as a property: for any failure regime, a cheaper
+// checkpoint permits equal-or-lower optimal waste.
+func TestCheaperCheckpointsNeverWorse(t *testing.T) {
+	prop := func(costMsRaw, mtbfSecRaw uint16) bool {
+		costMs := int64(costMsRaw%5000) + 10
+		mtbfSec := int64(mtbfSecRaw%50000) + 60
+		expensive := params(time.Duration(costMs)*time.Millisecond*10, 30*time.Second,
+			time.Duration(mtbfSec)*time.Second)
+		cheap := expensive
+		cheap.CheckpointCost = expensive.CheckpointCost / 10
+		_, wExp, err := OptimalWaste(expensive)
+		if err != nil {
+			return false
+		}
+		_, wCheap, err := OptimalWaste(cheap)
+		if err != nil {
+			return false
+		}
+		return wCheap <= wExp+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomInvertibleMatrix(t *testing.T, f *Field, n int, r *rand.Rand) *Matrix {
+	t.Helper()
+	for attempt := 0; attempt < 100; attempt++ {
+		m, err := f.NewMatrix(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, r.Intn(f.Size()))
+			}
+		}
+		if _, err := m.Invert(); err == nil {
+			return m
+		}
+	}
+	t.Fatal("could not generate an invertible matrix")
+	return nil
+}
+
+func TestIdentityIsIdentity(t *testing.T) {
+	f := MustField(8)
+	id, err := f.Identity(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.IsIdentity() {
+		t.Error("Identity(5) is not identity")
+	}
+}
+
+func TestNewMatrixInvalidDims(t *testing.T) {
+	f := MustField(8)
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -1}} {
+		if _, err := f.NewMatrix(dims[0], dims[1]); err == nil {
+			t.Errorf("NewMatrix(%d, %d): want error", dims[0], dims[1])
+		}
+	}
+}
+
+func TestMatrixMulByIdentity(t *testing.T) {
+	f := MustField(8)
+	r := rand.New(rand.NewSource(7))
+	m := randomInvertibleMatrix(t, f, 4, r)
+	id, _ := f.Identity(4)
+	got, err := m.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("M*I differs from M at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMulShapeMismatch(t *testing.T) {
+	f := MustField(8)
+	a, _ := f.NewMatrix(2, 3)
+	b, _ := f.NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("2x3 * 2x3: want shape error")
+	}
+}
+
+func TestInvertTimesSelfIsIdentity(t *testing.T) {
+	for _, w := range []uint{4, 8, 16} {
+		f := MustField(w)
+		r := rand.New(rand.NewSource(int64(w)))
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			m := randomInvertibleMatrix(t, f, n, r)
+			inv, err := m.Invert()
+			if err != nil {
+				t.Fatalf("w=%d n=%d: %v", w, n, err)
+			}
+			prod, err := m.Mul(inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod.IsIdentity() {
+				t.Fatalf("w=%d n=%d: M * M^-1 != I:\n%s", w, n, prod)
+			}
+			prod2, err := inv.Mul(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod2.IsIdentity() {
+				t.Fatalf("w=%d n=%d: M^-1 * M != I", w, n)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	f := MustField(8)
+	m, _ := f.NewMatrix(3, 3)
+	// Two identical rows make the matrix singular.
+	for j := 0; j < 3; j++ {
+		m.Set(0, j, j+1)
+		m.Set(1, j, j+1)
+		m.Set(2, j, 7*j+3)
+	}
+	if _, err := m.Invert(); err == nil {
+		t.Error("singular matrix inverted without error")
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	f := MustField(8)
+	m, _ := f.NewMatrix(2, 3)
+	if _, err := m.Invert(); err == nil {
+		t.Error("non-square invert: want error")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	f := MustField(8)
+	m, _ := f.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			m.Set(i, j, i*10+j)
+		}
+	}
+	sub, err := m.SubMatrix([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Rows() != 2 || sub.Cols() != 2 {
+		t.Fatalf("submatrix shape %dx%d", sub.Rows(), sub.Cols())
+	}
+	if sub.At(0, 0) != 30 || sub.At(1, 1) != 11 {
+		t.Errorf("submatrix content wrong: %s", sub)
+	}
+	if _, err := m.SubMatrix([]int{4}); err == nil {
+		t.Error("out-of-range row: want error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := MustField(8)
+	m, _ := f.NewMatrix(2, 2)
+	m.Set(0, 0, 5)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 5 {
+		t.Error("Clone shares storage with original")
+	}
+}

@@ -1,0 +1,74 @@
+package gf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// XORSlice computes dst[i] ^= src[i] for all i, processing eight bytes at a
+// time. It is the hot kernel of XOR-only Cauchy Reed-Solomon encoding and of
+// the XOR-reduction step of the checkpointing protocol. dst and src must
+// have the same length.
+func XORSlice(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("gf: xor slice length mismatch: dst=%d src=%d", len(dst), len(src))
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return nil
+}
+
+// MulSlice8 sets dst[i] = c * src[i] over GF(2^8). It requires w == 8 (the
+// word size used throughout the checkpoint codec) and equal-length slices.
+func (f *Field) MulSlice8(c byte, dst, src []byte) error {
+	if f.w != 8 {
+		return fmt.Errorf("gf: MulSlice8 requires GF(2^8), field is GF(2^%d)", f.w)
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("gf: mul slice length mismatch: dst=%d src=%d", len(dst), len(src))
+	}
+	switch c {
+	case 0:
+		clear(dst)
+		return nil
+	case 1:
+		copy(dst, src)
+		return nil
+	}
+	row := f.mulTbl8[int(c)*256 : int(c)*256+256]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+	return nil
+}
+
+// MulAddSlice8 computes dst[i] ^= c * src[i] over GF(2^8). This is the
+// region-multiply-accumulate used by matrix-vector products in plain
+// (non-bitmatrix) Reed-Solomon encoding.
+func (f *Field) MulAddSlice8(c byte, dst, src []byte) error {
+	if f.w != 8 {
+		return fmt.Errorf("gf: MulAddSlice8 requires GF(2^8), field is GF(2^%d)", f.w)
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("gf: muladd slice length mismatch: dst=%d src=%d", len(dst), len(src))
+	}
+	switch c {
+	case 0:
+		return nil
+	case 1:
+		return XORSlice(dst, src)
+	}
+	row := f.mulTbl8[int(c)*256 : int(c)*256+256]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+	return nil
+}

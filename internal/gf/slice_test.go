@@ -1,0 +1,153 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestXORSliceMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 1024, 4097} {
+		dst := randomBytes(r, n)
+		src := randomBytes(r, n)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		if err := XORSlice(dst, src); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("n=%d: XORSlice mismatch", n)
+		}
+	}
+}
+
+func TestXORSliceLengthMismatch(t *testing.T) {
+	if err := XORSlice(make([]byte, 4), make([]byte, 5)); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+}
+
+func TestXORSliceSelfInverse(t *testing.T) {
+	prop := func(data []byte) bool {
+		dst := append([]byte(nil), data...)
+		src := make([]byte, len(data))
+		for i := range src {
+			src[i] = byte(i * 31)
+		}
+		if err := XORSlice(dst, src); err != nil {
+			return false
+		}
+		if err := XORSlice(dst, src); err != nil {
+			return false
+		}
+		return bytes.Equal(dst, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSlice8MatchesScalar(t *testing.T) {
+	f := MustField(8)
+	r := rand.New(rand.NewSource(2))
+	src := randomBytes(r, 333)
+	for _, c := range []byte{0, 1, 2, 3, 29, 255} {
+		dst := make([]byte, len(src))
+		if err := f.MulSlice8(c, dst, src); err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		for i := range src {
+			want := byte(f.Mul(int(c), int(src[i])))
+			if dst[i] != want {
+				t.Fatalf("c=%d i=%d: got %d want %d", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulSlice8ZeroClearsDst(t *testing.T) {
+	f := MustField(8)
+	dst := []byte{1, 2, 3, 4}
+	if err := f.MulSlice8(0, dst, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("dst[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestMulAddSlice8MatchesScalar(t *testing.T) {
+	f := MustField(8)
+	r := rand.New(rand.NewSource(3))
+	src := randomBytes(r, 257)
+	base := randomBytes(r, 257)
+	for _, c := range []byte{0, 1, 2, 142, 255} {
+		dst := append([]byte(nil), base...)
+		if err := f.MulAddSlice8(c, dst, src); err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		for i := range src {
+			want := base[i] ^ byte(f.Mul(int(c), int(src[i])))
+			if dst[i] != want {
+				t.Fatalf("c=%d i=%d: got %d want %d", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulSliceRequiresW8(t *testing.T) {
+	f := MustField(4)
+	if err := f.MulSlice8(2, make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Error("MulSlice8 on GF(2^4): want error")
+	}
+	if err := f.MulAddSlice8(2, make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Error("MulAddSlice8 on GF(2^4): want error")
+	}
+}
+
+func TestMulSliceLengthMismatch(t *testing.T) {
+	f := MustField(8)
+	if err := f.MulSlice8(2, make([]byte, 3), make([]byte, 4)); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if err := f.MulAddSlice8(2, make([]byte, 3), make([]byte, 4)); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+}
+
+func BenchmarkXORSlice64MB(b *testing.B) {
+	dst := make([]byte, 64<<20)
+	src := make([]byte, 64<<20)
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := XORSlice(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulAddSlice8(b *testing.B) {
+	f := MustField(8)
+	dst := make([]byte, 1<<20)
+	src := make([]byte, 1<<20)
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.MulAddSlice8(29, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationsShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Ablations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle-slot scheduling removes interference at a modest latency cost.
+	if res.ScheduledInterf != 0 {
+		t.Errorf("scheduled interference = %v, want 0", res.ScheduledInterf)
+	}
+	if res.ContendedInterf <= 0 {
+		t.Error("contended run should interfere with training")
+	}
+	if res.ScheduledStep3 < res.ContendedStep3 {
+		t.Errorf("scheduled step3 (%v) cannot beat contended (%v)",
+			res.ScheduledStep3, res.ContendedStep3)
+	}
+
+	// Pipelining must be strictly faster than sequential execution.
+	if res.PipelinedStep3 >= res.SequentialStep3 {
+		t.Errorf("pipelined %v not faster than sequential %v",
+			res.PipelinedStep3, res.SequentialStep3)
+	}
+
+	// Fig. 9: sweep-line selection saves one packet (6 vs 7).
+	if res.SweepLineVolume != 6 || res.NaiveVolume != 7 {
+		t.Errorf("selection volumes = %d vs %d, want 6 vs 7 (Fig. 9)",
+			res.SweepLineVolume, res.NaiveVolume)
+	}
+
+	// Each coding optimization strictly reduces the XOR count.
+	if !(res.SmartXORs < res.ImprovedXORs && res.ImprovedXORs < res.PlainXORs) {
+		t.Errorf("XOR counts not strictly improving: plain %d, improved %d, smart %d",
+			res.PlainXORs, res.ImprovedXORs, res.SmartXORs)
+	}
+
+	out := buf.String()
+	for _, marker := range []string{"scheduling", "pipelined", "sweep-line", "XORs"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("rendered ablations missing %q", marker)
+		}
+	}
+}

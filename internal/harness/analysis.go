@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"io"
+
+	"eccheck/internal/model"
+	"eccheck/internal/reliability"
+	"eccheck/internal/simnet"
+	"eccheck/internal/testbed"
+)
+
+// --- Table I: model configurations. ---
+
+// TableIRow is one model configuration with its analytic size.
+type TableIRow struct {
+	Model      string
+	HiddenSize int
+	Heads      int
+	Layers     int
+	Params     int64
+	Checkpoint int64
+}
+
+// TableI reproduces the model-configuration table with computed parameter
+// counts and checkpoint sizes.
+func TableI(w io.Writer) ([]TableIRow, error) {
+	rows := make([]TableIRow, 0, 9)
+	for _, cfg := range model.TableI() {
+		rows = append(rows, TableIRow{
+			Model:      cfg.Name,
+			HiddenSize: cfg.HiddenSize,
+			Heads:      cfg.AttentionHeads,
+			Layers:     cfg.Layers,
+			Params:     cfg.ParamCount(),
+			Checkpoint: cfg.CheckpointBytes(),
+		})
+	}
+	if w != nil {
+		if err := fprintf(w, "Table I: model configurations\n%-12s %8s %5s %7s %10s %12s\n",
+			"Model", "Hidden", "#AH", "#Layers", "Params", "Checkpoint"); err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if err := fprintf(w, "%-12s %8d %5d %7d %9.2fB %10.1fGB\n",
+				r.Model, r.HiddenSize, r.Heads, r.Layers,
+				float64(r.Params)/1e9, float64(r.Checkpoint)/1e9); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// --- Fig. 3: cluster recovery rate, replication vs erasure coding. ---
+
+// Fig3Point is one x-position of Fig. 3.
+type Fig3Point struct {
+	P           float64
+	Replication float64
+	Erasure     float64
+}
+
+// Fig3 sweeps the node failure probability for a 2000-node cluster split
+// into 500 groups of four.
+func Fig3(w io.Writer) ([]Fig3Point, error) {
+	const groups = 500
+	ps := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.1}
+	out := make([]Fig3Point, 0, len(ps))
+	for _, p := range ps {
+		rep, err := reliability.ReplicationGroupRate(p)
+		if err != nil {
+			return nil, err
+		}
+		era, err := reliability.ErasureGroupRate(p)
+		if err != nil {
+			return nil, err
+		}
+		crep, err := reliability.ClusterRate(rep, groups)
+		if err != nil {
+			return nil, err
+		}
+		cera, err := reliability.ClusterRate(era, groups)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig3Point{P: p, Replication: crep, Erasure: cera})
+	}
+	if w != nil {
+		if err := fprintf(w, "Fig. 3: recovery rate in a 2000-node cluster (500 groups of 4)\n%-8s %12s %12s\n",
+			"p", "replication", "erasure"); err != nil {
+			return nil, err
+		}
+		for _, pt := range out {
+			if err := fprintf(w, "%-8.3f %12.6f %12.6f\n", pt.P, pt.Replication, pt.Erasure); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 4: serialization share of checkpoint time vs remote bandwidth. ---
+
+// Fig4Point is one bandwidth case.
+type Fig4Point struct {
+	// BandwidthGbps is the aggregate remote bandwidth.
+	BandwidthGbps float64
+	// SerializationShare is serialization time / total checkpoint time.
+	SerializationShare float64
+}
+
+// Fig4 reproduces the motivation experiment: GPT-2 checkpoints written to
+// remote storage; as the storage bandwidth grows, the constant
+// serialization cost dominates.
+func Fig4(w io.Writer) ([]Fig4Point, error) {
+	cfg := model.GPT2_345M()
+	res := testbed.Paper()
+	ckptBytes := cfg.CheckpointBytes()
+	ser, err := simnet.DurationForBytes(ckptBytes, res.SerializeRate)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig4Point, 0, 4)
+	for _, gbps := range []float64{1.25, 2.5, 5, 10, 20, 40} {
+		xfer, err := simnet.DurationForBytes(ckptBytes, testbed.Gbps(gbps))
+		if err != nil {
+			return nil, err
+		}
+		share := ser.Seconds() / (ser.Seconds() + xfer.Seconds())
+		out = append(out, Fig4Point{BandwidthGbps: gbps, SerializationShare: share})
+	}
+	if w != nil {
+		if err := fprintf(w, "Fig. 4: serialization share of checkpointing time (GPT-2 345M, %0.1f GB checkpoint)\n%-10s %20s\n",
+			float64(ckptBytes)/1e9, "bandwidth", "serialization share"); err != nil {
+			return nil, err
+		}
+		for _, pt := range out {
+			if err := fprintf(w, "%7.2fGb %19.1f%%\n", pt.BandwidthGbps, 100*pt.SerializationShare); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 15: fault tolerance capacity vs group size at equal redundancy. ---
+
+// Fig15Point is one (n, p) cell.
+type Fig15Point struct {
+	N           int
+	P           float64
+	Replication float64
+	Erasure     float64
+}
+
+// Fig15 compares base3 and ECCheck recovery rates for k = m = n/2 as the
+// node count grows.
+func Fig15(w io.Writer) ([]Fig15Point, error) {
+	var out []Fig15Point
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		for _, p := range []float64{0.05, 0.1, 0.2} {
+			rep, err := reliability.ReplicationRateN(n, p)
+			if err != nil {
+				return nil, err
+			}
+			era, err := reliability.ErasureRateN(n, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig15Point{N: n, P: p, Replication: rep, Erasure: era})
+		}
+	}
+	if w != nil {
+		if err := fprintf(w, "Fig. 15: fault tolerance at equal redundancy (k = m = n/2)\n%-5s %-6s %12s %12s\n",
+			"n", "p", "base3", "eccheck"); err != nil {
+			return nil, err
+		}
+		for _, pt := range out {
+			if err := fprintf(w, "%-5d %-6.2f %12.6f %12.6f\n", pt.N, pt.P, pt.Replication, pt.Erasure); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

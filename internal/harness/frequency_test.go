@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrequencyStudyShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := FrequencyStudy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byMethod := map[string]FrequencyRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.OptimalInterval <= 0 || r.Waste <= 0 || r.Waste >= 1 {
+			t.Errorf("%s: degenerate row %+v", r.Method, r)
+		}
+	}
+	// The economic argument: ECCheck wastes far less machine time than the
+	// synchronous remote baseline, and can checkpoint far more often.
+	if byMethod["eccheck"].Waste*5 > byMethod["base1"].Waste {
+		t.Errorf("eccheck waste %.4f not ≪ base1 waste %.4f",
+			byMethod["eccheck"].Waste, byMethod["base1"].Waste)
+	}
+	if byMethod["eccheck"].OptimalInterval >= byMethod["base1"].OptimalInterval {
+		t.Errorf("eccheck optimal interval %v should be shorter than base1 %v",
+			byMethod["eccheck"].OptimalInterval, byMethod["base1"].OptimalInterval)
+	}
+	// base2 shares base1's recovery but has a much smaller stall: its
+	// waste sits between the in-memory methods and base1.
+	if byMethod["base2"].Waste >= byMethod["base1"].Waste {
+		t.Error("base2 should waste less than base1")
+	}
+	if byMethod["base2"].Waste <= byMethod["eccheck"].Waste {
+		t.Error("base2 should waste more than eccheck (slow remote recovery)")
+	}
+	if !strings.Contains(buf.String(), "frequency economics") {
+		t.Error("rendered output missing header")
+	}
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGroupSizeStudyShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := GroupSizeStudy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		// Larger groups strictly improve cluster recovery (more failure
+		// patterns survivable for the same total redundancy)...
+		if rows[i].ClusterRecoveryRate <= rows[i-1].ClusterRecoveryRate {
+			t.Errorf("recovery rate not improving at group size %d: %v <= %v",
+				rows[i].GroupSize, rows[i].ClusterRecoveryRate, rows[i-1].ClusterRecoveryRate)
+		}
+		// ...but move strictly more data per node (m grows with the group).
+		if rows[i].PerNodePackets <= rows[i-1].PerNodePackets {
+			t.Errorf("per-node packets not growing at group size %d", rows[i].GroupSize)
+		}
+		// Checkpoint time grows with group size too.
+		if rows[i].CheckpointTime < rows[i-1].CheckpointTime {
+			t.Errorf("checkpoint time shrank at group size %d", rows[i].GroupSize)
+		}
+	}
+	// The per-node communication is the closed form m = size/2 packets.
+	for _, r := range rows {
+		if want := float64(r.GroupSize) / 2; r.PerNodePackets != want {
+			t.Errorf("size %d: %v packets/node, want %v", r.GroupSize, r.PerNodePackets, want)
+		}
+	}
+	if !strings.Contains(buf.String(), "Group-size study") {
+		t.Error("rendered output missing header")
+	}
+}

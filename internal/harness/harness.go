@@ -1,0 +1,73 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation from the library's functional and timing layers. Each
+// experiment returns a structured result (so tests and benchmarks can
+// assert the paper's qualitative shape — who wins, by what factor, where
+// crossovers fall) and can render itself as the rows/series the paper
+// reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/core"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/testbed"
+	"eccheck/internal/transport"
+)
+
+// paperTopology returns the evaluation testbed: 4 nodes × 4 GPUs, TP=4
+// within nodes, PP=4 across nodes.
+func paperTopology() (*parallel.Topology, error) {
+	return parallel.NewTopology(4, 4, 4, 4)
+}
+
+// newPaperCheckpointer builds an ECCheck engine on the paper topology for
+// timing experiments (k = m = 2).
+func newPaperCheckpointer(topo *parallel.Topology) (*core.Checkpointer, func(), error) {
+	net, err := transport.NewMemory(topo.Nodes())
+	if err != nil {
+		return nil, nil, err
+	}
+	clus, err := cluster.New(topo.Nodes(), topo.GPUsPerNode())
+	if err != nil {
+		_ = net.Close()
+		return nil, nil, err
+	}
+	ckpt, err := core.New(core.Config{Topo: topo, K: 2, M: 2}, net, clus, nil)
+	if err != nil {
+		_ = net.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		ckpt.Close()
+		_ = net.Close()
+	}
+	return ckpt, cleanup, nil
+}
+
+// maxShard returns the per-worker shard size of a model on a topology.
+func maxShard(cfg model.Config, topo *parallel.Topology) (int64, error) {
+	return model.MaxShardBytes(cfg, topo)
+}
+
+// seconds renders a duration as seconds with sensible precision.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%8.3fs", d.Seconds())
+}
+
+// fprintf wraps fmt.Fprintf, ignoring the byte count.
+func fprintf(w io.Writer, format string, args ...any) error {
+	_, err := fmt.Fprintf(w, format, args...)
+	return err
+}
+
+// Methods enumerates the compared checkpointing systems in the paper's
+// presentation order.
+var Methods = []string{"base1", "base2", "base3", "eccheck"}
+
+// Resources returns the default hardware model for all experiments.
+func Resources() testbed.Resources { return testbed.Paper() }

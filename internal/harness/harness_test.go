@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableIShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := TableI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	if !strings.Contains(buf.String(), "GPT-2 1.6B") {
+		t.Error("rendered table missing GPT-2 1.6B")
+	}
+	for _, r := range rows {
+		if r.Params <= 0 || r.Checkpoint <= r.Params {
+			t.Errorf("%s: params %d, checkpoint %d", r.Model, r.Params, r.Checkpoint)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	pts, err := Fig3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.Erasure <= pt.Replication {
+			t.Errorf("p=%v: erasure %v <= replication %v", pt.P, pt.Erasure, pt.Replication)
+		}
+	}
+	// Both curves decrease with p.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Replication >= pts[i-1].Replication {
+			t.Errorf("replication curve not decreasing at p=%v", pts[i].P)
+		}
+		if pts[i].Erasure >= pts[i-1].Erasure {
+			t.Errorf("erasure curve not decreasing at p=%v", pts[i].P)
+		}
+	}
+}
+
+// Fig. 4's claim: the serialization share grows with storage bandwidth and
+// becomes a dominant fraction at high bandwidth.
+func TestFig4Shape(t *testing.T) {
+	pts, err := Fig4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SerializationShare <= pts[i-1].SerializationShare {
+			t.Errorf("share not increasing at %v Gbps", pts[i].BandwidthGbps)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.SerializationShare < 0.3 {
+		t.Errorf("at %v Gbps serialization share %.2f should be substantial",
+			last.BandwidthGbps, last.SerializationShare)
+	}
+}
+
+// Fig. 10's claims: in-memory checkpointing beats remote-storage methods by
+// a large factor (paper: up to 5.2x for ECCheck vs remote), and ECCheck
+// costs a modest multiple of base3 (paper: ≈1.6x) while tolerating more
+// failures.
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		ec := r.Total["eccheck"].Seconds()
+		b1 := r.Total["base1"].Seconds()
+		b2 := r.Total["base2"].Seconds()
+		b3 := r.Total["base3"].Seconds()
+		if ec <= 0 || b1 <= 0 {
+			t.Fatalf("%s: degenerate totals %+v", r.Model, r.Total)
+		}
+		if b1/ec < 3 {
+			t.Errorf("%s: eccheck only %.1fx faster than base1 (want >= 3x)", r.Model, b1/ec)
+		}
+		if b2/ec < 3 {
+			t.Errorf("%s: eccheck only %.1fx faster than base2", r.Model, b2/ec)
+		}
+		ratio := ec / b3
+		if ratio < 1.0 || ratio > 3.0 {
+			t.Errorf("%s: eccheck/base3 = %.2fx, want within [1, 3] (paper: ≈1.6x)", r.Model, ratio)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		total := r.Step1 + r.Step2 + r.Step3
+		if float64(r.Step3)/float64(total) < 0.5 {
+			t.Errorf("%s: step 3 is %.0f%% of total, paper shows it dominating",
+				r.Model, 100*float64(r.Step3)/float64(total))
+		}
+		if r.Step2 > r.Step1 {
+			t.Errorf("%s: step 2 (%v) should be negligible vs step 1 (%v)", r.Model, r.Step2, r.Step1)
+		}
+	}
+}
+
+// Fig. 12's claims: base1's overhead is severe at any frequency; base2
+// degrades as frequency rises (its async phase exceeds the interval);
+// base3 and ECCheck stay near the baseline iteration time.
+func TestFig12Shape(t *testing.T) {
+	pts, err := Fig12(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineIter := pts[0].AvgIteration["eccheck"] // interval 100 ≈ baseline
+	highFreq := pts[len(pts)-1]                    // highest frequency swept
+	if highFreq.IntervalIters != 5 {
+		t.Fatalf("last point interval = %d", highFreq.IntervalIters)
+	}
+	if highFreq.AvgIteration["base1"] < 3*baselineIter {
+		t.Errorf("base1 at interval 5 (%v) should dwarf the baseline iteration (%v)",
+			highFreq.AvgIteration["base1"], baselineIter)
+	}
+	if highFreq.AvgIteration["base2"] < 2*baselineIter {
+		t.Errorf("base2 at interval 5 (%v) should degrade vs baseline (%v)",
+			highFreq.AvgIteration["base2"], baselineIter)
+	}
+	// In-memory methods stay near the baseline even at the highest swept
+	// frequency.
+	for _, method := range []string{"base3", "eccheck"} {
+		if highFreq.AvgIteration[method] > baselineIter+baselineIter/2 {
+			t.Errorf("%s at interval 5 = %v, want near baseline %v",
+				method, highFreq.AvgIteration[method], baselineIter)
+		}
+	}
+	// Overhead decreases as the interval grows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AvgIteration["base1"] < pts[i-1].AvgIteration["base1"] {
+			t.Errorf("base1 overhead should grow with frequency")
+		}
+	}
+}
+
+// Fig. 13's claims: in-memory recovery is up to ≈13.9x faster than remote
+// recovery; base3 cannot recover in scenario B while ECCheck can.
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.ScenarioA {
+		speedup := r.Resume["base1"].Seconds() / r.Resume["eccheck"].Seconds()
+		if speedup < 5 {
+			t.Errorf("13a %s: eccheck speedup vs base1 = %.1fx, want large", r.Model, speedup)
+		}
+		if !r.Recoverable["base3"] {
+			t.Errorf("13a %s: base3 must be recoverable", r.Model)
+		}
+	}
+	for i, r := range res.ScenarioB {
+		if r.Recoverable["base3"] {
+			t.Errorf("13b %s: base3 must NOT be recoverable", r.Model)
+		}
+		if r.Resume["eccheck"] <= res.ScenarioA[i].Resume["eccheck"] {
+			t.Errorf("13b %s: decode recovery (%v) should exceed replacement (%v)",
+				r.Model, r.Resume["eccheck"], res.ScenarioA[i].Resume["eccheck"])
+		}
+		speedup := r.Resume["base1"].Seconds() / r.Resume["eccheck"].Seconds()
+		if speedup < 3 {
+			t.Errorf("13b %s: eccheck speedup vs base1 = %.1fx", r.Model, speedup)
+		}
+	}
+}
+
+// Fig. 14's claims: remote-storage checkpoint time scales linearly with GPU
+// count; in-memory methods stay flat.
+func TestFig14Shape(t *testing.T) {
+	rows, err := Fig14(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+
+	// Remote-storage methods degrade with GPU count: the data volume grows
+	// while the shared uplink does not.
+	for _, method := range []string{"base1", "base2"} {
+		growth := last.Total[method].Seconds() / first.Total[method].Seconds()
+		if growth < 3 {
+			t.Errorf("%s grew only %.1fx over 8x GPUs; should grow with cluster size", method, growth)
+		}
+	}
+	// The in-memory methods' advantage over remote storage must widen with
+	// scale (the paper's figure shows them hugging the x-axis while base1
+	// and base2 climb).
+	for _, method := range []string{"base3", "eccheck"} {
+		gapFirst := first.Total["base1"].Seconds() / first.Total[method].Seconds()
+		gapLast := last.Total["base1"].Seconds() / last.Total[method].Seconds()
+		if gapLast <= gapFirst {
+			t.Errorf("%s advantage over base1 shrank with scale: %.1fx -> %.1fx",
+				method, gapFirst, gapLast)
+		}
+		if gapLast < 10 {
+			t.Errorf("%s at 32 GPUs only %.1fx faster than base1", method, gapLast)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	pts, err := Fig15(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapAt := map[float64]map[int]float64{}
+	for _, pt := range pts {
+		if pt.Erasure <= pt.Replication {
+			t.Errorf("n=%d p=%v: erasure %v <= replication %v", pt.N, pt.P, pt.Erasure, pt.Replication)
+		}
+		if gapAt[pt.P] == nil {
+			gapAt[pt.P] = map[int]float64{}
+		}
+		gapAt[pt.P][pt.N] = pt.Erasure - pt.Replication
+	}
+	// The advantage grows with n at fixed p.
+	for p, byN := range gapAt {
+		if byN[32] <= byN[4] {
+			t.Errorf("p=%v: advantage at n=32 (%v) not larger than at n=4 (%v)", p, byN[32], byN[4])
+		}
+	}
+}
+
+func TestRenderedOutputNonEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Fig10(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig11(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig12(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig13(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig14(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig15(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, marker := range []string{"Fig. 10", "Fig. 11", "Fig. 12", "Fig. 14", "Fig. 15", "Fig. 3", "Fig. 4", "fail"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("rendered output missing %q", marker)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/core"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/statedict"
+	"eccheck/internal/transport"
+)
+
+// IncrementalRow is one changed-fraction point of the incremental
+// checkpointing study: how much of the coded checkpoint an update touches
+// when a given fraction of each worker's tensors changed.
+type IncrementalRow struct {
+	// ChangedTensorFraction is the fraction of tensors mutated per worker.
+	ChangedTensorFraction float64
+	// ChangedBuffers / TotalBuffers is the shipped update fraction.
+	ChangedBuffers int
+	TotalBuffers   int
+}
+
+// IncrementalStudy measures (on the functional layer, real bytes) how the
+// delta-update volume tracks the changed fraction of the training state —
+// the property that makes incremental checkpointing worthwhile for
+// sparse-update regimes.
+func IncrementalStudy(w io.Writer) ([]IncrementalRow, error) {
+	topo, err := parallel.NewTopology(4, 2, 2, 4)
+	if err != nil {
+		return nil, err
+	}
+	net, err := transport.NewMemory(4)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = net.Close() }()
+	clus, err := cluster.New(4, 2)
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := core.New(core.Config{
+		Topo:             topo,
+		K:                2,
+		M:                2,
+		BufferSize:       16 << 10,
+		IncrementalCache: true,
+	}, net, clus, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ckpt.Close()
+
+	opt := model.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 77
+	dicts, err := model.BuildClusterStateDicts(model.GPT2_345M(), topo, opt)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if _, err := ckpt.Save(ctx, dicts); err != nil {
+		return nil, err
+	}
+
+	mutate := func(dicts []*statedict.StateDict, fraction float64, salt byte) []*statedict.StateDict {
+		out := make([]*statedict.StateDict, len(dicts))
+		for rank, sd := range dicts {
+			out[rank] = sd.Clone()
+			entries := out[rank].TensorEntries()
+			limit := int(fraction * float64(len(entries)))
+			for i := 0; i < limit; i++ {
+				data := entries[i].Tensor.Data()
+				data[0] ^= salt
+			}
+		}
+		return out
+	}
+
+	var rows []IncrementalRow
+	current := dicts
+	for i, fraction := range []float64{0, 0.1, 0.25, 0.5, 1.0} {
+		current = mutate(current, fraction, byte(i+1))
+		rep, err := ckpt.SaveIncremental(ctx, current)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Full {
+			return nil, fmt.Errorf("harness: unexpected full-save fallback at fraction %v", fraction)
+		}
+		rows = append(rows, IncrementalRow{
+			ChangedTensorFraction: fraction,
+			ChangedBuffers:        rep.ChangedBuffers,
+			TotalBuffers:          rep.TotalBuffers,
+		})
+	}
+	if w != nil {
+		if err := fprintf(w, "Incremental update volume vs changed fraction (functional layer)\n%-16s %16s\n",
+			"tensors changed", "buffers shipped"); err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if err := fprintf(w, "%15.0f%% %10d/%d (%.0f%%)\n",
+				100*r.ChangedTensorFraction, r.ChangedBuffers, r.TotalBuffers,
+				100*float64(r.ChangedBuffers)/float64(r.TotalBuffers)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}

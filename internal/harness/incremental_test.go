@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIncrementalStudyShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := IncrementalStudy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Zero change ships zero buffers; the update volume grows with the
+	// changed fraction.
+	if rows[0].ChangedBuffers != 0 {
+		t.Errorf("0%% change shipped %d buffers", rows[0].ChangedBuffers)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ChangedBuffers <= rows[i-1].ChangedBuffers {
+			t.Errorf("update volume not growing at fraction %v", rows[i].ChangedTensorFraction)
+		}
+	}
+	// Even 100%% of tensors changed by one byte touches only a subset of
+	// buffers (a buffer covers many tensors / padding).
+	last := rows[len(rows)-1]
+	if last.ChangedBuffers > last.TotalBuffers {
+		t.Errorf("changed %d of %d buffers", last.ChangedBuffers, last.TotalBuffers)
+	}
+	if !strings.Contains(buf.String(), "Incremental update") {
+		t.Error("rendered output missing header")
+	}
+}

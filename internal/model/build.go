@@ -1,0 +1,187 @@
+package model
+
+import (
+	"fmt"
+
+	"eccheck/internal/parallel"
+	"eccheck/internal/statedict"
+	"eccheck/internal/tensor"
+)
+
+// BuildOptions controls functional state-dict construction.
+type BuildOptions struct {
+	// Scale divides the hidden size and vocabulary so tests and examples
+	// can run paper topologies with megabyte-sized shards. 1 builds the
+	// full-size model. The scaled hidden size must stay divisible by the
+	// TP degree.
+	Scale int
+	// Seed differentiates tensor contents between workers and iterations
+	// so recovery tests can detect any byte-level corruption.
+	Seed uint64
+	// Iteration is recorded in the dict's metadata.
+	Iteration int64
+	// WithOptimizer adds Adam exp_avg / exp_avg_sq tensors (default true
+	// via NewBuildOptions).
+	WithOptimizer bool
+}
+
+// NewBuildOptions returns defaults: full scale, optimizer state included.
+func NewBuildOptions() BuildOptions {
+	return BuildOptions{Scale: 1, WithOptimizer: true}
+}
+
+// BuildWorkerStateDict constructs the sharded state dict one worker
+// checkpoints: the tensors of its pipeline stage's layers split across the
+// tensor-parallel group, the embedding slice on stage 0, optimizer moments,
+// and training metadata. Tensor contents are deterministic functions of
+// (Seed, rank, key) so corruption and mis-routing are detectable.
+func BuildWorkerStateDict(c Config, topo *parallel.Topology, rank int, opt BuildOptions) (*statedict.StateDict, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Scale <= 0 {
+		return nil, fmt.Errorf("model: scale must be positive, got %d", opt.Scale)
+	}
+	h := c.HiddenSize / opt.Scale
+	v := c.VocabSize / opt.Scale
+	tp := topo.TPDegree()
+	if h <= 0 || v <= 0 {
+		return nil, fmt.Errorf("model: scale %d collapses dimensions (h=%d, v=%d)", opt.Scale, h, v)
+	}
+	if h%tp != 0 {
+		return nil, fmt.Errorf("model: scaled hidden %d not divisible by TP degree %d", h, tp)
+	}
+	if v%tp != 0 {
+		v = (v/tp + 1) * tp // round vocab up so the embedding shards evenly
+	}
+
+	stage, err := topo.PPStage(rank)
+	if err != nil {
+		return nil, err
+	}
+	tpRank, err := topo.TPRank(rank)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := StageLayers(c, topo, stage)
+	if err != nil {
+		return nil, err
+	}
+	firstLayer := 0
+	for s := 0; s < stage; s++ {
+		n, err := StageLayers(c, topo, s)
+		if err != nil {
+			return nil, err
+		}
+		firstLayer += n
+	}
+
+	sd := statedict.New()
+	sd.SetMeta("iteration", statedict.Int(opt.Iteration))
+	sd.SetMeta("model", statedict.String(c.Name))
+	sd.SetMeta("world_rank", statedict.Int(int64(rank)))
+	sd.SetMeta("pp_stage", statedict.Int(int64(stage)))
+	sd.SetMeta("tp_rank", statedict.Int(int64(tpRank)))
+	sd.SetMeta("ckpt_version", statedict.String("eccheck-1"))
+	sd.SetMeta("rng_state", statedict.Bytes(rngState(opt.Seed, rank)))
+
+	seedFor := func(key string) uint64 {
+		s := opt.Seed ^ uint64(rank)<<32
+		for _, ch := range key {
+			s = s*1099511628211 + uint64(ch)
+		}
+		return s
+	}
+	addTensor := func(key string, shape ...int) error {
+		ts, err := tensor.New(tensor.Float32, shape...)
+		if err != nil {
+			return fmt.Errorf("model: tensor %q: %w", key, err)
+		}
+		ts.FillPattern(seedFor(key))
+		if err := sd.SetTensor(key, ts); err != nil {
+			return err
+		}
+		if opt.WithOptimizer {
+			for _, moment := range []string{"exp_avg", "exp_avg_sq"} {
+				optKey := "optimizer." + moment + "." + key
+				ot, err := tensor.New(tensor.Float32, shape...)
+				if err != nil {
+					return fmt.Errorf("model: tensor %q: %w", optKey, err)
+				}
+				ot.FillPattern(seedFor(optKey))
+				if err := sd.SetTensor(optKey, ot); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if stage == 0 {
+		if err := addTensor("embedding.word.weight", v/tp, h); err != nil {
+			return nil, err
+		}
+		if c.Family != T5 {
+			seq := c.SeqLen / opt.Scale
+			if seq <= 0 {
+				seq = 1
+			}
+			if err := addTensor("embedding.position.weight", seq, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for l := firstLayer; l < firstLayer+layers; l++ {
+		prefix := fmt.Sprintf("layers.%d.", l)
+		specs := []struct {
+			key   string
+			shape []int
+		}{
+			{prefix + "attn.qkv.weight", []int{3 * h / tp, h}},
+			{prefix + "attn.qkv.bias", []int{3 * h / tp}},
+			{prefix + "attn.proj.weight", []int{h, h / tp}},
+			{prefix + "attn.proj.bias", []int{h}},
+			{prefix + "mlp.fc.weight", []int{4 * h / tp, h}},
+			{prefix + "mlp.fc.bias", []int{4 * h / tp}},
+			{prefix + "mlp.proj.weight", []int{h, 4 * h / tp}},
+			{prefix + "mlp.proj.bias", []int{h}},
+			{prefix + "ln1.weight", []int{h}},
+			{prefix + "ln1.bias", []int{h}},
+			{prefix + "ln2.weight", []int{h}},
+			{prefix + "ln2.bias", []int{h}},
+		}
+		for _, spec := range specs {
+			if err := addTensor(spec.key, spec.shape...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sd, nil
+}
+
+// rngState fabricates a small deterministic RNG blob, standing in for the
+// dataloader RNG state a real checkpoint carries in CPU memory.
+func rngState(seed uint64, rank int) []byte {
+	out := make([]byte, 32)
+	s := seed*2654435761 + uint64(rank)
+	for i := range out {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// BuildClusterStateDicts builds one state dict per world rank.
+func BuildClusterStateDicts(c Config, topo *parallel.Topology, opt BuildOptions) ([]*statedict.StateDict, error) {
+	out := make([]*statedict.StateDict, topo.World())
+	for rank := range out {
+		sd, err := BuildWorkerStateDict(c, topo, rank, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[rank] = sd
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"eccheck/internal/parallel"
+)
+
+func scaledOptions() BuildOptions {
+	opt := NewBuildOptions()
+	opt.Scale = 16
+	opt.Seed = 7
+	opt.Iteration = 100
+	return opt
+}
+
+func TestBuildWorkerStateDictStructure(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GPT2_345M()
+	sd, err := BuildWorkerStateDict(c, topo, 0, scaledOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 0 carries embeddings.
+	if _, ok := sd.Tensor("embedding.word.weight"); !ok {
+		t.Error("stage 0 missing word embedding")
+	}
+	// Every model tensor has two optimizer moments.
+	var modelTensors, optTensors int
+	for _, e := range sd.TensorEntries() {
+		if strings.HasPrefix(e.Key, "optimizer.") {
+			optTensors++
+		} else {
+			modelTensors++
+		}
+	}
+	if optTensors != 2*modelTensors {
+		t.Errorf("optimizer tensors %d, want 2x model tensors %d", optTensors, modelTensors)
+	}
+	// Metadata present.
+	if v, ok := sd.Meta("iteration"); !ok {
+		t.Error("missing iteration meta")
+	} else if iter, _ := v.AsInt(); iter != 100 {
+		t.Errorf("iteration = %d", iter)
+	}
+	if _, ok := sd.Meta("rng_state"); !ok {
+		t.Error("missing rng_state meta")
+	}
+}
+
+func TestBuildStage1HasNoEmbeddingButHasItsLayers(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GPT2_345M() // 24 layers over 4 stages: 6 each
+	sd, err := BuildWorkerStateDict(c, topo, 4, scaledOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sd.Tensor("embedding.word.weight"); ok {
+		t.Error("stage 1 should not hold embeddings")
+	}
+	if _, ok := sd.Tensor("layers.6.attn.qkv.weight"); !ok {
+		t.Error("stage 1 missing its first layer (6)")
+	}
+	if _, ok := sd.Tensor("layers.5.attn.qkv.weight"); ok {
+		t.Error("stage 1 holds stage-0 layer 5")
+	}
+	if _, ok := sd.Tensor("layers.12.attn.qkv.weight"); ok {
+		t.Error("stage 1 holds stage-2 layer 12")
+	}
+}
+
+func TestBuildDeterministicAndRankDistinct(t *testing.T) {
+	topo, err := parallel.NewTopology(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GPT2_345M()
+	opt := scaledOptions()
+	a1, err := BuildWorkerStateDict(c, topo, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := BuildWorkerStateDict(c, topo, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Error("same rank and seed produced different dicts")
+	}
+	b, err := BuildWorkerStateDict(c, topo, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 1 and 3 share the PP stage and differ in TP rank: same keys,
+	// different bytes.
+	if a1.Equal(b) {
+		t.Error("different ranks produced identical dicts")
+	}
+
+	opt2 := opt
+	opt2.Iteration = 101
+	opt2.Seed = 8
+	a3, err := BuildWorkerStateDict(c, topo, 1, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Equal(a3) {
+		t.Error("different seed produced identical dict")
+	}
+}
+
+func TestBuildTPShardsShrink(t *testing.T) {
+	c := GPT2_345M()
+	topoTP4, err := parallel.NewTopology(1, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoTP1, err := parallel.NewTopology(1, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := scaledOptions()
+	sd4, err := BuildWorkerStateDict(c, topoTP4, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd1, err := BuildWorkerStateDict(c, topoTP1, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP=4 shards the big matrices: roughly a quarter of the bytes
+	// (LayerNorm and some biases stay replicated).
+	ratio := float64(sd1.TensorBytes()) / float64(sd4.TensorBytes())
+	if ratio < 3.0 || ratio > 4.5 {
+		t.Errorf("TP1/TP4 byte ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	topo, err := parallel.NewTopology(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GPT2_345M()
+	opt := NewBuildOptions()
+	opt.Scale = 0
+	if _, err := BuildWorkerStateDict(c, topo, 0, opt); err == nil {
+		t.Error("scale 0: want error")
+	}
+	opt.Scale = 1 << 20 // collapses dimensions
+	if _, err := BuildWorkerStateDict(c, topo, 0, opt); err == nil {
+		t.Error("absurd scale: want error")
+	}
+	opt = NewBuildOptions()
+	opt.Scale = 16
+	if _, err := BuildWorkerStateDict(c, topo, 99, opt); err == nil {
+		t.Error("bad rank: want error")
+	}
+	bad := c
+	bad.Layers = 0
+	if _, err := BuildWorkerStateDict(bad, topo, 0, opt); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+func TestBuildClusterStateDicts(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dicts, err := BuildClusterStateDicts(GPT2_345M(), topo, scaledOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dicts) != topo.World() {
+		t.Fatalf("got %d dicts, want %d", len(dicts), topo.World())
+	}
+	for rank, sd := range dicts {
+		if sd.TensorBytes() == 0 {
+			t.Errorf("rank %d: empty shard", rank)
+		}
+		v, ok := sd.Meta("world_rank")
+		if !ok {
+			t.Fatalf("rank %d: missing world_rank", rank)
+		}
+		if got, _ := v.AsInt(); got != int64(rank) {
+			t.Errorf("rank %d: world_rank meta = %d", rank, got)
+		}
+	}
+}
+
+func TestBuildWithoutOptimizer(t *testing.T) {
+	topo, err := parallel.NewTopology(1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := scaledOptions()
+	opt.WithOptimizer = false
+	sd, err := BuildWorkerStateDict(GPT2_345M(), topo, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sd.TensorEntries() {
+		if strings.HasPrefix(e.Key, "optimizer.") {
+			t.Fatalf("optimizer tensor %q present with WithOptimizer=false", e.Key)
+		}
+	}
+}
+
+func TestBuildT5AndBERTFamilies(t *testing.T) {
+	topo, err := parallel.NewTopology(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := scaledOptions()
+	zoo := TableI()
+	var bert, t5 Config
+	for _, c := range zoo {
+		switch {
+		case c.Family == BERT && c.HiddenSize == 1600:
+			bert = c
+		case c.Family == T5 && c.HiddenSize == 1600:
+			t5 = c
+		}
+	}
+	opt.Scale = 32 // 1600/32 = 50, divisible by TP degree 2
+
+	sdBert, err := BuildWorkerStateDict(bert, topo, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sdBert.Tensor("embedding.position.weight"); !ok {
+		t.Error("BERT stage 0 should carry position embeddings")
+	}
+
+	sdT5, err := BuildWorkerStateDict(t5, topo, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T5 uses relative position bias, not an absolute position table.
+	if _, ok := sdT5.Tensor("embedding.position.weight"); ok {
+		t.Error("T5 should not carry an absolute position table")
+	}
+	if _, ok := sdT5.Tensor("embedding.word.weight"); !ok {
+		t.Error("T5 stage 0 missing word embeddings")
+	}
+}
+
+func TestShardBytesConsistentWithBuildScaling(t *testing.T) {
+	// The analytic shard size at full scale and the built shard at 1/s
+	// scale should agree within the s^2 area scaling of the dominant
+	// matrices (vocab and hidden both shrink by s).
+	topo, err := parallel.NewTopology(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GPT2_345M()
+	opt := NewBuildOptions()
+	opt.Scale = 16
+	sd, err := BuildWorkerStateDict(cfg, topo, 2, opt) // a middle-stage worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := ShardParams(cfg, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtParams := float64(sd.TensorBytes()) / 4 / 3 // fp32, 3 copies (w, m, v)
+	fullEquivalent := builtParams * float64(opt.Scale*opt.Scale)
+	ratio := fullEquivalent / float64(analytic)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("built/analytic shard ratio %.2f; scaling model inconsistent", ratio)
+	}
+}

@@ -1,0 +1,268 @@
+// Package model provides the transformer model zoo of the paper's
+// evaluation (Table I: GPT-2, BERT and T5 at 1.6B/5.3B/20B parameters),
+// analytic parameter counting, checkpoint sizing, and construction of
+// per-worker sharded state dicts under hybrid parallelism.
+//
+// Parameter counts are derived from the standard transformer layer algebra
+// (≈12·h² per GPT/BERT layer, ≈14·h² averaged per T5 layer) so that Table I
+// reproduces analytically, and checkpoint bytes follow the mixed-precision
+// Adam layout used by Megatron-style training.
+package model
+
+import (
+	"fmt"
+
+	"eccheck/internal/parallel"
+)
+
+// Family enumerates the model families of Table I.
+type Family int
+
+// Model families evaluated in the paper.
+const (
+	GPT2 Family = iota + 1
+	BERT
+	T5
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case GPT2:
+		return "GPT-2"
+	case BERT:
+		return "BERT"
+	case T5:
+		return "T5"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// DefaultVocabSize matches the paper's consistent 50,257-token vocabulary.
+const DefaultVocabSize = 50257
+
+// DefaultSeqLen is the positional-embedding table length.
+const DefaultSeqLen = 1024
+
+// DefaultBytesPerParam is the checkpointed bytes per parameter under
+// mixed-precision Adam: fp32 master weights (4) + fp32 exp_avg (4) +
+// fp32 exp_avg_sq (4) + fp16 model copy (2) + padding/metadata slack (2).
+const DefaultBytesPerParam = 16
+
+// Config describes one model configuration.
+type Config struct {
+	// Name is a short label such as "GPT-2 5.3B".
+	Name string
+	// Family selects the architecture's parameter algebra.
+	Family Family
+	// HiddenSize is the transformer width h.
+	HiddenSize int
+	// Layers is the total transformer layer count (encoder+decoder for T5).
+	Layers int
+	// AttentionHeads is the head count (must divide HiddenSize).
+	AttentionHeads int
+	// VocabSize is the token vocabulary size.
+	VocabSize int
+	// SeqLen is the maximum sequence length (positional table size).
+	SeqLen int
+	// BytesPerParam converts parameters to checkpoint bytes.
+	BytesPerParam int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.HiddenSize <= 0 || c.Layers <= 0 || c.AttentionHeads <= 0 {
+		return fmt.Errorf("model: non-positive dimension in %q (h=%d, L=%d, heads=%d)",
+			c.Name, c.HiddenSize, c.Layers, c.AttentionHeads)
+	}
+	if c.HiddenSize%c.AttentionHeads != 0 {
+		return fmt.Errorf("model: hidden %d not divisible by heads %d in %q",
+			c.HiddenSize, c.AttentionHeads, c.Name)
+	}
+	if c.VocabSize <= 0 || c.SeqLen <= 0 || c.BytesPerParam <= 0 {
+		return fmt.Errorf("model: non-positive vocab/seq/bytes-per-param in %q", c.Name)
+	}
+	if c.Family == T5 && c.Layers%2 != 0 {
+		return fmt.Errorf("model: T5 config %q needs an even layer count, got %d", c.Name, c.Layers)
+	}
+	switch c.Family {
+	case GPT2, BERT, T5:
+		return nil
+	default:
+		return fmt.Errorf("model: unknown family %d in %q", int(c.Family), c.Name)
+	}
+}
+
+// layerParams returns the parameters of one transformer layer.
+func (c Config) layerParams() int64 {
+	h := int64(c.HiddenSize)
+	switch c.Family {
+	case GPT2, BERT:
+		// QKV (3h²+3h) + attn proj (h²+h) + MLP (8h²+5h) + 2 LayerNorms (4h).
+		return 12*h*h + 13*h
+	case T5:
+		// Averaged over encoder (12h², no biases, RMSNorm) and decoder
+		// (16h² with cross-attention): 14h² + 2.5h norms ≈ 14h² + 3h.
+		return 14*h*h + 3*h
+	default:
+		return 0
+	}
+}
+
+// embeddingParams returns embedding and head parameters.
+func (c Config) embeddingParams() int64 {
+	h := int64(c.HiddenSize)
+	v := int64(c.VocabSize)
+	s := int64(c.SeqLen)
+	switch c.Family {
+	case GPT2:
+		// Token embedding (tied with output head) + learned positions + final LN.
+		return v*h + s*h + 2*h
+	case BERT:
+		// Token + position + token-type embeddings, embedding LN, pooler.
+		return v*h + s*h + 2*h + 2*h + (h*h + h)
+	case T5:
+		// Shared token embedding + relative position bias tables.
+		return v*h + int64(c.AttentionHeads)*32*2
+	default:
+		return 0
+	}
+}
+
+// ParamCount returns the total parameter count.
+func (c Config) ParamCount() int64 {
+	return int64(c.Layers)*c.layerParams() + c.embeddingParams()
+}
+
+// CheckpointBytes returns the full-model checkpoint size in bytes.
+func (c Config) CheckpointBytes() int64 {
+	return c.ParamCount() * int64(c.BytesPerParam)
+}
+
+// String describes the config.
+func (c Config) String() string {
+	return fmt.Sprintf("%s (h=%d, L=%d, heads=%d, %.1fB params)",
+		c.Name, c.HiddenSize, c.Layers, c.AttentionHeads, float64(c.ParamCount())/1e9)
+}
+
+func tableConfig(f Family, label string, hidden, heads, layers int) Config {
+	return Config{
+		Name:           fmt.Sprintf("%s %s", f, label),
+		Family:         f,
+		HiddenSize:     hidden,
+		Layers:         layers,
+		AttentionHeads: heads,
+		VocabSize:      DefaultVocabSize,
+		SeqLen:         DefaultSeqLen,
+		BytesPerParam:  DefaultBytesPerParam,
+	}
+}
+
+// TableI returns the nine model configurations of the paper's Table I.
+func TableI() []Config {
+	sizes := []struct {
+		label  string
+		hidden int
+		heads  int
+		layers int
+	}{
+		{"1.6B", 1600, 32, 48},
+		{"5.3B", 2560, 40, 64},
+		{"20B", 5120, 40, 64},
+	}
+	out := make([]Config, 0, 9)
+	for _, fam := range []Family{GPT2, BERT, T5} {
+		for _, s := range sizes {
+			out = append(out, tableConfig(fam, s.label, s.hidden, s.heads, s.layers))
+		}
+	}
+	return out
+}
+
+// GPT2Size returns the Table I GPT-2 config with the given label ("1.6B",
+// "5.3B" or "20B").
+func GPT2Size(label string) (Config, error) {
+	for _, c := range TableI() {
+		if c.Family == GPT2 && c.Name == "GPT-2 "+label {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: no GPT-2 config labelled %q", label)
+}
+
+// GPT2_345M returns the small GPT-2 used by the paper's Fig. 4
+// serialization-overhead study (its state dict is ≈6.5 GB).
+func GPT2_345M() Config {
+	return tableConfig(GPT2, "345M", 1024, 16, 24)
+}
+
+// ScalabilityConfig returns the Fig. 14 model: GPT-2 with hidden size 1024
+// and a layer count scaled with the GPU count so per-GPU state stays
+// constant (16 layers at 4 GPUs up to 128 layers at 32 GPUs).
+func ScalabilityConfig(layers int) Config {
+	return tableConfig(GPT2, fmt.Sprintf("scale-L%d", layers), 1024, 16, layers)
+}
+
+// ShardParams returns the analytic parameter count held by one worker under
+// the topology: its pipeline stage's slice of layers divided by the TP
+// degree, plus the embedding slice on the first stage.
+func ShardParams(c Config, topo *parallel.Topology, rank int) (int64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	stage, err := topo.PPStage(rank)
+	if err != nil {
+		return 0, err
+	}
+	layers, err := StageLayers(c, topo, stage)
+	if err != nil {
+		return 0, err
+	}
+	tp := int64(topo.TPDegree())
+	params := int64(layers) * c.layerParams() / tp
+	if stage == 0 {
+		params += c.embeddingParams() / tp
+	}
+	return params, nil
+}
+
+// StageLayers returns how many layers pipeline stage s owns. Layers are
+// distributed as evenly as possible, earlier stages taking the remainder.
+func StageLayers(c Config, topo *parallel.Topology, stage int) (int, error) {
+	pp := topo.PPStages()
+	if stage < 0 || stage >= pp {
+		return 0, fmt.Errorf("model: stage %d out of range [0, %d)", stage, pp)
+	}
+	base := c.Layers / pp
+	extra := c.Layers % pp
+	if stage < extra {
+		return base + 1, nil
+	}
+	return base, nil
+}
+
+// ShardBytes returns the checkpoint bytes one worker holds.
+func ShardBytes(c Config, topo *parallel.Topology, rank int) (int64, error) {
+	p, err := ShardParams(c, topo, rank)
+	if err != nil {
+		return 0, err
+	}
+	return p * int64(c.BytesPerParam), nil
+}
+
+// MaxShardBytes returns the largest per-worker checkpoint shard, the value
+// that sizes buffers and determines per-chunk coding volume.
+func MaxShardBytes(c Config, topo *parallel.Topology) (int64, error) {
+	var maxBytes int64
+	for rank := 0; rank < topo.World(); rank++ {
+		b, err := ShardBytes(c, topo, rank)
+		if err != nil {
+			return 0, err
+		}
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	return maxBytes, nil
+}

@@ -1,0 +1,197 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"eccheck/internal/parallel"
+)
+
+// Table I labels each configuration with a nominal size; the analytic count
+// must land near it (the paper rounds, so allow 25%).
+func TestTableISizesMatchLabels(t *testing.T) {
+	want := map[string]float64{"1.6B": 1.6e9, "5.3B": 5.3e9, "20B": 20e9}
+	configs := TableI()
+	if len(configs) != 9 {
+		t.Fatalf("TableI has %d configs, want 9", len(configs))
+	}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		var label string
+		for l := range want {
+			if strings.HasSuffix(c.Name, l) {
+				label = l
+			}
+		}
+		if label == "" {
+			t.Errorf("%s: no size label", c.Name)
+			continue
+		}
+		got := float64(c.ParamCount())
+		if ratio := got / want[label]; ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("%s: %.2fB params, label %s (ratio %.2f)", c.Name, got/1e9, label, ratio)
+		}
+	}
+}
+
+// The paper reports the GPT-2 345M state dict at ≈6.5 GB; with our
+// bytes-per-param model the checkpoint must land in that neighbourhood.
+func TestGPT2_345MCheckpointSize(t *testing.T) {
+	c := GPT2_345M()
+	params := float64(c.ParamCount())
+	if params < 300e6 || params > 420e6 {
+		t.Errorf("GPT-2 345M param count = %.0fM", params/1e6)
+	}
+	ckpt := float64(c.CheckpointBytes())
+	if ckpt < 4e9 || ckpt > 8e9 {
+		t.Errorf("GPT-2 345M checkpoint = %.2f GB, want ≈6.5 GB", ckpt/1e9)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := GPT2_345M()
+	bad := base
+	bad.HiddenSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero hidden: want error")
+	}
+	bad = base
+	bad.AttentionHeads = 7 // does not divide 1024
+	if err := bad.Validate(); err == nil {
+		t.Error("heads not dividing hidden: want error")
+	}
+	bad = base
+	bad.VocabSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero vocab: want error")
+	}
+	bad = base
+	bad.Family = Family(99)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown family: want error")
+	}
+	bad = tableConfig(T5, "odd", 1024, 16, 25)
+	if err := bad.Validate(); err == nil {
+		t.Error("odd T5 layers: want error")
+	}
+}
+
+func TestScalabilityConfigsScaleLinearly(t *testing.T) {
+	// Fig. 14 keeps per-GPU parameters constant: doubling layers with GPUs
+	// must double the total parameter count (embeddings aside).
+	c16 := ScalabilityConfig(16)
+	c128 := ScalabilityConfig(128)
+	perLayer := float64(c128.ParamCount()-c16.ParamCount()) / 112
+	if perLayer <= 0 {
+		t.Fatal("layer params not positive")
+	}
+	ratio := float64(c128.ParamCount()) / float64(c16.ParamCount())
+	if ratio < 5 || ratio > 8.5 { // 8x layers, sublinear due to embeddings
+		t.Errorf("128/16 layer param ratio = %.2f", ratio)
+	}
+}
+
+func TestShardParamsSumToModel(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Config{GPT2_345M(), TableI()[0]} {
+		var total int64
+		for rank := 0; rank < topo.World(); rank++ {
+			p, err := ShardParams(c, topo, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += p
+		}
+		// With DP=1 the shards tile the model exactly (up to TP rounding).
+		want := c.ParamCount()
+		if math.Abs(float64(total-want)) > float64(want)/1000 {
+			t.Errorf("%s: shards sum to %d, model has %d", c.Name, total, want)
+		}
+	}
+}
+
+func TestShardParamsStageZeroLargest(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GPT2_345M()
+	p0, err := ShardParams(c, topo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ShardParams(c, topo, 4) // stage 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 <= p1 {
+		t.Errorf("stage 0 shard (%d) should exceed stage 1 (%d): embeddings", p0, p1)
+	}
+	maxB, err := MaxShardBytes(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := ShardBytes(c, topo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxB != b0 {
+		t.Errorf("MaxShardBytes = %d, want stage-0 %d", maxB, b0)
+	}
+}
+
+func TestStageLayersDistribution(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tableConfig(GPT2, "x", 1024, 16, 26) // 26 layers over 4 stages
+	got := make([]int, 4)
+	total := 0
+	for s := range got {
+		n, err := StageLayers(c, topo, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[s] = n
+		total += n
+	}
+	if total != 26 {
+		t.Errorf("stages hold %d layers, want 26", total)
+	}
+	if got[0] != 7 || got[1] != 7 || got[2] != 6 || got[3] != 6 {
+		t.Errorf("layer split = %v, want [7 7 6 6]", got)
+	}
+	if _, err := StageLayers(c, topo, 4); err == nil {
+		t.Error("stage out of range: want error")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if GPT2.String() != "GPT-2" || BERT.String() != "BERT" || T5.String() != "T5" {
+		t.Error("family names wrong")
+	}
+	if !strings.Contains(Family(42).String(), "42") {
+		t.Error("unknown family String should include the number")
+	}
+}
+
+func TestGPT2SizeLookup(t *testing.T) {
+	c, err := GPT2Size("5.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HiddenSize != 2560 || c.Layers != 64 {
+		t.Errorf("GPT-2 5.3B config = %+v", c)
+	}
+	if _, err := GPT2Size("7B"); err == nil {
+		t.Error("unknown label: want error")
+	}
+}

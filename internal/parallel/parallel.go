@@ -1,0 +1,182 @@
+// Package parallel models the distributed-training topology ECCheck runs
+// under: n nodes with g GPUs (workers) each, combining tensor parallelism
+// within nodes, pipeline parallelism across nodes, and data parallelism over
+// replicas. The topology determines how the model state dict is sharded —
+// and therefore what every worker checkpoints — and supplies the
+// origin_group / data_group interval structure the node-selection algorithm
+// consumes.
+package parallel
+
+import "fmt"
+
+// Topology describes a hybrid-parallel training cluster.
+type Topology struct {
+	nodes       int
+	gpusPerNode int
+	tpDegree    int
+	ppStages    int
+	dpDegree    int
+}
+
+// NewTopology validates and constructs a topology. The world size
+// (nodes·gpusPerNode) must factor exactly as tpDegree·ppStages·dpDegree,
+// with the data-parallel degree inferred.
+func NewTopology(nodes, gpusPerNode, tpDegree, ppStages int) (*Topology, error) {
+	if nodes <= 0 || gpusPerNode <= 0 {
+		return nil, fmt.Errorf("parallel: need positive nodes and GPUs per node (got %d, %d)",
+			nodes, gpusPerNode)
+	}
+	if tpDegree <= 0 || ppStages <= 0 {
+		return nil, fmt.Errorf("parallel: need positive TP degree and PP stages (got %d, %d)",
+			tpDegree, ppStages)
+	}
+	world := nodes * gpusPerNode
+	if world%(tpDegree*ppStages) != 0 {
+		return nil, fmt.Errorf("parallel: world size %d not divisible by tp*pp = %d",
+			world, tpDegree*ppStages)
+	}
+	return &Topology{
+		nodes:       nodes,
+		gpusPerNode: gpusPerNode,
+		tpDegree:    tpDegree,
+		ppStages:    ppStages,
+		dpDegree:    world / (tpDegree * ppStages),
+	}, nil
+}
+
+// Nodes returns the machine count n.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// GPUsPerNode returns the worker count per machine g.
+func (t *Topology) GPUsPerNode() int { return t.gpusPerNode }
+
+// World returns the total worker count W = n·g.
+func (t *Topology) World() int { return t.nodes * t.gpusPerNode }
+
+// TPDegree returns the tensor-parallel group size.
+func (t *Topology) TPDegree() int { return t.tpDegree }
+
+// PPStages returns the number of pipeline stages.
+func (t *Topology) PPStages() int { return t.ppStages }
+
+// DPDegree returns the number of data-parallel replicas.
+func (t *Topology) DPDegree() int { return t.dpDegree }
+
+// NodeOf returns the machine hosting the given world rank.
+func (t *Topology) NodeOf(rank int) (int, error) {
+	if rank < 0 || rank >= t.World() {
+		return 0, fmt.Errorf("parallel: rank %d out of range [0, %d)", rank, t.World())
+	}
+	return rank / t.gpusPerNode, nil
+}
+
+// LocalRank returns the within-node index of the given world rank.
+func (t *Topology) LocalRank(rank int) (int, error) {
+	if rank < 0 || rank >= t.World() {
+		return 0, fmt.Errorf("parallel: rank %d out of range [0, %d)", rank, t.World())
+	}
+	return rank % t.gpusPerNode, nil
+}
+
+// Rank assignment follows the Megatron convention with TP innermost (so TP
+// groups sit on contiguous ranks inside a node and use NVLink), then PP,
+// then DP outermost.
+
+// TPRank returns the worker's index within its tensor-parallel group.
+func (t *Topology) TPRank(rank int) (int, error) {
+	if rank < 0 || rank >= t.World() {
+		return 0, fmt.Errorf("parallel: rank %d out of range [0, %d)", rank, t.World())
+	}
+	return rank % t.tpDegree, nil
+}
+
+// PPStage returns the worker's pipeline stage.
+func (t *Topology) PPStage(rank int) (int, error) {
+	if rank < 0 || rank >= t.World() {
+		return 0, fmt.Errorf("parallel: rank %d out of range [0, %d)", rank, t.World())
+	}
+	return (rank / t.tpDegree) % t.ppStages, nil
+}
+
+// DPReplica returns the worker's data-parallel replica index.
+func (t *Topology) DPReplica(rank int) (int, error) {
+	if rank < 0 || rank >= t.World() {
+		return 0, fmt.Errorf("parallel: rank %d out of range [0, %d)", rank, t.World())
+	}
+	return rank / (t.tpDegree * t.ppStages), nil
+}
+
+// Interval is a half-open range [Start, End) over world ranks.
+type Interval struct {
+	Start int
+	End   int
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+// Overlap returns the length of the intersection with other.
+func (iv Interval) Overlap(other Interval) int {
+	lo := iv.Start
+	if other.Start > lo {
+		lo = other.Start
+	}
+	hi := iv.End
+	if other.End < hi {
+		hi = other.End
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// OriginGroups returns the physical distribution of workers across
+// machines: interval i covers the ranks hosted by node i.
+func (t *Topology) OriginGroups() []Interval {
+	out := make([]Interval, t.nodes)
+	for i := range out {
+		out[i] = Interval{Start: i * t.gpusPerNode, End: (i + 1) * t.gpusPerNode}
+	}
+	return out
+}
+
+// DataGroups partitions the world into k equal logical groups, the
+// data_group structure of the node-selection problem. k must divide the
+// world size.
+func (t *Topology) DataGroups(k int) ([]Interval, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("parallel: k must be positive, got %d", k)
+	}
+	world := t.World()
+	if world%k != 0 {
+		return nil, fmt.Errorf("parallel: k=%d does not divide world size %d", k, world)
+	}
+	span := world / k
+	out := make([]Interval, k)
+	for i := range out {
+		out[i] = Interval{Start: i * span, End: (i + 1) * span}
+	}
+	return out, nil
+}
+
+// ReductionGroups divides the W workers into W/k reduction groups of k
+// workers each: group r contains the workers with relative index r inside
+// each of the k data groups. Each reduction group performs m XOR reductions
+// during checkpointing.
+func (t *Topology) ReductionGroups(k int) ([][]int, error) {
+	dataGroups, err := t.DataGroups(k)
+	if err != nil {
+		return nil, err
+	}
+	span := t.World() / k
+	out := make([][]int, span)
+	for r := 0; r < span; r++ {
+		group := make([]int, k)
+		for j, dg := range dataGroups {
+			group[j] = dg.Start + r
+		}
+		out[r] = group
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package parallel
+
+import "testing"
+
+func mustTopo(t *testing.T, nodes, gpus, tp, pp int) *Topology {
+	t.Helper()
+	topo, err := NewTopology(nodes, gpus, tp, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// The paper's testbed: 4 nodes × 4 GPUs, TP=4 within a node, PP=4 across.
+func TestPaperTestbedTopology(t *testing.T) {
+	topo := mustTopo(t, 4, 4, 4, 4)
+	if topo.World() != 16 {
+		t.Errorf("World() = %d", topo.World())
+	}
+	if topo.DPDegree() != 1 {
+		t.Errorf("DPDegree() = %d, want 1", topo.DPDegree())
+	}
+	// TP groups are contiguous within nodes; each node is one PP stage.
+	for rank := 0; rank < 16; rank++ {
+		node, err := topo.NodeOf(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stage, err := topo.PPStage(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != stage {
+			t.Errorf("rank %d: node %d != stage %d", rank, node, stage)
+		}
+		tpRank, err := topo.TPRank(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := topo.LocalRank(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tpRank != local {
+			t.Errorf("rank %d: tpRank %d != localRank %d", rank, tpRank, local)
+		}
+	}
+}
+
+func TestHybridWithDataParallel(t *testing.T) {
+	// Fig. 1 of the paper: 4 nodes × 4 GPUs, 2 PP stages, TP=4, so DP=2.
+	topo := mustTopo(t, 4, 4, 4, 2)
+	if topo.DPDegree() != 2 {
+		t.Fatalf("DPDegree() = %d, want 2", topo.DPDegree())
+	}
+	// Each (stage, replica) pair must contain exactly tp workers.
+	count := map[[2]int]int{}
+	for rank := 0; rank < topo.World(); rank++ {
+		stage, _ := topo.PPStage(rank)
+		rep, _ := topo.DPReplica(rank)
+		count[[2]int{stage, rep}]++
+	}
+	if len(count) != 4 {
+		t.Fatalf("%d (stage, replica) pairs, want 4", len(count))
+	}
+	for key, c := range count {
+		if c != 4 {
+			t.Errorf("pair %v has %d workers, want 4", key, c)
+		}
+	}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(0, 4, 1, 1); err == nil {
+		t.Error("zero nodes: want error")
+	}
+	if _, err := NewTopology(4, 0, 1, 1); err == nil {
+		t.Error("zero gpus: want error")
+	}
+	if _, err := NewTopology(4, 4, 0, 1); err == nil {
+		t.Error("zero tp: want error")
+	}
+	if _, err := NewTopology(4, 4, 1, 0); err == nil {
+		t.Error("zero pp: want error")
+	}
+	if _, err := NewTopology(4, 4, 3, 1); err == nil {
+		t.Error("tp*pp does not divide world: want error")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	topo := mustTopo(t, 2, 2, 2, 2)
+	for _, bad := range []int{-1, 4, 100} {
+		if _, err := topo.NodeOf(bad); err == nil {
+			t.Errorf("NodeOf(%d): want error", bad)
+		}
+		if _, err := topo.LocalRank(bad); err == nil {
+			t.Errorf("LocalRank(%d): want error", bad)
+		}
+		if _, err := topo.TPRank(bad); err == nil {
+			t.Errorf("TPRank(%d): want error", bad)
+		}
+		if _, err := topo.PPStage(bad); err == nil {
+			t.Errorf("PPStage(%d): want error", bad)
+		}
+		if _, err := topo.DPReplica(bad); err == nil {
+			t.Errorf("DPReplica(%d): want error", bad)
+		}
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Interval
+		want int
+	}{
+		{Interval{0, 4}, Interval{2, 6}, 2},
+		{Interval{0, 4}, Interval{4, 8}, 0},
+		{Interval{0, 8}, Interval{2, 4}, 2},
+		{Interval{5, 9}, Interval{0, 3}, 0},
+		{Interval{0, 4}, Interval{0, 4}, 4},
+	} {
+		if got := tc.a.Overlap(tc.b); got != tc.want {
+			t.Errorf("Overlap(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlap(tc.a); got != tc.want {
+			t.Errorf("Overlap not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+// The Fig. 9 example: 3 nodes × 2 GPUs, k=2 ->
+// origin_group = [[0,1],[2,3],[4,5]], data_group = [[0,1,2],[3,4,5]].
+func TestFig9Groups(t *testing.T) {
+	topo := mustTopo(t, 3, 2, 2, 3)
+	origins := topo.OriginGroups()
+	wantOrigins := []Interval{{0, 2}, {2, 4}, {4, 6}}
+	if len(origins) != len(wantOrigins) {
+		t.Fatalf("got %d origin groups", len(origins))
+	}
+	for i := range origins {
+		if origins[i] != wantOrigins[i] {
+			t.Errorf("origin %d = %v, want %v", i, origins[i], wantOrigins[i])
+		}
+	}
+	data, err := topo.DataGroups(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData := []Interval{{0, 3}, {3, 6}}
+	for i := range data {
+		if data[i] != wantData[i] {
+			t.Errorf("data %d = %v, want %v", i, data[i], wantData[i])
+		}
+	}
+}
+
+func TestDataGroupsValidation(t *testing.T) {
+	topo := mustTopo(t, 4, 4, 4, 4)
+	if _, err := topo.DataGroups(0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := topo.DataGroups(3); err == nil {
+		t.Error("k=3 does not divide 16: want error")
+	}
+}
+
+// ReductionGroups: W/k groups of k workers, one per data group at the same
+// relative index; together they partition the world.
+func TestReductionGroups(t *testing.T) {
+	topo := mustTopo(t, 4, 4, 4, 4)
+	groups, err := topo.ReductionGroups(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 8 { // W/k = 16/2
+		t.Fatalf("got %d reduction groups, want 8", len(groups))
+	}
+	seen := map[int]bool{}
+	for r, g := range groups {
+		if len(g) != 2 {
+			t.Fatalf("group %d has %d workers, want 2", r, len(g))
+		}
+		// Worker j of group r is data group j's rank at relative index r.
+		if g[0] != r || g[1] != 8+r {
+			t.Errorf("group %d = %v, want [%d %d]", r, g, r, 8+r)
+		}
+		for _, w := range g {
+			if seen[w] {
+				t.Errorf("worker %d appears in two reduction groups", w)
+			}
+			seen[w] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("reduction groups cover %d workers, want 16", len(seen))
+	}
+}

@@ -1,0 +1,379 @@
+// Package placement compiles the communication structure of one ECCheck
+// checkpointing round: which machines act as data or parity nodes (sweep
+// line maximum-overlap selection), how the W workers form reduction groups,
+// which worker is the target of every XOR reduction (the three k/m cases of
+// the paper), and which point-to-point transfers finish placing data and
+// parity chunks. The plan is symbolic — sizes are in packets — so both the
+// functional executor and the discrete-event timing model can replay it.
+package placement
+
+import (
+	"fmt"
+
+	"eccheck/internal/parallel"
+	"eccheck/internal/sweepline"
+)
+
+// Role classifies a machine for one checkpointing round.
+type Role int
+
+// Machine roles.
+const (
+	RoleData Role = iota + 1
+	RoleParity
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleData:
+		return "data"
+	case RoleParity:
+		return "parity"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Reduction describes one XOR reduction: the workers of a reduction group
+// combine their encoded packets for one parity index onto a target worker.
+type Reduction struct {
+	// Group is the index of the reduction group.
+	Group int
+	// ParityIndex identifies which parity chunk (0..m-1) this result
+	// belongs to.
+	ParityIndex int
+	// Workers are the k participants (one per data group).
+	Workers []int
+	// Target is the worker that accumulates the XOR result.
+	Target int
+	// TargetOnParityNode reports whether the target already resides on the
+	// parity node that must store the result (no P2P needed afterwards).
+	TargetOnParityNode bool
+}
+
+// TransferKind distinguishes P2P transfer purposes.
+type TransferKind int
+
+// Transfer kinds.
+const (
+	// TransferData moves a worker's original data packet to its data node.
+	TransferData TransferKind = iota + 1
+	// TransferParity moves a reduced parity packet to its parity node.
+	TransferParity
+)
+
+// Transfer is one point-to-point packet movement between machines.
+type Transfer struct {
+	Kind TransferKind
+	// SrcWorker is the worker whose memory holds the packet.
+	SrcWorker int
+	// SrcNode and DstNode are machine indices.
+	SrcNode int
+	DstNode int
+	// ChunkIndex is the destination chunk: data chunk j for TransferData,
+	// k+i for TransferParity.
+	ChunkIndex int
+	// SegmentIndex is the packet's position (relative index) within the
+	// destination chunk.
+	SegmentIndex int
+}
+
+// Plan is the full communication structure of a checkpointing round.
+type Plan struct {
+	// K and M are the erasure-code parameters; K+M equals the node count.
+	K, M int
+	// Topo is the training topology the plan was compiled for.
+	Topo *parallel.Topology
+	// DataNodes[j] is the machine storing data chunk j.
+	DataNodes []int
+	// ParityNodes[i] is the machine storing parity chunk i.
+	ParityNodes []int
+	// Roles[node] is each machine's role.
+	Roles []Role
+	// ChunkOfNode[node] is the chunk the machine stores: j for data chunk
+	// j, K+i for parity chunk i.
+	ChunkOfNode []int
+	// DataGroupOf[worker] is the data group (chunk) a worker's packet
+	// belongs to.
+	DataGroupOf []int
+	// SegmentOf[worker] is the worker's relative index within its data
+	// group: its packet's segment position inside the chunk.
+	SegmentOf []int
+	// Reductions lists every XOR reduction (W/k groups × m parity indices).
+	Reductions []Reduction
+	// Transfers lists every P2P packet movement.
+	Transfers []Transfer
+}
+
+// New compiles a plan with the paper's sweep-line data/parity node
+// selection. k must divide the world size and k+m must equal the number of
+// machines (each machine stores exactly one chunk).
+func New(topo *parallel.Topology, k, m int) (*Plan, error) {
+	if err := validateParams(topo, k, m); err != nil {
+		return nil, err
+	}
+	origins := topo.OriginGroups()
+	dataGroups, err := topo.DataGroups(k)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := sweepline.SelectDataNodes(origins, dataGroups)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithDataNodes(topo, k, m, sel.DataNodes)
+}
+
+func validateParams(topo *parallel.Topology, k, m int) error {
+	if k <= 0 || m <= 0 {
+		return fmt.Errorf("placement: k and m must be positive (k=%d, m=%d)", k, m)
+	}
+	if k+m != topo.Nodes() {
+		return fmt.Errorf("placement: k+m = %d must equal node count %d", k+m, topo.Nodes())
+	}
+	if topo.World()%k != 0 {
+		return fmt.Errorf("placement: k=%d does not divide world size %d", k, topo.World())
+	}
+	return nil
+}
+
+// NewWithDataNodes compiles a plan with an explicit data-node assignment
+// (dataNodes[j] stores data chunk j). It exists for ablations comparing
+// the sweep-line selection against naive assignments; production callers
+// should use New.
+func NewWithDataNodes(topo *parallel.Topology, k, m int, dataNodes []int) (*Plan, error) {
+	if err := validateParams(topo, k, m); err != nil {
+		return nil, err
+	}
+	n := topo.Nodes()
+	world := topo.World()
+	if len(dataNodes) != k {
+		return nil, fmt.Errorf("placement: got %d data nodes, want k=%d", len(dataNodes), k)
+	}
+	seen := make(map[int]bool, k)
+	for _, node := range dataNodes {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("placement: data node %d out of range [0, %d)", node, n)
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("placement: duplicate data node %d", node)
+		}
+		seen[node] = true
+	}
+	var parityNodes []int
+	for node := 0; node < n; node++ {
+		if !seen[node] {
+			parityNodes = append(parityNodes, node)
+		}
+	}
+
+	p := &Plan{
+		K:           k,
+		M:           m,
+		Topo:        topo,
+		DataNodes:   append([]int(nil), dataNodes...),
+		ParityNodes: parityNodes,
+		Roles:       make([]Role, n),
+		ChunkOfNode: make([]int, n),
+		DataGroupOf: make([]int, world),
+		SegmentOf:   make([]int, world),
+	}
+	for node := range p.Roles {
+		p.Roles[node] = RoleParity
+		p.ChunkOfNode[node] = -1
+	}
+	for j, node := range p.DataNodes {
+		p.Roles[node] = RoleData
+		p.ChunkOfNode[node] = j
+	}
+	for i, node := range p.ParityNodes {
+		p.ChunkOfNode[node] = k + i
+	}
+
+	span := world / k
+	for w := 0; w < world; w++ {
+		p.DataGroupOf[w] = w / span
+		p.SegmentOf[w] = w % span
+	}
+
+	if err := p.buildReductions(); err != nil {
+		return nil, err
+	}
+	p.buildTransfers()
+	return p, nil
+}
+
+// parityNodeOfIndex returns the machine storing parity chunk i.
+func (p *Plan) parityNodeOfIndex(i int) int { return p.ParityNodes[i] }
+
+// buildReductions forms the W/k reduction groups and assigns the m XOR
+// reduction targets in each, preferring workers that already live on the
+// destination parity node and otherwise applying the paper's k=m / k>m /
+// k<m assignment rules.
+func (p *Plan) buildReductions() error {
+	groups, err := p.Topo.ReductionGroups(p.K)
+	if err != nil {
+		return err
+	}
+	k, m := p.K, p.M
+	for gIdx, workers := range groups {
+		// Workers on parity nodes, by parity index.
+		onParity := make(map[int]int, m) // parity index -> worker
+		for _, w := range workers {
+			node, err := p.Topo.NodeOf(w)
+			if err != nil {
+				return err
+			}
+			if p.Roles[node] == RoleParity {
+				pi := p.ChunkOfNode[node] - k
+				if _, exists := onParity[pi]; !exists {
+					onParity[pi] = w
+				}
+			}
+		}
+
+		// Fallback target sequence over the group's workers for parity
+		// indices with no co-located parity worker.
+		fallback := fallbackTargets(workers, k, m)
+		fb := 0
+		for pi := 0; pi < m; pi++ {
+			target, colocated := onParity[pi]
+			if !colocated {
+				target = fallback[fb]
+				fb++
+			}
+			p.Reductions = append(p.Reductions, Reduction{
+				Group:              gIdx,
+				ParityIndex:        pi,
+				Workers:            append([]int(nil), workers...),
+				Target:             target,
+				TargetOnParityNode: colocated,
+			})
+		}
+	}
+	return nil
+}
+
+// fallbackTargets returns m target workers chosen from the group's k
+// workers following the paper's three cases: k == m assigns one result per
+// worker; k > m spreads targets at interval floor(k/m); k < m wraps round
+// robin so the load is balanced.
+func fallbackTargets(workers []int, k, m int) []int {
+	out := make([]int, m)
+	switch {
+	case k == m:
+		copy(out, workers)
+	case k > m:
+		step := k / m
+		for i := 0; i < m; i++ {
+			out[i] = workers[i*step]
+		}
+	default: // k < m
+		for i := 0; i < m; i++ {
+			out[i] = workers[i%k]
+		}
+	}
+	return out
+}
+
+// buildTransfers derives the P2P phase: move data packets onto their data
+// nodes and reduced parity packets onto their parity nodes, skipping
+// packets already in place.
+func (p *Plan) buildTransfers() {
+	// Data packets.
+	for w := 0; w < p.Topo.World(); w++ {
+		j := p.DataGroupOf[w]
+		srcNode, _ := p.Topo.NodeOf(w)
+		dst := p.DataNodes[j]
+		if srcNode == dst {
+			continue
+		}
+		p.Transfers = append(p.Transfers, Transfer{
+			Kind:         TransferData,
+			SrcWorker:    w,
+			SrcNode:      srcNode,
+			DstNode:      dst,
+			ChunkIndex:   j,
+			SegmentIndex: p.SegmentOf[w],
+		})
+	}
+	// Parity packets: from reduction target to parity node.
+	for _, r := range p.Reductions {
+		srcNode, _ := p.Topo.NodeOf(r.Target)
+		dst := p.parityNodeOfIndex(r.ParityIndex)
+		if srcNode == dst {
+			continue
+		}
+		p.Transfers = append(p.Transfers, Transfer{
+			Kind:         TransferParity,
+			SrcWorker:    r.Target,
+			SrcNode:      srcNode,
+			DstNode:      dst,
+			ChunkIndex:   p.K + r.ParityIndex,
+			SegmentIndex: r.Group,
+		})
+	}
+}
+
+// Volume summarises the communication cost of the plan in packet units
+// (multiply by the packet size s for bytes).
+type Volume struct {
+	// ReductionPackets counts the XOR-reduction traffic with the paper's
+	// accounting: k-1 packets per reduction (every non-target participant
+	// ships one encoded packet).
+	ReductionPackets int
+	// ReductionNetworkPackets counts only the reduction packets that
+	// actually cross machines; co-located workers exchange through host
+	// memory, so this is what the network carries.
+	ReductionNetworkPackets int
+	// DataP2PPackets is the data-packet movement of the P2P phase.
+	DataP2PPackets int
+	// ParityP2PPackets is the parity-packet movement of the P2P phase.
+	ParityP2PPackets int
+}
+
+// Total returns the total packet traffic under the paper's accounting:
+// reduction (k-1 per reduction) plus both P2P phases. Under optimal node
+// selection on aligned topologies this equals m·W packets, i.e. m·s·W
+// bytes (§V-F of the paper).
+func (v Volume) Total() int {
+	return v.ReductionPackets + v.DataP2PPackets + v.ParityP2PPackets
+}
+
+// NetworkTotal returns the packets that actually traverse the network.
+func (v Volume) NetworkTotal() int {
+	return v.ReductionNetworkPackets + v.DataP2PPackets + v.ParityP2PPackets
+}
+
+// CommVolume counts the plan's communication volume.
+func (p *Plan) CommVolume() Volume {
+	var v Volume
+	for _, r := range p.Reductions {
+		tgtNode, _ := p.Topo.NodeOf(r.Target)
+		for _, w := range r.Workers {
+			if w == r.Target {
+				continue
+			}
+			v.ReductionPackets++
+			node, _ := p.Topo.NodeOf(w)
+			if node != tgtNode {
+				v.ReductionNetworkPackets++
+			}
+		}
+	}
+	for _, t := range p.Transfers {
+		switch t.Kind {
+		case TransferData:
+			v.DataP2PPackets++
+		case TransferParity:
+			v.ParityP2PPackets++
+		}
+	}
+	return v
+}
+
+// ClosedFormTotal returns the paper's §V-F closed form m·W: the total
+// checkpoint communication in packets, independent of the node count for
+// fixed m and shard size.
+func (p *Plan) ClosedFormTotal() int { return p.M * p.Topo.World() }

@@ -1,0 +1,162 @@
+// Package reliability implements the closed-form fault-tolerance analysis
+// of the paper (§II-B and §V-G): group-level recovery rates for
+// replication-based (GEMINI-style) and erasure-coded in-memory
+// checkpointing under independent node failures, their cluster-level
+// composition, and a Monte-Carlo cross-check.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// binomial returns C(n, k) as a float64 (exact for the small n used here).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// validateP checks a probability.
+func validateP(p float64) error {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return fmt.Errorf("reliability: probability %v outside [0, 1]", p)
+	}
+	return nil
+}
+
+// ReplicationGroupRate returns Eqn. (1): the probability a 4-node
+// replication group (two 2-node mirror pairs, as GEMINI arranges the
+// paper's testbed) recovers all checkpoint data when each node fails
+// independently with probability p. Up to one failure is always safe; two
+// failures are safe only when they hit distinct pairs (4 of the 6
+// two-failure patterns).
+func ReplicationGroupRate(p float64) (float64, error) {
+	if err := validateP(p); err != nil {
+		return 0, err
+	}
+	q := 1 - p
+	return math.Pow(q, 4) +
+		binomial(4, 1)*p*math.Pow(q, 3) +
+		(binomial(4, 2)-2)*p*p*q*q, nil
+}
+
+// ErasureGroupRate returns Eqn. (2): the probability a 4-node erasure-coded
+// group (k = m = 2) recovers, i.e. at most two concurrent failures.
+func ErasureGroupRate(p float64) (float64, error) {
+	if err := validateP(p); err != nil {
+		return 0, err
+	}
+	q := 1 - p
+	return math.Pow(q, 4) +
+		binomial(4, 1)*p*math.Pow(q, 3) +
+		binomial(4, 2)*p*p*q*q, nil
+}
+
+// ClusterRate composes a group recovery rate over independent groups: any
+// group loss makes cluster recovery impossible, so the cluster rate is the
+// group rate to the power of the group count (500 groups of 4 in Fig. 3's
+// 2000-node cluster).
+func ClusterRate(groupRate float64, groups int) (float64, error) {
+	if err := validateP(groupRate); err != nil {
+		return 0, err
+	}
+	if groups <= 0 {
+		return 0, fmt.Errorf("reliability: group count must be positive, got %d", groups)
+	}
+	return math.Pow(groupRate, float64(groups)), nil
+}
+
+// ErasureRateN returns the §V-G generalisation for one n-node group with
+// k = m = n/2: recovery succeeds with up to n/2 concurrent failures.
+func ErasureRateN(n int, p float64) (float64, error) {
+	if err := validateP(p); err != nil {
+		return 0, err
+	}
+	if n <= 0 || n%2 != 0 {
+		return 0, fmt.Errorf("reliability: n must be positive and even, got %d", n)
+	}
+	q := 1 - p
+	sum := 0.0
+	for i := 0; i <= n/2; i++ {
+		sum += binomial(n, i) * math.Pow(p, float64(i)) * math.Pow(q, float64(n-i))
+	}
+	return sum, nil
+}
+
+// ReplicationRateN returns the §V-G replication counterpart at identical
+// redundancy: the n nodes form n/2 mirror pairs; i failures are survivable
+// only when they land in i distinct pairs, which happens for C(n/2, i)·2^i
+// of the C(n, i) patterns.
+func ReplicationRateN(n int, p float64) (float64, error) {
+	if err := validateP(p); err != nil {
+		return 0, err
+	}
+	if n <= 0 || n%2 != 0 {
+		return 0, fmt.Errorf("reliability: n must be positive and even, got %d", n)
+	}
+	q := 1 - p
+	sum := 0.0
+	for i := 0; i <= n/2; i++ {
+		good := binomial(n/2, i) * math.Pow(2, float64(i))
+		sum += good * math.Pow(p, float64(i)) * math.Pow(q, float64(n-i))
+	}
+	return sum, nil
+}
+
+// MonteCarloGroupRate estimates a group recovery rate by simulation,
+// cross-checking the closed forms. survives receives the failed-node set
+// and reports recoverability.
+func MonteCarloGroupRate(n int, p float64, trials int, seed int64, survives func(failed []int) bool) (float64, error) {
+	if err := validateP(p); err != nil {
+		return 0, err
+	}
+	if n <= 0 || trials <= 0 {
+		return 0, fmt.Errorf("reliability: need positive n and trials (got %d, %d)", n, trials)
+	}
+	r := rand.New(rand.NewSource(seed))
+	ok := 0
+	failed := make([]int, 0, n)
+	for t := 0; t < trials; t++ {
+		failed = failed[:0]
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				failed = append(failed, i)
+			}
+		}
+		if survives(failed) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials), nil
+}
+
+// SurvivesErasure reports recoverability for a k=m=n/2 erasure group.
+func SurvivesErasure(n int) func(failed []int) bool {
+	return func(failed []int) bool { return len(failed) <= n/2 }
+}
+
+// SurvivesReplication reports recoverability for mirror-paired replication:
+// no pair may lose both members. Pairs are (0,1), (2,3), ...
+func SurvivesReplication(n int) func(failed []int) bool {
+	return func(failed []int) bool {
+		pairHit := make(map[int]bool, n/2)
+		for _, f := range failed {
+			pair := f / 2
+			if pairHit[pair] {
+				return false
+			}
+			pairHit[pair] = true
+		}
+		return true
+	}
+}

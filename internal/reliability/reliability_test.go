@@ -1,0 +1,225 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGroupRatesAtExtremes(t *testing.T) {
+	for _, fn := range []func(float64) (float64, error){ReplicationGroupRate, ErasureGroupRate} {
+		r0, err := fn(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r0 != 1 {
+			t.Errorf("rate at p=0 is %v, want 1", r0)
+		}
+		r1, err := fn(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != 0 {
+			t.Errorf("rate at p=1 is %v, want 0", r1)
+		}
+	}
+}
+
+// The paper's key identity: R_era - R_rep = 2p²(1-p)².
+func TestEraMinusRepIdentity(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.05, 0.1, 0.3, 0.5, 0.9} {
+		rep, err := ReplicationGroupRate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		era, err := ErasureGroupRate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * p * p * (1 - p) * (1 - p)
+		if !almostEqual(era-rep, want, 1e-12) {
+			t.Errorf("p=%v: era-rep = %v, want %v", p, era-rep, want)
+		}
+	}
+}
+
+func TestProbabilityValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := ReplicationGroupRate(p); err == nil {
+			t.Errorf("ReplicationGroupRate(%v): want error", p)
+		}
+		if _, err := ErasureGroupRate(p); err == nil {
+			t.Errorf("ErasureGroupRate(%v): want error", p)
+		}
+		if _, err := ErasureRateN(4, p); err == nil {
+			t.Errorf("ErasureRateN(%v): want error", p)
+		}
+		if _, err := ReplicationRateN(4, p); err == nil {
+			t.Errorf("ReplicationRateN(%v): want error", p)
+		}
+	}
+	if _, err := ClusterRate(0.5, 0); err == nil {
+		t.Error("zero groups: want error")
+	}
+	if _, err := ErasureRateN(3, 0.1); err == nil {
+		t.Error("odd n: want error")
+	}
+	if _, err := ReplicationRateN(0, 0.1); err == nil {
+		t.Error("n=0: want error")
+	}
+}
+
+func TestClusterRateComposition(t *testing.T) {
+	got, err := ClusterRate(0.99, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.99, 500)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("ClusterRate = %v, want %v", got, want)
+	}
+}
+
+// Fig. 3's qualitative claim: at every p in (0,1), the 2000-node cluster
+// with erasure-coded groups beats the replicated one, and the gap widens
+// while the replication curve is still collapsing (at large p both curves
+// approach zero, so the gap necessarily closes again).
+func TestFig3ErasureBeatsReplication(t *testing.T) {
+	prevGap := 0.0
+	for _, p := range []float64{0.005, 0.01, 0.02, 0.04} {
+		rep, err := ReplicationGroupRate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		era, err := ErasureGroupRate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crep, err := ClusterRate(rep, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cera, err := ClusterRate(era, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cera <= crep {
+			t.Errorf("p=%v: cluster erasure rate %v <= replication %v", p, cera, crep)
+		}
+		gap := cera - crep
+		if gap < prevGap {
+			t.Errorf("p=%v: gap %v shrank from %v in the pre-collapse regime", p, gap, prevGap)
+		}
+		prevGap = gap
+	}
+}
+
+// §V-G specialisation: at n = 4 the general formulas reduce to Eqns. 1/2.
+func TestRateNReducesToGroupRates(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.4} {
+		e4, err := ErasureRateN(4, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := ErasureGroupRate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(e4, eg, 1e-12) {
+			t.Errorf("p=%v: ErasureRateN(4) = %v, group rate %v", p, e4, eg)
+		}
+		r4, err := ReplicationRateN(4, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := ReplicationGroupRate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(r4, rg, 1e-12) {
+			t.Errorf("p=%v: ReplicationRateN(4) = %v, group rate %v", p, r4, rg)
+		}
+	}
+}
+
+// Fig. 15's claim: the erasure advantage grows with n at equal redundancy.
+func TestFig15AdvantageGrowsWithN(t *testing.T) {
+	const p = 0.1
+	prevGap := -1.0
+	for _, n := range []int{4, 8, 16, 32} {
+		era, err := ErasureRateN(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReplicationRateN(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if era <= rep {
+			t.Errorf("n=%d: erasure %v <= replication %v", n, era, rep)
+		}
+		gap := era - rep
+		if gap <= prevGap {
+			t.Errorf("n=%d: gap %v did not grow from %v", n, gap, prevGap)
+		}
+		prevGap = gap
+	}
+}
+
+// Monte-Carlo cross-check of both closed forms.
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	const (
+		n      = 8
+		p      = 0.15
+		trials = 200000
+	)
+	eraMC, err := MonteCarloGroupRate(n, p, trials, 99, SurvivesErasure(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	era, err := ErasureRateN(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(eraMC, era, 0.01) {
+		t.Errorf("erasure MC %v vs closed form %v", eraMC, era)
+	}
+	repMC, err := MonteCarloGroupRate(n, p, trials, 99, SurvivesReplication(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplicationRateN(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(repMC, rep, 0.01) {
+		t.Errorf("replication MC %v vs closed form %v", repMC, rep)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarloGroupRate(0, 0.1, 10, 1, SurvivesErasure(4)); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := MonteCarloGroupRate(4, 0.1, 0, 1, SurvivesErasure(4)); err == nil {
+		t.Error("trials=0: want error")
+	}
+	if _, err := MonteCarloGroupRate(4, 2, 10, 1, SurvivesErasure(4)); err == nil {
+		t.Error("bad p: want error")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{4, 0, 1}, {4, 1, 4}, {4, 2, 6}, {4, 4, 1}, {4, 5, 0}, {4, -1, 0}, {10, 5, 252},
+	}
+	for _, tc := range cases {
+		if got := binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("C(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}

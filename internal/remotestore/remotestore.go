@@ -1,0 +1,117 @@
+// Package remotestore models the remote persistent storage tier of the
+// evaluation: a durable object store reached over a bandwidth-limited
+// aggregate uplink (5 Gbps in the paper's testbed). Objects survive node
+// failures — this is where baselines 1/2 put every checkpoint and where
+// ECCheck persists at low frequency against catastrophic failures.
+//
+// Transfers are functionally instant (bytes are stored synchronously) but
+// each operation returns the modeled transfer duration on the shared
+// uplink, which the timing layer uses; the uplink serializes transfers
+// FIFO like a real saturated WAN link.
+package remotestore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eccheck/internal/simnet"
+)
+
+// Store is a durable object store behind a shared uplink.
+type Store struct {
+	mu      sync.Mutex
+	rate    float64 // aggregate bytes/second
+	objects map[string][]byte
+	uplink  *simnet.Resource
+}
+
+// New constructs a store with the given aggregate bandwidth in
+// bytes/second.
+func New(aggregateRate float64) (*Store, error) {
+	uplink, err := simnet.NewResource("remote-uplink", aggregateRate)
+	if err != nil {
+		return nil, fmt.Errorf("remotestore: %w", err)
+	}
+	return &Store{
+		rate:    aggregateRate,
+		objects: make(map[string][]byte),
+		uplink:  uplink,
+	}, nil
+}
+
+// Rate returns the aggregate bandwidth in bytes/second.
+func (s *Store) Rate() float64 { return s.rate }
+
+// Put durably stores the object and returns the span the transfer occupies
+// on the uplink, given the virtual instant the writer became ready.
+func (s *Store) Put(ready time.Duration, key string, data []byte) (simnet.Span, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	span, err := s.uplink.Exec(ready, int64(len(data)))
+	if err != nil {
+		return simnet.Span{}, fmt.Errorf("remotestore: put %q: %w", key, err)
+	}
+	s.objects[key] = append([]byte(nil), data...)
+	return span, nil
+}
+
+// Get returns the object and the span its download occupies on the uplink.
+func (s *Store) Get(ready time.Duration, key string) ([]byte, simnet.Span, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[key]
+	if !ok {
+		return nil, simnet.Span{}, fmt.Errorf("remotestore: no object %q", key)
+	}
+	span, err := s.uplink.Exec(ready, int64(len(data)))
+	if err != nil {
+		return nil, simnet.Span{}, fmt.Errorf("remotestore: get %q: %w", key, err)
+	}
+	return append([]byte(nil), data...), span, nil
+}
+
+// Has reports whether an object exists.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Delete removes an object (idempotent).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, key)
+}
+
+// ObjectBytes returns the stored size of an object, or -1 if absent.
+func (s *Store) ObjectBytes(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[key]
+	if !ok {
+		return -1
+	}
+	return len(data)
+}
+
+// TotalBytes returns the total stored volume.
+func (s *Store) TotalBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, d := range s.objects {
+		total += len(d)
+	}
+	return total
+}
+
+// ResetClock clears the uplink's virtual-time queue (objects persist),
+// starting a fresh timing experiment against the same durable contents.
+func (s *Store) ResetClock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uplink.Reset()
+}

@@ -1,0 +1,139 @@
+package remotestore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative rate: want error")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := New(1000) // 1000 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("model-states")
+	span, err := s.Put(0, "ckpt/42", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDur := time.Duration(float64(len(data)) / 1000 * float64(time.Second))
+	if span.Len() != wantDur {
+		t.Errorf("put span %v, want %v", span.Len(), wantDur)
+	}
+	got, gspan, err := s.Get(span.End, "ckpt/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+	if gspan.Start < span.End {
+		t.Errorf("get started at %v before put finished at %v", gspan.Start, span.End)
+	}
+	if _, _, err := s.Get(0, "missing"); err == nil {
+		t.Error("missing object: want error")
+	}
+}
+
+func TestUplinkSerializesTransfers(t *testing.T) {
+	s, err := New(100) // 100 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 100-byte puts both ready at t=0: the shared uplink serializes
+	// them — this is exactly why remote-storage checkpointing does not
+	// scale with GPU count (Fig. 14).
+	s1, err := s.Put(0, "a", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := s.Put(0, "b", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.End != time.Second {
+		t.Errorf("first put ends at %v", s1.End)
+	}
+	if s2.Start != time.Second || s2.End != 2*time.Second {
+		t.Errorf("second put = %+v, want serialized after the first", s2)
+	}
+}
+
+func TestObjectsPersistAndAccounting(t *testing.T) {
+	s, err := New(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(0, "x", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(0, "y", make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("x") || s.Has("z") {
+		t.Error("Has wrong")
+	}
+	if got := s.ObjectBytes("y"); got != 20 {
+		t.Errorf("ObjectBytes = %d", got)
+	}
+	if got := s.ObjectBytes("z"); got != -1 {
+		t.Errorf("ObjectBytes(missing) = %d", got)
+	}
+	if got := s.TotalBytes(); got != 30 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	s.Delete("x")
+	if s.Has("x") {
+		t.Error("Delete failed")
+	}
+	s.Delete("x") // idempotent
+
+	// ResetClock clears timing but not durability.
+	s.ResetClock()
+	if !s.Has("y") {
+		t.Error("ResetClock destroyed objects")
+	}
+	span, err := s.Put(0, "post-reset", make([]byte, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Start != 0 {
+		t.Errorf("post-reset put queued at %v, want 0", span.Start)
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	s, err := New(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3}
+	if _, err := s.Put(0, "k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 9
+	got, _, err := s.Get(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("store aliased caller data")
+	}
+	got[1] = 9
+	got2, _, err := s.Get(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[1] != 2 {
+		t.Error("get aliased stored data")
+	}
+}

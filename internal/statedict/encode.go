@@ -1,0 +1,276 @@
+package statedict
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"eccheck/internal/tensor"
+)
+
+// Binary blob formats for the two small decomposition components. Both use
+// uvarint length framing; they carry kilobytes, so compactness matters more
+// than random access.
+
+const (
+	metaBlobMagic = 0xEC01
+	keysBlobMagic = 0xEC02
+)
+
+type blobWriter struct{ buf []byte }
+
+func (w *blobWriter) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *blobWriter) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+func (w *blobWriter) bytes(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *blobWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type blobReader struct {
+	buf []byte
+	off int
+}
+
+func (r *blobReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("statedict: truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *blobReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("statedict: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *blobReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("statedict: byte field of %d exceeds remaining %d", n, len(r.buf)-r.off)
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *blobReader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *blobReader) done() bool { return r.off >= len(r.buf) }
+
+func encodeMeta(entries []MetaEntry) ([]byte, error) {
+	w := &blobWriter{}
+	w.uvarint(metaBlobMagic)
+	w.uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.str(e.Key)
+		w.uvarint(uint64(e.Value.kind))
+		switch e.Value.kind {
+		case KindInt:
+			w.varint(e.Value.i)
+		case KindFloat:
+			w.uvarint(math.Float64bits(e.Value.f))
+		case KindString:
+			w.str(e.Value.s)
+		case KindBool:
+			if e.Value.b {
+				w.uvarint(1)
+			} else {
+				w.uvarint(0)
+			}
+		case KindBytes:
+			w.bytes(e.Value.by)
+		default:
+			return nil, fmt.Errorf("statedict: cannot encode value of kind %v for key %q",
+				e.Value.kind, e.Key)
+		}
+	}
+	return w.buf, nil
+}
+
+func decodeMeta(blob []byte) ([]MetaEntry, error) {
+	r := &blobReader{buf: blob}
+	magic, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if magic != metaBlobMagic {
+		return nil, fmt.Errorf("statedict: bad meta blob magic %#x", magic)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MetaEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		kindRaw, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		var v Value
+		switch ValueKind(kindRaw) {
+		case KindInt:
+			n, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			v = Int(n)
+		case KindFloat:
+			bits, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v = Float(math.Float64frombits(bits))
+		case KindString:
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			v = String(s)
+		case KindBool:
+			b, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v = Bool(b != 0)
+		case KindBytes:
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			v = Bytes(b)
+		default:
+			return nil, fmt.Errorf("statedict: unknown value kind %d for key %q", kindRaw, key)
+		}
+		out = append(out, MetaEntry{Key: key, Value: v})
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("statedict: %d trailing bytes in meta blob", len(blob)-r.off)
+	}
+	return out, nil
+}
+
+// TensorKey describes one tensor without its data: enough to re-wrap a raw
+// buffer into a tensor during decode.
+type TensorKey struct {
+	Key   string
+	DType tensor.DType
+	Shape []int
+}
+
+// NumBytes returns the byte size of the described tensor.
+func (k TensorKey) NumBytes() int {
+	n := k.DType.Size()
+	for _, s := range k.Shape {
+		n *= s
+	}
+	return n
+}
+
+// TensorSizes parses a KeysBlob and returns each tensor's byte size in
+// order. The checkpoint engine uses this to split a worker's packed packet
+// back into per-tensor buffers without any other metadata.
+func TensorSizes(keysBlob []byte) ([]int, error) {
+	keys, err := decodeTensorKeys(keysBlob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = k.NumBytes()
+	}
+	return out, nil
+}
+
+func encodeTensorKeys(entries []TensorEntry) ([]byte, error) {
+	w := &blobWriter{}
+	w.uvarint(keysBlobMagic)
+	w.uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.str(e.Key)
+		w.uvarint(uint64(e.Tensor.DType()))
+		shape := e.Tensor.Shape()
+		w.uvarint(uint64(len(shape)))
+		for _, s := range shape {
+			w.uvarint(uint64(s))
+		}
+	}
+	return w.buf, nil
+}
+
+func decodeTensorKeys(blob []byte) ([]TensorKey, error) {
+	r := &blobReader{buf: blob}
+	magic, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if magic != keysBlobMagic {
+		return nil, fmt.Errorf("statedict: bad tensor-keys blob magic %#x", magic)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TensorKey, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		dtypeRaw, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dt := tensor.DType(dtypeRaw)
+		if !dt.Valid() {
+			return nil, fmt.Errorf("statedict: invalid dtype %d for tensor %q", dtypeRaw, key)
+		}
+		rank, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if rank > 16 {
+			return nil, fmt.Errorf("statedict: implausible rank %d for tensor %q", rank, key)
+		}
+		shape := make([]int, rank)
+		for d := range shape {
+			s, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			shape[d] = int(s)
+		}
+		out = append(out, TensorKey{Key: key, DType: dt, Shape: shape})
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("statedict: %d trailing bytes in tensor-keys blob", len(blob)-r.off)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package statedict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Decoders must reject arbitrary garbage with an error, never panic or
+// return corrupt entries silently: these blobs cross the network during
+// recovery and may come from half-written host memory.
+func TestDecodeMetaNeverPanicsOnGarbage(t *testing.T) {
+	prop := func(blob []byte) bool {
+		// Any outcome is fine except a panic; quick.Check surfaces panics
+		// as test failures automatically.
+		_, _ = decodeMeta(blob)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTensorKeysNeverPanicsOnGarbage(t *testing.T) {
+	prop := func(blob []byte) bool {
+		_, _ = decodeTensorKeys(blob)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Truncations of a valid blob must all error (no partial-success decode).
+func TestDecodeMetaTruncationsAllFail(t *testing.T) {
+	entries := []MetaEntry{
+		{Key: "iteration", Value: Int(12345)},
+		{Key: "name", Value: String("run-7")},
+		{Key: "blob", Value: Bytes([]byte{1, 2, 3, 4, 5, 6, 7, 8})},
+	}
+	blob, err := encodeMeta(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(blob); cut++ {
+		if _, err := decodeMeta(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestTensorSizesOnGarbage(t *testing.T) {
+	if _, err := TensorSizes([]byte{0xde, 0xad}); err == nil {
+		t.Error("garbage keys blob: want error")
+	}
+}

@@ -1,0 +1,222 @@
+// Package statedict models the sharded training state dictionary that a
+// distributed DNN worker checkpoints: an ordered mapping holding small
+// non-tensor metadata (iteration count, RNG state, versions) alongside large
+// named tensors (model parameters and optimizer state).
+//
+// The package implements the three-way decomposition that enables ECCheck's
+// serialization-free encoding protocol: a state dict splits into (1) the
+// non-tensor key-value pairs, (2) the tensor keys (with dtype/shape so raw
+// buffers can be re-wrapped), and (3) the list of contiguous tensor data
+// buffers. Components (1) and (2) are tiny and are serialized and broadcast;
+// component (3) — typically >99.99% of the bytes — is consumed in place by
+// the erasure encoder without any serialization.
+package statedict
+
+import (
+	"fmt"
+
+	"eccheck/internal/tensor"
+)
+
+// MetaEntry is one non-tensor key-value pair.
+type MetaEntry struct {
+	Key   string
+	Value Value
+}
+
+// TensorEntry is one named tensor.
+type TensorEntry struct {
+	Key    string
+	Tensor *tensor.Tensor
+}
+
+// StateDict is an ordered checkpoint dictionary. It preserves insertion
+// order, which the decomposition relies on so that tensor buffers and
+// tensor keys stay aligned by index. The zero value is an empty dict.
+type StateDict struct {
+	meta      []MetaEntry
+	tensors   []TensorEntry
+	metaIdx   map[string]int
+	tensorIdx map[string]int
+}
+
+// New returns an empty StateDict.
+func New() *StateDict {
+	return &StateDict{
+		metaIdx:   make(map[string]int),
+		tensorIdx: make(map[string]int),
+	}
+}
+
+// SetMeta inserts or replaces a non-tensor entry.
+func (sd *StateDict) SetMeta(key string, v Value) {
+	if i, ok := sd.metaIdx[key]; ok {
+		sd.meta[i].Value = v
+		return
+	}
+	sd.metaIdx[key] = len(sd.meta)
+	sd.meta = append(sd.meta, MetaEntry{Key: key, Value: v})
+}
+
+// Meta looks up a non-tensor entry.
+func (sd *StateDict) Meta(key string) (Value, bool) {
+	i, ok := sd.metaIdx[key]
+	if !ok {
+		return Value{}, false
+	}
+	return sd.meta[i].Value, true
+}
+
+// MetaEntries returns the non-tensor entries in insertion order.
+func (sd *StateDict) MetaEntries() []MetaEntry {
+	return append([]MetaEntry(nil), sd.meta...)
+}
+
+// SetTensor inserts or replaces a named tensor.
+func (sd *StateDict) SetTensor(key string, t *tensor.Tensor) error {
+	if t == nil {
+		return fmt.Errorf("statedict: nil tensor for key %q", key)
+	}
+	if i, ok := sd.tensorIdx[key]; ok {
+		sd.tensors[i].Tensor = t
+		return nil
+	}
+	sd.tensorIdx[key] = len(sd.tensors)
+	sd.tensors = append(sd.tensors, TensorEntry{Key: key, Tensor: t})
+	return nil
+}
+
+// Tensor looks up a named tensor.
+func (sd *StateDict) Tensor(key string) (*tensor.Tensor, bool) {
+	i, ok := sd.tensorIdx[key]
+	if !ok {
+		return nil, false
+	}
+	return sd.tensors[i].Tensor, true
+}
+
+// TensorEntries returns the tensor entries in insertion order.
+func (sd *StateDict) TensorEntries() []TensorEntry {
+	return append([]TensorEntry(nil), sd.tensors...)
+}
+
+// NumTensors returns the number of tensor entries.
+func (sd *StateDict) NumTensors() int { return len(sd.tensors) }
+
+// NumMeta returns the number of non-tensor entries.
+func (sd *StateDict) NumMeta() int { return len(sd.meta) }
+
+// TensorBytes returns the total tensor payload size: the quantity that
+// dominates checkpoint volume and that the erasure code operates on.
+func (sd *StateDict) TensorBytes() int {
+	total := 0
+	for _, e := range sd.tensors {
+		total += e.Tensor.NumBytes()
+	}
+	return total
+}
+
+// Clone deep-copies the dict, including tensor storage.
+func (sd *StateDict) Clone() *StateDict {
+	out := New()
+	for _, e := range sd.meta {
+		out.SetMeta(e.Key, e.Value)
+	}
+	for _, e := range sd.tensors {
+		// Error is impossible: the tensor is non-nil by construction.
+		_ = out.SetTensor(e.Key, e.Tensor.Clone())
+	}
+	return out
+}
+
+// Equal reports deep equality of both components in order.
+func (sd *StateDict) Equal(other *StateDict) bool {
+	if other == nil || len(sd.meta) != len(other.meta) || len(sd.tensors) != len(other.tensors) {
+		return false
+	}
+	for i := range sd.meta {
+		if sd.meta[i].Key != other.meta[i].Key || !sd.meta[i].Value.Equal(other.meta[i].Value) {
+			return false
+		}
+	}
+	for i := range sd.tensors {
+		if sd.tensors[i].Key != other.tensors[i].Key ||
+			!sd.tensors[i].Tensor.Equal(other.tensors[i].Tensor) {
+			return false
+		}
+	}
+	return true
+}
+
+// Decomposition is the serialization-free split of a StateDict.
+type Decomposition struct {
+	// MetaBlob is the serialized non-tensor key-value pairs (component 1).
+	MetaBlob []byte
+	// KeysBlob is the serialized tensor keys with dtype/shape (component 2).
+	KeysBlob []byte
+	// TensorData holds one zero-copy view per tensor, in key order
+	// (component 3). Mutating these buffers mutates the dict.
+	TensorData [][]byte
+}
+
+// SmallBytes returns the size of the serialized small components, the
+// traffic broadcast in step 2 of the protocol.
+func (d *Decomposition) SmallBytes() int { return len(d.MetaBlob) + len(d.KeysBlob) }
+
+// TensorBytes returns the total size of the tensor payload views.
+func (d *Decomposition) TensorBytes() int {
+	total := 0
+	for _, b := range d.TensorData {
+		total += len(b)
+	}
+	return total
+}
+
+// Decompose splits the dict into its three components. Tensor data buffers
+// are aliases of the dict's storage, not copies.
+func (sd *StateDict) Decompose() (*Decomposition, error) {
+	metaBlob, err := encodeMeta(sd.meta)
+	if err != nil {
+		return nil, err
+	}
+	keysBlob, err := encodeTensorKeys(sd.tensors)
+	if err != nil {
+		return nil, err
+	}
+	data := make([][]byte, len(sd.tensors))
+	for i, e := range sd.tensors {
+		data[i] = e.Tensor.Data()
+	}
+	return &Decomposition{MetaBlob: metaBlob, KeysBlob: keysBlob, TensorData: data}, nil
+}
+
+// Reassemble reconstructs a StateDict from its three components. Tensor
+// buffers are adopted (aliased), matching the zero-copy decode path.
+func Reassemble(metaBlob, keysBlob []byte, tensorData [][]byte) (*StateDict, error) {
+	meta, err := decodeMeta(metaBlob)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := decodeTensorKeys(keysBlob)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) != len(tensorData) {
+		return nil, fmt.Errorf("statedict: %d tensor keys but %d data buffers",
+			len(keys), len(tensorData))
+	}
+	sd := New()
+	for _, e := range meta {
+		sd.SetMeta(e.Key, e.Value)
+	}
+	for i, k := range keys {
+		t, err := tensor.FromBytes(k.DType, k.Shape, tensorData[i])
+		if err != nil {
+			return nil, fmt.Errorf("statedict: rebuilding tensor %q: %w", k.Key, err)
+		}
+		if err := sd.SetTensor(k.Key, t); err != nil {
+			return nil, err
+		}
+	}
+	return sd, nil
+}

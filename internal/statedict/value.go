@@ -1,0 +1,131 @@
+package statedict
+
+import "fmt"
+
+// ValueKind enumerates the non-tensor value types a state dict can hold.
+type ValueKind int
+
+// Supported non-tensor value kinds.
+const (
+	KindInt ValueKind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+	KindBytes
+)
+
+// Value is a tagged union for non-tensor checkpoint metadata (iteration
+// counters, RNG state blobs, version strings and the like).
+type Value struct {
+	kind ValueKind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+	by   []byte
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Bytes returns an opaque byte-blob value (copied).
+func Bytes(v []byte) Value { return Value{kind: KindBytes, by: append([]byte(nil), v...)} }
+
+// Kind returns the value's kind; the zero Value has kind 0 (invalid).
+func (v Value) Kind() ValueKind { return v.kind }
+
+// AsInt returns the integer payload.
+func (v Value) AsInt() (int64, error) {
+	if v.kind != KindInt {
+		return 0, fmt.Errorf("statedict: value is %v, not int", v.kind)
+	}
+	return v.i, nil
+}
+
+// AsFloat returns the float payload.
+func (v Value) AsFloat() (float64, error) {
+	if v.kind != KindFloat {
+		return 0, fmt.Errorf("statedict: value is %v, not float", v.kind)
+	}
+	return v.f, nil
+}
+
+// AsString returns the string payload.
+func (v Value) AsString() (string, error) {
+	if v.kind != KindString {
+		return "", fmt.Errorf("statedict: value is %v, not string", v.kind)
+	}
+	return v.s, nil
+}
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() (bool, error) {
+	if v.kind != KindBool {
+		return false, fmt.Errorf("statedict: value is %v, not bool", v.kind)
+	}
+	return v.b, nil
+}
+
+// AsBytes returns a copy of the byte payload.
+func (v Value) AsBytes() ([]byte, error) {
+	if v.kind != KindBytes {
+		return nil, fmt.Errorf("statedict: value is %v, not bytes", v.kind)
+	}
+	return append([]byte(nil), v.by...), nil
+}
+
+// Equal reports equality of kind and payload.
+func (v Value) Equal(other Value) bool {
+	if v.kind != other.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == other.i
+	case KindFloat:
+		return v.f == other.f
+	case KindString:
+		return v.s == other.s
+	case KindBool:
+		return v.b == other.b
+	case KindBytes:
+		if len(v.by) != len(other.by) {
+			return false
+		}
+		for i := range v.by {
+			if v.by[i] != other.by[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return true // two zero Values are equal
+	}
+}
+
+// String implements fmt.Stringer for the kind.
+func (k ValueKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}

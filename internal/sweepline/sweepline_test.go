@@ -1,0 +1,213 @@
+package sweepline
+
+import (
+	"math/rand"
+	"testing"
+
+	"eccheck/internal/parallel"
+)
+
+func intervals(bounds ...int) []parallel.Interval {
+	out := make([]parallel.Interval, 0, len(bounds)/2)
+	for i := 0; i+1 < len(bounds); i += 2 {
+		out = append(out, parallel.Interval{Start: bounds[i], End: bounds[i+1]})
+	}
+	return out
+}
+
+// bruteForce computes max-overlap pairing by direct comparison, the oracle
+// for the sweep line.
+func bruteForce(origins, data []parallel.Interval) []Pairing {
+	out := make([]Pairing, len(data))
+	for j, dg := range data {
+		best := Pairing{DataIndex: j, OriginIndex: -1}
+		for i, og := range origins {
+			if ov := og.Overlap(dg); ov > best.Overlap {
+				best.Overlap = ov
+				best.OriginIndex = i
+			}
+		}
+		out[j] = best
+	}
+	return out
+}
+
+// The paper's Fig. 9: origin [[0,1],[2,3],[4,5]], data [[0,1,2],[3,4,5]].
+// Data group 0 -> node 0 (overlap 2); data group 1 -> node 2 (overlap 2),
+// so node 1 becomes the parity node — the cheaper configuration (6 units
+// of traffic instead of 7).
+func TestFig9Selection(t *testing.T) {
+	origins := intervals(0, 2, 2, 4, 4, 6)
+	data := intervals(0, 3, 3, 6)
+	sel, err := SelectDataNodes(origins, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.DataNodes[0] != 0 || sel.DataNodes[1] != 2 {
+		t.Errorf("DataNodes = %v, want [0 2]", sel.DataNodes)
+	}
+	if len(sel.ParityNodes) != 1 || sel.ParityNodes[0] != 1 {
+		t.Errorf("ParityNodes = %v, want [1]", sel.ParityNodes)
+	}
+	if sel.Overlaps[0] != 2 || sel.Overlaps[1] != 2 {
+		t.Errorf("Overlaps = %v, want [2 2]", sel.Overlaps)
+	}
+}
+
+// Paper's main testbed: 4 nodes × 4 GPUs, k=2: data groups of 8 workers
+// each fully contain two machines; the greedy pick is machine 0 and 2.
+func TestPaperTestbedSelection(t *testing.T) {
+	origins := intervals(0, 4, 4, 8, 8, 12, 12, 16)
+	data := intervals(0, 8, 8, 16)
+	sel, err := SelectDataNodes(origins, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.DataNodes[0] != 0 || sel.DataNodes[1] != 2 {
+		t.Errorf("DataNodes = %v, want [0 2]", sel.DataNodes)
+	}
+	if len(sel.ParityNodes) != 2 || sel.ParityNodes[0] != 1 || sel.ParityNodes[1] != 3 {
+		t.Errorf("ParityNodes = %v, want [1 3]", sel.ParityNodes)
+	}
+}
+
+func TestAlignedGroupsPairIdentically(t *testing.T) {
+	// k == n: each data group is exactly one machine.
+	origins := intervals(0, 4, 4, 8, 8, 12, 12, 16)
+	sel, err := SelectDataNodes(origins, origins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, nodeIdx := range sel.DataNodes {
+		if nodeIdx != j {
+			t.Errorf("data group %d assigned node %d, want %d", j, nodeIdx, j)
+		}
+		if sel.Overlaps[j] != 4 {
+			t.Errorf("overlap %d = %d, want 4", j, sel.Overlaps[j])
+		}
+	}
+	if len(sel.ParityNodes) != 0 {
+		t.Errorf("ParityNodes = %v, want empty", sel.ParityNodes)
+	}
+}
+
+func TestPairingMatchesBruteForceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 200; trial++ {
+		// Random partition structure: n machines of g workers, k data groups.
+		n := 1 + r.Intn(12)
+		g := 1 + r.Intn(6)
+		world := n * g
+		// k must divide world: collect divisors.
+		var divisors []int
+		for d := 1; d <= world; d++ {
+			if world%d == 0 {
+				divisors = append(divisors, d)
+			}
+		}
+		k := divisors[r.Intn(len(divisors))]
+
+		origins := make([]parallel.Interval, n)
+		for i := range origins {
+			origins[i] = parallel.Interval{Start: i * g, End: (i + 1) * g}
+		}
+		span := world / k
+		data := make([]parallel.Interval, k)
+		for j := range data {
+			data[j] = parallel.Interval{Start: j * span, End: (j + 1) * span}
+		}
+
+		got, err := MaxOverlapPairing(origins, data)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d g=%d k=%d): %v", trial, n, g, k, err)
+		}
+		want := bruteForce(origins, data)
+		for j := range want {
+			if got[j].Overlap != want[j].Overlap {
+				t.Errorf("trial %d group %d: overlap %d, brute force %d",
+					trial, j, got[j].Overlap, want[j].Overlap)
+			}
+			// The chosen origin must achieve the maximum overlap (index may
+			// differ only between equally good choices).
+			if origins[got[j].OriginIndex].Overlap(data[j]) != want[j].Overlap {
+				t.Errorf("trial %d group %d: chosen origin %d not maximal",
+					trial, j, got[j].OriginIndex)
+			}
+		}
+	}
+}
+
+func TestSelectionAlwaysDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(10)
+		g := 1 + r.Intn(5)
+		world := n * g
+		var divisors []int
+		for d := 1; d <= n; d++ { // k <= n so parity nodes can exist
+			if world%d == 0 {
+				divisors = append(divisors, d)
+			}
+		}
+		k := divisors[r.Intn(len(divisors))]
+
+		origins := make([]parallel.Interval, n)
+		for i := range origins {
+			origins[i] = parallel.Interval{Start: i * g, End: (i + 1) * g}
+		}
+		span := world / k
+		data := make([]parallel.Interval, k)
+		for j := range data {
+			data[j] = parallel.Interval{Start: j * span, End: (j + 1) * span}
+		}
+		sel, err := SelectDataNodes(origins, data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		seen := map[int]bool{}
+		for _, d := range sel.DataNodes {
+			if seen[d] {
+				t.Fatalf("trial %d: duplicate data node %d", trial, d)
+			}
+			seen[d] = true
+		}
+		for _, p := range sel.ParityNodes {
+			if seen[p] {
+				t.Fatalf("trial %d: node %d both data and parity", trial, p)
+			}
+			seen[p] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: selection covers %d machines, want %d", trial, len(seen), n)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := intervals(0, 2, 2, 4)
+	if _, err := MaxOverlapPairing(nil, good); err == nil {
+		t.Error("empty origins: want error")
+	}
+	if _, err := MaxOverlapPairing(good, nil); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := MaxOverlapPairing(intervals(0, 0, 2, 4), good); err == nil {
+		t.Error("empty origin interval: want error")
+	}
+	if _, err := MaxOverlapPairing(good, intervals(3, 3)); err == nil {
+		t.Error("empty data interval: want error")
+	}
+	if _, err := MaxOverlapPairing(intervals(0, 3, 2, 5), good); err == nil {
+		t.Error("overlapping origin intervals: want error")
+	}
+	if _, err := MaxOverlapPairing(good, intervals(0, 3, 2, 5)); err == nil {
+		t.Error("overlapping data intervals: want error")
+	}
+	// Disjoint universes: data interval overlaps no origin.
+	if _, err := MaxOverlapPairing(intervals(0, 2), intervals(10, 12)); err == nil {
+		t.Error("non-overlapping universes: want error")
+	}
+	if _, err := SelectDataNodes(intervals(0, 2), intervals(0, 1, 1, 2)); err == nil {
+		t.Error("more data groups than machines: want error")
+	}
+}

@@ -1,0 +1,224 @@
+// Package tensor provides the minimal dense-tensor abstraction the
+// checkpointing system needs: typed, shaped, contiguously backed byte
+// storage. It deliberately implements no math beyond what training
+// simulation and checkpoint verification require — the properties the
+// ECCheck protocol relies on are contiguity, size skew and cheap views.
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DType enumerates supported element types.
+type DType int
+
+// Supported element types. Sizes follow the usual deep-learning layouts.
+const (
+	Float32 DType = iota + 1
+	Float16
+	BFloat16
+	Int64
+	Int32
+	UInt8
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float16, BFloat16:
+		return 2
+	case Int64:
+		return 8
+	case UInt8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String returns the conventional name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float16:
+		return "float16"
+	case BFloat16:
+		return "bfloat16"
+	case Int64:
+		return "int64"
+	case Int32:
+		return "int32"
+	case UInt8:
+		return "uint8"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is a known dtype.
+func (d DType) Valid() bool { return d.Size() > 0 }
+
+// Tensor is a dense tensor with contiguous row-major storage.
+type Tensor struct {
+	dtype DType
+	shape []int
+	data  []byte
+}
+
+// New allocates a zero-filled tensor.
+func New(dtype DType, shape ...int) (*Tensor, error) {
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("tensor: invalid dtype %d", int(dtype))
+	}
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			return nil, fmt.Errorf("tensor: invalid dimension %d in shape %v", s, shape)
+		}
+		n *= s
+	}
+	return &Tensor{
+		dtype: dtype,
+		shape: append([]int(nil), shape...),
+		data:  make([]byte, n*dtype.Size()),
+	}, nil
+}
+
+// FromBytes wraps existing storage as a tensor. The byte length must match
+// the shape and dtype exactly; the tensor takes ownership of data.
+func FromBytes(dtype DType, shape []int, data []byte) (*Tensor, error) {
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("tensor: invalid dtype %d", int(dtype))
+	}
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			return nil, fmt.Errorf("tensor: invalid dimension %d in shape %v", s, shape)
+		}
+		n *= s
+	}
+	if want := n * dtype.Size(); len(data) != want {
+		return nil, fmt.Errorf("tensor: data length %d does not match shape %v of %s (%d bytes)",
+			len(data), shape, dtype, want)
+	}
+	return &Tensor{dtype: dtype, shape: append([]int(nil), shape...), data: data}, nil
+}
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns a copy of the tensor shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int {
+	n := 1
+	for _, s := range t.shape {
+		n *= s
+	}
+	return n
+}
+
+// NumBytes returns the storage size in bytes.
+func (t *Tensor) NumBytes() int { return len(t.data) }
+
+// Data returns the backing storage. The slice aliases the tensor: mutating
+// it mutates the tensor, which is exactly what zero-copy checkpoint
+// encoding requires.
+func (t *Tensor) Data() []byte { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{
+		dtype: t.dtype,
+		shape: append([]int(nil), t.shape...),
+		data:  append([]byte(nil), t.data...),
+	}
+}
+
+// Equal reports deep equality of dtype, shape and contents.
+func (t *Tensor) Equal(other *Tensor) bool {
+	if other == nil || t.dtype != other.dtype || len(t.shape) != len(other.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != other.shape[i] {
+			return false
+		}
+	}
+	if len(t.data) != len(other.data) {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != other.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Float32At returns element i of a Float32 tensor.
+func (t *Tensor) Float32At(i int) (float32, error) {
+	if t.dtype != Float32 {
+		return 0, fmt.Errorf("tensor: Float32At on %s tensor", t.dtype)
+	}
+	if i < 0 || i >= t.Numel() {
+		return 0, fmt.Errorf("tensor: index %d out of range [0, %d)", i, t.Numel())
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(t.data[i*4:])), nil
+}
+
+// SetFloat32At assigns element i of a Float32 tensor.
+func (t *Tensor) SetFloat32At(i int, v float32) error {
+	if t.dtype != Float32 {
+		return fmt.Errorf("tensor: SetFloat32At on %s tensor", t.dtype)
+	}
+	if i < 0 || i >= t.Numel() {
+		return fmt.Errorf("tensor: index %d out of range [0, %d)", i, t.Numel())
+	}
+	binary.LittleEndian.PutUint32(t.data[i*4:], math.Float32bits(v))
+	return nil
+}
+
+// FillPattern writes a deterministic byte pattern derived from seed, used by
+// tests and the training simulator to give every shard distinguishable
+// content. It is a fast xorshift generator, not cryptographic.
+func (t *Tensor) FillPattern(seed uint64) {
+	// Scramble the seed (splitmix64 finalizer) so nearby seeds diverge,
+	// then guard against the all-zero xorshift fixed point.
+	s := seed + 0x9e3779b97f4a7c15
+	s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9
+	s = (s ^ (s >> 27)) * 0x94d049bb133111eb
+	s ^= s >> 31
+	if s == 0 {
+		s = 1
+	}
+	i := 0
+	for ; i+8 <= len(t.data); i += 8 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		binary.LittleEndian.PutUint64(t.data[i:], s)
+	}
+	for ; i < len(t.data); i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		t.data[i] = byte(s)
+	}
+}
+
+// String renders a short description, not the contents.
+func (t *Tensor) String() string {
+	dims := make([]string, len(t.shape))
+	for i, s := range t.shape {
+		dims[i] = fmt.Sprintf("%d", s)
+	}
+	return fmt.Sprintf("Tensor(%s, [%s], %dB)", t.dtype, strings.Join(dims, "x"), len(t.data))
+}

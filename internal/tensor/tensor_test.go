@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	for _, tc := range []struct {
+		d    DType
+		size int
+		name string
+	}{
+		{Float32, 4, "float32"},
+		{Float16, 2, "float16"},
+		{BFloat16, 2, "bfloat16"},
+		{Int64, 8, "int64"},
+		{Int32, 4, "int32"},
+		{UInt8, 1, "uint8"},
+	} {
+		if tc.d.Size() != tc.size {
+			t.Errorf("%s.Size() = %d, want %d", tc.name, tc.d.Size(), tc.size)
+		}
+		if tc.d.String() != tc.name {
+			t.Errorf("String() = %q, want %q", tc.d.String(), tc.name)
+		}
+		if !tc.d.Valid() {
+			t.Errorf("%s should be valid", tc.name)
+		}
+	}
+	if DType(0).Valid() || DType(99).Valid() {
+		t.Error("invalid dtypes reported valid")
+	}
+}
+
+func TestNewShapeAndBytes(t *testing.T) {
+	ts, err := New(Float32, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Numel() != 12 {
+		t.Errorf("Numel() = %d", ts.Numel())
+	}
+	if ts.NumBytes() != 48 {
+		t.Errorf("NumBytes() = %d", ts.NumBytes())
+	}
+	shape := ts.Shape()
+	shape[0] = 99
+	if ts.Shape()[0] != 3 {
+		t.Error("Shape() does not return a copy")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DType(0), 2); err == nil {
+		t.Error("invalid dtype: want error")
+	}
+	if _, err := New(Float32, 0); err == nil {
+		t.Error("zero dim: want error")
+	}
+	if _, err := New(Float32, 2, -1); err == nil {
+		t.Error("negative dim: want error")
+	}
+	scalar, err := New(Float32)
+	if err != nil {
+		t.Fatalf("scalar tensor: %v", err)
+	}
+	if scalar.Numel() != 1 || scalar.NumBytes() != 4 {
+		t.Errorf("scalar: numel=%d bytes=%d", scalar.Numel(), scalar.NumBytes())
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	buf := make([]byte, 24)
+	ts, err := FromBytes(Float16, []int{3, 4}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must alias, not copy.
+	buf[0] = 0xAB
+	if ts.Data()[0] != 0xAB {
+		t.Error("FromBytes copied instead of aliasing")
+	}
+	if _, err := FromBytes(Float16, []int{3, 4}, make([]byte, 23)); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := FromBytes(DType(42), []int{2}, make([]byte, 4)); err == nil {
+		t.Error("bad dtype: want error")
+	}
+	if _, err := FromBytes(Float32, []int{0}, nil); err == nil {
+		t.Error("bad shape: want error")
+	}
+}
+
+func TestFloat32Accessors(t *testing.T) {
+	ts, err := New(Float32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetFloat32At(2, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ts.Float32At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3.5 {
+		t.Errorf("Float32At(2) = %v", v)
+	}
+	if _, err := ts.Float32At(4); err == nil {
+		t.Error("out of range read: want error")
+	}
+	if err := ts.SetFloat32At(-1, 0); err == nil {
+		t.Error("out of range write: want error")
+	}
+	i64, _ := New(Int64, 2)
+	if _, err := i64.Float32At(0); err == nil {
+		t.Error("Float32At on int64 tensor: want error")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a, _ := New(Float32, 2, 2)
+	a.FillPattern(7)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal to original")
+	}
+	b.Data()[0] ^= 1
+	if a.Equal(b) {
+		t.Error("mutated clone still equal")
+	}
+	c, _ := New(Float32, 4)
+	c.FillPattern(7)
+	if a.Equal(c) {
+		t.Error("different shapes equal")
+	}
+	d, _ := New(Int32, 2, 2)
+	if a.Equal(d) {
+		t.Error("different dtypes equal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+}
+
+func TestFillPatternDeterministic(t *testing.T) {
+	a, _ := New(Float32, 100)
+	b, _ := New(Float32, 100)
+	a.FillPattern(42)
+	b.FillPattern(42)
+	if !a.Equal(b) {
+		t.Error("same seed produced different contents")
+	}
+	b.FillPattern(43)
+	if a.Equal(b) {
+		t.Error("different seeds produced identical contents")
+	}
+}
+
+func TestFillPatternQuickDistinctSeeds(t *testing.T) {
+	prop := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, _ := New(UInt8, 64)
+		b, _ := New(UInt8, 64)
+		a.FillPattern(s1)
+		b.FillPattern(s2)
+		return !a.Equal(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDescribes(t *testing.T) {
+	ts, _ := New(BFloat16, 2, 3)
+	got := ts.String()
+	want := "Tensor(bfloat16, [2x3], 12B)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,88 @@
+// Package testbed defines the hardware resource model of the paper's
+// evaluation platform, used by the timing layer to replay checkpointing
+// plans at paper scale: four machines with four A100 GPUs each, NVLink
+// inside nodes, 100 Gbps between nodes, and a 5 Gbps aggregate uplink to
+// remote persistent storage.
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resources captures the bandwidths and rates of one evaluation platform.
+// All rates are bytes per second.
+type Resources struct {
+	// PCIeBandwidth is the per-GPU device-to-host copy rate (step 1).
+	PCIeBandwidth float64
+	// NICBandwidth is the per-node inter-node bandwidth.
+	NICBandwidth float64
+	// EncodeRate is the per-node CPU thread-pool coding throughput
+	// (bytes of region output per second); fast CRS implementations
+	// sustain tens of Gbps per core group.
+	EncodeRate float64
+	// SerializeRate is the torch.save-style serialization throughput per
+	// worker; DeserializeRate the reverse.
+	SerializeRate   float64
+	DeserializeRate float64
+	// RemoteRate is the aggregate bandwidth to remote persistent storage,
+	// shared by all nodes.
+	RemoteRate float64
+	// SmallBroadcastLatency is the constant step-2 cost of broadcasting
+	// the non-tensor components (tens of kilobytes).
+	SmallBroadcastLatency time.Duration
+}
+
+// Validate reports nonsensical configurations.
+func (r Resources) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"PCIeBandwidth", r.PCIeBandwidth},
+		{"NICBandwidth", r.NICBandwidth},
+		{"EncodeRate", r.EncodeRate},
+		{"SerializeRate", r.SerializeRate},
+		{"DeserializeRate", r.DeserializeRate},
+		{"RemoteRate", r.RemoteRate},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("testbed: %s must be positive, got %f", f.name, f.v)
+		}
+	}
+	if r.SmallBroadcastLatency < 0 {
+		return fmt.Errorf("testbed: negative broadcast latency %v", r.SmallBroadcastLatency)
+	}
+	return nil
+}
+
+// GBps converts GB/s to bytes/second.
+func GBps(v float64) float64 { return v * 1e9 }
+
+// Gbps converts Gbit/s to bytes/second.
+func Gbps(v float64) float64 { return v * 1e9 / 8 }
+
+// Paper returns the A100 testbed of the paper's main evaluation:
+// 100 Gbps interconnect, 5 Gbps aggregate remote storage bandwidth,
+// PCIe 4.0 x16 DtoH copies, and a CRS thread pool sustaining ≈20 GB/s
+// per node (the paper cites >40 Gbps single-threaded codecs, accelerated
+// further by its thread pool).
+func Paper() Resources {
+	return Resources{
+		PCIeBandwidth:         GBps(20),
+		NICBandwidth:          Gbps(100),
+		EncodeRate:            GBps(20),
+		SerializeRate:         GBps(1.5),
+		DeserializeRate:       GBps(2),
+		RemoteRate:            Gbps(5),
+		SmallBroadcastLatency: 2 * time.Millisecond,
+	}
+}
+
+// V100 returns the scalability platform of Fig. 14 (V100 32 GB machines);
+// same fabric, slightly slower host links.
+func V100() Resources {
+	r := Paper()
+	r.PCIeBandwidth = GBps(12)
+	return r
+}

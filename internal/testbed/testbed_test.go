@@ -1,0 +1,57 @@
+package testbed
+
+import "testing"
+
+func TestConversions(t *testing.T) {
+	if GBps(2) != 2e9 {
+		t.Errorf("GBps(2) = %v", GBps(2))
+	}
+	if Gbps(8) != 1e9 {
+		t.Errorf("Gbps(8) = %v", Gbps(8))
+	}
+}
+
+func TestPaperResourcesValid(t *testing.T) {
+	r := Paper()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The defining ratios of the testbed: inter-node bandwidth far above
+	// remote storage; PCIe above NIC.
+	if r.NICBandwidth/r.RemoteRate < 10 {
+		t.Errorf("NIC/remote ratio %.1f, want >= 10 (100 Gbps vs 5 Gbps)", r.NICBandwidth/r.RemoteRate)
+	}
+	if r.PCIeBandwidth <= r.NICBandwidth {
+		t.Error("PCIe DtoH should exceed per-node NIC bandwidth")
+	}
+}
+
+func TestV100Variant(t *testing.T) {
+	v := V100()
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.PCIeBandwidth >= Paper().PCIeBandwidth {
+		t.Error("V100 platform should have slower host links")
+	}
+}
+
+func TestValidateCatchesZeroFields(t *testing.T) {
+	base := Paper()
+	mutations := []func(*Resources){
+		func(r *Resources) { r.PCIeBandwidth = 0 },
+		func(r *Resources) { r.NICBandwidth = -1 },
+		func(r *Resources) { r.EncodeRate = 0 },
+		func(r *Resources) { r.SerializeRate = 0 },
+		func(r *Resources) { r.DeserializeRate = 0 },
+		func(r *Resources) { r.RemoteRate = 0 },
+		func(r *Resources) { r.SmallBroadcastLatency = -1 },
+	}
+	for i, mutate := range mutations {
+		r := base
+		mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("mutation %d: want validation error", i)
+		}
+	}
+}

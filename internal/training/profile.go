@@ -1,0 +1,97 @@
+package training
+
+import (
+	"fmt"
+	"time"
+
+	"eccheck/internal/simnet"
+)
+
+// ProfileIterations is how many leading iterations the online profiler
+// observes, as in the paper.
+const ProfileIterations = 50
+
+// IdleProfile is what the online profiler learns: the iteration period and
+// the idle windows within one iteration, which repeat for the rest of
+// training.
+type IdleProfile struct {
+	// Period is the measured iteration time.
+	Period time.Duration
+	// Windows are the idle spans within one period, relative to its start.
+	Windows []simnet.Span
+	// IdleFraction is the share of the period that is idle.
+	IdleFraction float64
+}
+
+// ProfileIdleSlots observes the first ProfileIterations iterations of the
+// timeline and extracts the recurring idle windows. The timeline must cover
+// at least that horizon.
+func ProfileIdleSlots(tl *simnet.Timeline, period time.Duration) (*IdleProfile, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("training: non-positive iteration period %v", period)
+	}
+	horizon := time.Duration(ProfileIterations) * period
+	// Accumulate idle time per within-period offset by intersecting every
+	// observed iteration; windows present in all iterations are the
+	// predictable slots. Because our traffic is strictly periodic, the
+	// windows of the first iteration suffice, but the profiler still
+	// verifies them across the horizon so aperiodic traffic would shrink
+	// the profile rather than corrupt it.
+	first := tl.IdleWindows(0, period)
+	stable := make([]simnet.Span, 0, len(first))
+	for _, win := range first {
+		ok := true
+		for i := 1; i < ProfileIterations; i++ {
+			base := time.Duration(i) * period
+			if base+win.End > horizon {
+				break
+			}
+			if tl.BusyAt(base+win.Start) || tl.BusyAt(base+win.End-time.Nanosecond) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			stable = append(stable, win)
+		}
+	}
+	var idle time.Duration
+	for _, w := range stable {
+		idle += w.Len()
+	}
+	return &IdleProfile{
+		Period:       period,
+		Windows:      stable,
+		IdleFraction: float64(idle) / float64(period),
+	}, nil
+}
+
+// ExtendTimeline materialises the profiled busy pattern out to the given
+// horizon so checkpoint transfers longer than the profiling window can be
+// scheduled. It returns a fresh timeline whose busy spans are the
+// complement of the profile's idle windows, repeated each period.
+func (p *IdleProfile) ExtendTimeline(horizon time.Duration) (*simnet.Timeline, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("training: non-positive horizon %v", horizon)
+	}
+	var tl simnet.Timeline
+	periods := int(horizon/p.Period) + 1
+	for i := 0; i < periods; i++ {
+		base := time.Duration(i) * p.Period
+		cursor := base
+		for _, w := range p.Windows {
+			if base+w.Start > cursor {
+				if err := tl.AddBusy(cursor, base+w.Start); err != nil {
+					return nil, err
+				}
+			}
+			cursor = base + w.End
+		}
+		if cursor < base+p.Period {
+			if err := tl.AddBusy(cursor, base+p.Period); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &tl, nil
+}

@@ -1,0 +1,250 @@
+package training
+
+import (
+	"testing"
+	"time"
+
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+)
+
+const gbps100 = 100e9 / 8 // 100 Gbps in bytes/second
+
+func paperWorkload(t *testing.T, label string) *Workload {
+	t.Helper()
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.GPT2Size(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(cfg, topo, gbps100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.GPT2Size("1.6B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkload(cfg, topo, 0); err == nil {
+		t.Error("zero bandwidth: want error")
+	}
+	bad := cfg
+	bad.Layers = 0
+	if _, err := NewWorkload(bad, topo, gbps100); err == nil {
+		t.Error("invalid model: want error")
+	}
+}
+
+func TestIterationTimePlausibleAndMonotone(t *testing.T) {
+	small := paperWorkload(t, "1.6B")
+	large := paperWorkload(t, "20B")
+	ts, err := small.IterationTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := large.IterationTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= 0 || tl <= 0 {
+		t.Fatalf("non-positive iteration times %v, %v", ts, tl)
+	}
+	if tl <= ts {
+		t.Errorf("20B iteration (%v) not slower than 1.6B (%v)", tl, ts)
+	}
+	// Sanity: large-model iterations on 16 GPUs are seconds, not hours.
+	if ts < 10*time.Millisecond || tl > 10*time.Minute {
+		t.Errorf("implausible iteration times: %v, %v", ts, tl)
+	}
+}
+
+func TestComputeTimeErrors(t *testing.T) {
+	w := paperWorkload(t, "1.6B")
+	w.GPUFlops = 0
+	if _, err := w.ComputeTime(); err == nil {
+		t.Error("zero flops: want error")
+	}
+	w = paperWorkload(t, "1.6B")
+	w.MicroBatches = 0
+	if _, err := w.ComputeTime(); err == nil {
+		t.Error("zero microbatches: want error")
+	}
+}
+
+func TestBusyPhasesWithinIteration(t *testing.T) {
+	w := paperWorkload(t, "5.3B")
+	iter, err := w.IterationTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := w.BusyPhases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2*w.MicroBatches { // PP sends only; DP=1
+		t.Errorf("%d phases, want %d", len(phases), 2*w.MicroBatches)
+	}
+	for i, p := range phases {
+		if p.Start < 0 || p.End > iter || p.Start >= p.End {
+			t.Errorf("phase %d = %+v outside iteration %v", i, p, iter)
+		}
+	}
+}
+
+func TestBusyPhasesIncludeAllReduceWithDP(t *testing.T) {
+	topo, err := parallel.NewTopology(4, 4, 4, 2) // DP = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.GPT2Size("1.6B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(cfg, topo, gbps100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := w.BusyPhases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2*w.MicroBatches+1 {
+		t.Errorf("%d phases, want %d (PP sends + all-reduce)", len(phases), 2*w.MicroBatches+1)
+	}
+	iter, err := w.IterationTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := phases[len(phases)-1]
+	if last.End != iter {
+		t.Errorf("all-reduce should end at iteration boundary: %v vs %v", last.End, iter)
+	}
+}
+
+func TestTimelineHasIdleSlots(t *testing.T) {
+	w := paperWorkload(t, "5.3B")
+	tl, period, err := w.BuildTimeline(ProfileIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileIdleSlots(tl, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Windows) == 0 {
+		t.Fatal("no idle windows found; checkpoint scheduling would be impossible")
+	}
+	if prof.IdleFraction <= 0.3 {
+		t.Errorf("idle fraction %.2f; PP training should leave most of the NIC idle", prof.IdleFraction)
+	}
+	if prof.IdleFraction >= 1.0 {
+		t.Errorf("idle fraction %.2f; there must be some busy traffic", prof.IdleFraction)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	w := paperWorkload(t, "1.6B")
+	tl, _, err := w.BuildTimeline(ProfileIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileIdleSlots(tl, 0); err == nil {
+		t.Error("zero period: want error")
+	}
+	if _, _, err := w.BuildTimeline(0); err == nil {
+		t.Error("zero iterations: want error")
+	}
+}
+
+func TestExtendTimelineMatchesProfile(t *testing.T) {
+	w := paperWorkload(t, "5.3B")
+	tl, period, err := w.BuildTimeline(ProfileIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileIdleSlots(tl, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := prof.ExtendTimeline(10 * period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every profiled idle window must be idle in the extension, at every
+	// period, and busy regions must exist between them.
+	for i := 0; i < 10; i++ {
+		base := time.Duration(i) * period
+		for _, win := range prof.Windows {
+			mid := base + (win.Start+win.End)/2
+			if ext.BusyAt(mid) {
+				t.Fatalf("extended timeline busy inside idle window at period %d", i)
+			}
+		}
+	}
+	if len(ext.Busy()) == 0 {
+		t.Error("extension has no busy spans")
+	}
+	if _, err := prof.ExtendTimeline(0); err == nil {
+		t.Error("zero horizon: want error")
+	}
+}
+
+func TestCommBytesScaleWithModel(t *testing.T) {
+	small := paperWorkload(t, "1.6B")
+	large := paperWorkload(t, "20B")
+	if small.CommBytesPerIteration() >= large.CommBytesPerIteration() {
+		t.Error("larger hidden size must move more activation bytes")
+	}
+	want := int64(small.SeqPerMicroBatch) * int64(small.SeqLen) * 1600 * 2
+	if small.ActivationBytes() != want {
+		t.Errorf("activation bytes = %d, want %d", small.ActivationBytes(), want)
+	}
+}
+
+// The profiler must verify idle windows across every observed iteration:
+// a window violated by aperiodic traffic mid-horizon is dropped rather
+// than trusted.
+func TestProfileDropsViolatedWindows(t *testing.T) {
+	w := paperWorkload(t, "5.3B")
+	tl, period, err := w.BuildTimeline(ProfileIterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ProfileIdleSlots(tl, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Windows) == 0 {
+		t.Fatal("no idle windows in the clean profile")
+	}
+
+	// Inject a one-off burst covering the first idle window of iteration 20.
+	first := clean.Windows[0]
+	base := 20 * period
+	if err := tl.AddBusy(base+first.Start, base+first.End); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := ProfileIdleSlots(tl, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty.Windows) >= len(clean.Windows) {
+		t.Errorf("violated window not dropped: %d -> %d windows",
+			len(clean.Windows), len(dirty.Windows))
+	}
+	if dirty.IdleFraction >= clean.IdleFraction {
+		t.Errorf("idle fraction did not shrink: %v -> %v",
+			clean.IdleFraction, dirty.IdleFraction)
+	}
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+)
+
+// subNetwork is a view onto a subset of a parent network's nodes, with
+// local indices mapping onto the parent's global ones. Grouped
+// checkpointing gives each group such a view; because groups own disjoint
+// node sets, their traffic cannot collide on the parent.
+type subNetwork struct {
+	parent Network
+	nodes  []int
+}
+
+// Sub creates a view of the given parent nodes (distinct, in range).
+// Closing the view is a no-op: the parent owns the endpoints.
+func Sub(parent Network, nodes []int) (Network, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("transport: nil parent network")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("transport: empty node set")
+	}
+	seen := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		if n < 0 || n >= parent.Size() {
+			return nil, fmt.Errorf("transport: node %d out of parent range [0, %d)", n, parent.Size())
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("transport: duplicate node %d in view", n)
+		}
+		seen[n] = true
+	}
+	return &subNetwork{parent: parent, nodes: append([]int(nil), nodes...)}, nil
+}
+
+func (s *subNetwork) Size() int { return len(s.nodes) }
+
+func (s *subNetwork) Endpoint(local int) (Endpoint, error) {
+	if local < 0 || local >= len(s.nodes) {
+		return nil, fmt.Errorf("transport: local node %d out of range [0, %d)", local, len(s.nodes))
+	}
+	parentEp, err := s.parent.Endpoint(s.nodes[local])
+	if err != nil {
+		return nil, err
+	}
+	return &subEndpoint{net: s, ep: parentEp, local: local}, nil
+}
+
+func (s *subNetwork) Close() error { return nil } // parent owns the endpoints
+
+type subEndpoint struct {
+	net   *subNetwork
+	ep    Endpoint
+	local int
+}
+
+func (e *subEndpoint) Rank() int { return e.local }
+
+func (e *subEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
+	if to < 0 || to >= len(e.net.nodes) {
+		return fmt.Errorf("transport: send to local node %d out of range [0, %d)", to, len(e.net.nodes))
+	}
+	return e.ep.Send(ctx, e.net.nodes[to], tag, payload)
+}
+
+func (e *subEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
+	if from < 0 || from >= len(e.net.nodes) {
+		return nil, fmt.Errorf("transport: recv from local node %d out of range [0, %d)", from, len(e.net.nodes))
+	}
+	return e.ep.Recv(ctx, e.net.nodes[from], tag)
+}
+
+func (e *subEndpoint) Close() error { return nil }
+
+var _ Network = (*subNetwork)(nil)
+var _ Endpoint = (*subEndpoint)(nil)

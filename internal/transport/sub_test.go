@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSubNetworkMapping(t *testing.T) {
+	parent, err := NewMemory(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = parent.Close() }()
+	sub, err := Sub(parent, []int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 2 {
+		t.Errorf("Size = %d", sub.Size())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	a, err := sub.Endpoint(0) // global 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sub.Endpoint(1) // global 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rank() != 0 || b.Rank() != 1 {
+		t.Errorf("local ranks %d, %d", a.Rank(), b.Rank())
+	}
+	if err := a.Send(ctx, 1, "t", []byte("via-view")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(ctx, 0, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("via-view")) {
+		t.Errorf("got %q", got)
+	}
+	// The traffic actually crossed global nodes 4 -> 5.
+	g5, err := parent.Endpoint(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, 1, "t2", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g5.Recv(ctx, 4, "t2"); err != nil {
+		t.Errorf("global endpoint did not see view traffic: %v", err)
+	}
+	if err := sub.Close(); err != nil {
+		t.Errorf("view close: %v", err)
+	}
+	// Parent still alive after view close.
+	if _, err := parent.Endpoint(0); err != nil {
+		t.Errorf("parent closed by view: %v", err)
+	}
+}
+
+func TestSubDisjointGroupsDoNotCollide(t *testing.T) {
+	parent, err := NewMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = parent.Close() }()
+	g0, err := Sub(parent, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Sub(parent, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Same local indices and tags in both groups.
+	a0, _ := g0.Endpoint(0)
+	b0, _ := g0.Endpoint(1)
+	a1, _ := g1.Endpoint(0)
+	b1, _ := g1.Endpoint(1)
+	if err := a0.Send(ctx, 1, "same", []byte("group0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Send(ctx, 1, "same", []byte("group1")); err != nil {
+		t.Fatal(err)
+	}
+	got0, err := b0.Recv(ctx, 0, "same")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := b1.Recv(ctx, 0, "same")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got0) != "group0" || string(got1) != "group1" {
+		t.Errorf("cross-group leak: %q, %q", got0, got1)
+	}
+}
+
+func TestSubValidation(t *testing.T) {
+	parent, err := NewMemory(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = parent.Close() }()
+	if _, err := Sub(nil, []int{0}); err == nil {
+		t.Error("nil parent: want error")
+	}
+	if _, err := Sub(parent, nil); err == nil {
+		t.Error("empty nodes: want error")
+	}
+	if _, err := Sub(parent, []int{0, 0}); err == nil {
+		t.Error("duplicates: want error")
+	}
+	if _, err := Sub(parent, []int{0, 7}); err == nil {
+		t.Error("out of range: want error")
+	}
+	sub, err := Sub(parent, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Endpoint(2); err == nil {
+		t.Error("local endpoint out of range: want error")
+	}
+	ep, err := sub.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ep.Send(ctx, 5, "t", nil); err == nil {
+		t.Error("send local out of range: want error")
+	}
+	if _, err := ep.Recv(ctx, -1, "t"); err == nil {
+		t.Error("recv local out of range: want error")
+	}
+	if err := ep.Close(); err != nil {
+		t.Errorf("endpoint close: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: every node runs a listener; peers dial lazily and keep one
+// connection per direction. Frames are length-prefixed:
+//
+//	uint32 from | uint32 tagLen | tag bytes | uint32 payloadLen | payload
+//
+// A reader goroutine per accepted connection demultiplexes frames into the
+// same (from, tag) mailbox structure the memory transport uses.
+
+const maxFrameSize = 1 << 30 // 1 GiB guard against corrupt length fields
+
+// TCPEndpoint is one node of a TCP network. Create one per node with
+// NewTCPEndpoint, then exchange the Addr()s and Connect the mesh (or rely
+// on lazy dialing via peer addresses passed up front).
+type TCPEndpoint struct {
+	rank  int
+	peers []string // peer addresses by node index; self entry unused
+	ln    net.Listener
+
+	mu       sync.Mutex
+	conns    map[int]*tcpConn // outbound connections by destination
+	accepted map[net.Conn]bool
+	boxes    map[mailboxKey]chan []byte
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewTCPEndpoint starts a listener for the node. peers[i] must hold node
+// i's address before the first Send/Recv involving i; the caller typically
+// creates all endpoints with addr ":0", collects their Addr()s, and passes
+// the full list to SetPeers.
+func NewTCPEndpoint(rank int, listenAddr string) (*TCPEndpoint, error) {
+	if rank < 0 {
+		return nil, fmt.Errorf("transport: negative rank %d", rank)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listenAddr, err)
+	}
+	e := &TCPEndpoint{
+		rank:     rank,
+		ln:       ln,
+		conns:    make(map[int]*tcpConn),
+		accepted: make(map[net.Conn]bool),
+		boxes:    make(map[mailboxKey]chan []byte),
+		closed:   make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the listener address.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// SetPeers installs the address list (indexed by node rank).
+func (e *TCPEndpoint) SetPeers(addrs []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers = append([]string(nil), addrs...)
+}
+
+// Rank returns the endpoint's node index.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		e.accepted[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.readLoop(conn)
+			e.mu.Lock()
+			delete(e.accepted, conn)
+			e.mu.Unlock()
+		}()
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		from := int(binary.LittleEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		tagLen := binary.LittleEndian.Uint32(hdr[:])
+		if tagLen > 4096 {
+			return
+		}
+		tag := make([]byte, tagLen)
+		if _, err := io.ReadFull(conn, tag); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[:])
+		if payloadLen > maxFrameSize {
+			return
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		select {
+		case e.box(mailboxKey{from: from, to: e.rank, tag: string(tag)}) <- payload:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *TCPEndpoint) box(k mailboxKey) chan []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ch, ok := e.boxes[k]
+	if !ok {
+		ch = make(chan []byte, 256)
+		e.boxes[k] = ch
+	}
+	return ch
+}
+
+// tcpConn pairs a connection with its write mutex so one slow write never
+// blocks the whole endpoint (readers need e.mu to deliver frames).
+type tcpConn struct {
+	c  net.Conn
+	mu sync.Mutex
+}
+
+func (e *TCPEndpoint) conn(to int) (*tcpConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	if to < 0 || to >= len(e.peers) || e.peers[to] == "" {
+		return nil, fmt.Errorf("transport: no address for peer %d", to)
+	}
+	c, err := net.Dial("tcp", e.peers[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, e.peers[to], err)
+	}
+	tc := &tcpConn{c: c}
+	e.conns[to] = tc
+	return tc, nil
+}
+
+// Send frames and writes the payload to the destination node. Writes to one
+// destination are serialized; the per-destination connection preserves
+// (from, tag) FIFO order like the memory transport.
+func (e *TCPEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("transport: payload of %d bytes exceeds frame limit", len(payload))
+	}
+	c, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 0, 12+len(tag)+len(payload))
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(e.rank))
+	frame = append(frame, u[:]...)
+	binary.LittleEndian.PutUint32(u[:], uint32(len(tag)))
+	frame = append(frame, u[:]...)
+	frame = append(frame, tag...)
+	binary.LittleEndian.PutUint32(u[:], uint32(len(payload)))
+	frame = append(frame, u[:]...)
+	frame = append(frame, payload...)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.c.Write(frame); err != nil {
+		e.mu.Lock()
+		delete(e.conns, to)
+		e.mu.Unlock()
+		return fmt.Errorf("transport: write to peer %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv blocks until a frame from the peer with the tag arrives.
+func (e *TCPEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
+	ch := e.box(mailboxKey{from: from, to: e.rank, tag: tag})
+	select {
+	case payload := <-ch:
+		return payload, nil
+	case <-e.closed:
+		return nil, fmt.Errorf("transport: endpoint closed")
+	case <-ctx.Done():
+		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ctx.Err())
+	}
+}
+
+// Close shuts the endpoint down and waits for its goroutines.
+func (e *TCPEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		_ = e.ln.Close()
+		e.mu.Lock()
+		for _, c := range e.conns {
+			_ = c.c.Close()
+		}
+		for conn := range e.accepted {
+			_ = conn.Close()
+		}
+		e.mu.Unlock()
+	})
+	e.wg.Wait()
+	return nil
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// tcpNetwork adapts a set of TCPEndpoints to the Network interface for
+// single-process multi-socket runs.
+type tcpNetwork struct {
+	eps []*TCPEndpoint
+}
+
+// NewTCPLoopback constructs a size-node network where every node listens on
+// a loopback port and all peers are wired up. It exercises the real TCP
+// stack inside one process.
+func NewTCPLoopback(size int) (Network, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("transport: network size must be positive, got %d", size)
+	}
+	eps := make([]*TCPEndpoint, size)
+	addrs := make([]string, size)
+	for i := 0; i < size; i++ {
+		ep, err := NewTCPEndpoint(i, "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = eps[j].Close()
+			}
+			return nil, err
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	for _, ep := range eps {
+		ep.SetPeers(addrs)
+	}
+	return &tcpNetwork{eps: eps}, nil
+}
+
+func (n *tcpNetwork) Size() int { return len(n.eps) }
+
+func (n *tcpNetwork) Endpoint(node int) (Endpoint, error) {
+	if node < 0 || node >= len(n.eps) {
+		return nil, fmt.Errorf("transport: node %d out of range [0, %d)", node, len(n.eps))
+	}
+	return n.eps[node], nil
+}
+
+func (n *tcpNetwork) Close() error {
+	var firstErr error
+	for _, ep := range n.eps {
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,139 @@
+// Package transport moves real checkpoint bytes between nodes for the
+// functional layer of the system. Two implementations share one interface:
+// an in-process memory transport (used by tests, examples and the
+// single-process simulator) and a TCP transport over net.Listener (used by
+// the multi-process cluster example). Message matching is by (peer, tag),
+// mirroring the tagged point-to-point semantics of collective communication
+// backends such as Gloo.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// Rank returns this endpoint's node index.
+	Rank() int
+	// Send delivers payload to node `to` under the given tag. It blocks
+	// only on backpressure, not on the receiver posting a Recv first.
+	Send(ctx context.Context, to int, tag string, payload []byte) error
+	// Recv returns the next payload sent by node `from` under the tag,
+	// blocking until one arrives or the context is done.
+	Recv(ctx context.Context, from int, tag string) ([]byte, error)
+	// Close releases the endpoint's resources.
+	Close() error
+}
+
+// Network is a set of connected endpoints.
+type Network interface {
+	// Endpoint returns node i's endpoint.
+	Endpoint(node int) (Endpoint, error)
+	// Size returns the number of nodes.
+	Size() int
+	// Close shuts down every endpoint.
+	Close() error
+}
+
+// mailboxKey identifies a (sender, receiver, tag) stream.
+type mailboxKey struct {
+	from int
+	to   int
+	tag  string
+}
+
+// memNetwork is the in-process implementation: a shared set of buffered
+// channels keyed by (from, to, tag).
+type memNetwork struct {
+	size int
+
+	mu    sync.Mutex
+	boxes map[mailboxKey]chan []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewMemory returns an in-process network of the given size.
+func NewMemory(size int) (Network, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("transport: network size must be positive, got %d", size)
+	}
+	return &memNetwork{
+		size:   size,
+		boxes:  make(map[mailboxKey]chan []byte),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+func (n *memNetwork) Size() int { return n.size }
+
+func (n *memNetwork) Endpoint(node int) (Endpoint, error) {
+	if node < 0 || node >= n.size {
+		return nil, fmt.Errorf("transport: node %d out of range [0, %d)", node, n.size)
+	}
+	return &memEndpoint{net: n, rank: node}, nil
+}
+
+func (n *memNetwork) Close() error {
+	n.closeOnce.Do(func() { close(n.closed) })
+	return nil
+}
+
+// box returns (creating if needed) the channel for a stream. The buffer is
+// deep enough that a full checkpoint round never deadlocks on unmatched
+// sends.
+func (n *memNetwork) box(k mailboxKey) chan []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.boxes[k]
+	if !ok {
+		ch = make(chan []byte, 256)
+		n.boxes[k] = ch
+	}
+	return ch
+}
+
+type memEndpoint struct {
+	net  *memNetwork
+	rank int
+}
+
+func (e *memEndpoint) Rank() int { return e.rank }
+
+func (e *memEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
+	if to < 0 || to >= e.net.size {
+		return fmt.Errorf("transport: send to node %d out of range [0, %d)", to, e.net.size)
+	}
+	// Copy so the sender may immediately reuse its buffer, exactly like a
+	// real network write.
+	cp := append([]byte(nil), payload...)
+	ch := e.net.box(mailboxKey{from: e.rank, to: to, tag: tag})
+	select {
+	case ch <- cp:
+		return nil
+	case <-e.net.closed:
+		return fmt.Errorf("transport: network closed")
+	case <-ctx.Done():
+		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, ctx.Err())
+	}
+}
+
+func (e *memEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
+	if from < 0 || from >= e.net.size {
+		return nil, fmt.Errorf("transport: recv from node %d out of range [0, %d)", from, e.net.size)
+	}
+	ch := e.net.box(mailboxKey{from: from, to: e.rank, tag: tag})
+	select {
+	case payload := <-ch:
+		return payload, nil
+	case <-e.net.closed:
+		return nil, fmt.Errorf("transport: network closed")
+	case <-ctx.Done():
+		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ctx.Err())
+	}
+}
+
+func (e *memEndpoint) Close() error { return nil }

@@ -1,0 +1,104 @@
+package eccheck
+
+import (
+	"eccheck/internal/erasure"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/statedict"
+	"eccheck/internal/tensor"
+)
+
+// The core data types are defined in internal packages and re-exported
+// here as aliases, so the root package is the entire public surface.
+
+// StateDict is an ordered checkpoint dictionary of non-tensor metadata and
+// named tensors; it is what each worker checkpoints.
+type StateDict = statedict.StateDict
+
+// NewStateDict returns an empty state dict.
+func NewStateDict() *StateDict { return statedict.New() }
+
+// Value is a non-tensor metadata value.
+type Value = statedict.Value
+
+// Metadata value constructors.
+var (
+	// IntValue wraps an integer (iteration counters and the like).
+	IntValue = statedict.Int
+	// FloatValue wraps a float (learning rates and the like).
+	FloatValue = statedict.Float
+	// StringValue wraps a string (versions, names).
+	StringValue = statedict.String
+	// BoolValue wraps a boolean flag.
+	BoolValue = statedict.Bool
+	// BytesValue wraps an opaque blob (RNG state).
+	BytesValue = statedict.Bytes
+)
+
+// Tensor is a dense, contiguously backed tensor.
+type Tensor = tensor.Tensor
+
+// DType is a tensor element type.
+type DType = tensor.DType
+
+// Supported tensor element types.
+const (
+	Float32  = tensor.Float32
+	Float16  = tensor.Float16
+	BFloat16 = tensor.BFloat16
+	Int64    = tensor.Int64
+	Int32    = tensor.Int32
+	UInt8    = tensor.UInt8
+)
+
+// NewTensor allocates a zero-filled tensor.
+func NewTensor(dtype DType, shape ...int) (*Tensor, error) {
+	return tensor.New(dtype, shape...)
+}
+
+// TensorFromBytes wraps existing storage as a tensor (zero copy).
+func TensorFromBytes(dtype DType, shape []int, data []byte) (*Tensor, error) {
+	return tensor.FromBytes(dtype, shape, data)
+}
+
+// Topology describes the training cluster's hybrid-parallel layout.
+type Topology = parallel.Topology
+
+// NewTopology constructs a topology of nodes × gpusPerNode workers with
+// the given tensor-parallel degree and pipeline stages.
+func NewTopology(nodes, gpusPerNode, tpDegree, ppStages int) (*Topology, error) {
+	return parallel.NewTopology(nodes, gpusPerNode, tpDegree, ppStages)
+}
+
+// ModelConfig describes a transformer model (see ModelZoo for the paper's
+// Table I configurations).
+type ModelConfig = model.Config
+
+// ModelZoo returns the paper's Table I model configurations.
+func ModelZoo() []ModelConfig { return model.TableI() }
+
+// BuildOptions controls synthetic model-state construction.
+type BuildOptions = model.BuildOptions
+
+// NewBuildOptions returns defaults (full scale, optimizer state included).
+func NewBuildOptions() BuildOptions { return model.NewBuildOptions() }
+
+// BuildWorkerStateDict constructs one worker's sharded training state for
+// a model under a topology — the synthetic stand-in for a live Megatron-LM
+// worker's state_dict.
+func BuildWorkerStateDict(cfg ModelConfig, topo *Topology, rank int, opt BuildOptions) (*StateDict, error) {
+	return model.BuildWorkerStateDict(cfg, topo, rank, opt)
+}
+
+// BuildClusterStateDicts builds one state dict per world rank.
+func BuildClusterStateDicts(cfg ModelConfig, topo *Topology, opt BuildOptions) ([]*StateDict, error) {
+	return model.BuildClusterStateDicts(cfg, topo, opt)
+}
+
+// Codec is the underlying systematic Cauchy Reed-Solomon code, exposed for
+// applications that want to erasure-code arbitrary buffers.
+type Codec = erasure.Code
+
+// NewCodec constructs a (k, m) Cauchy Reed-Solomon code: k data chunks,
+// m parity chunks, any k of k+m reconstruct.
+func NewCodec(k, m int) (*Codec, error) { return erasure.New(k, m) }
