@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race smoke
+
+# The full gate: what CI (and a pre-commit run) should execute.
+check: vet build test race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/transport ./internal/cluster ./internal/chaos
+
+# Seeded chaos smoke test: replication head-to-head, a mid-save kill, and
+# a corruption-as-erasure recovery, all deterministic.
+smoke:
+	$(GO) run ./examples/faulttolerance

@@ -3,7 +3,9 @@ package eccheck
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"eccheck/internal/chaos"
 	"eccheck/internal/cluster"
 	"eccheck/internal/core"
 	"eccheck/internal/remotestore"
@@ -53,16 +55,27 @@ type Config struct {
 	Incremental bool
 	// Transport selects the node interconnect (default TransportMemory).
 	Transport TransportKind
+	// Chaos, when non-nil, wraps the transport in a fault-injection layer
+	// driven by the plan: link latency/jitter, dropped or erroring sends,
+	// and scheduled node kills. A killed node's volatile host memory is
+	// destroyed at the instant its transport dies, exactly like a machine
+	// crash. See also System.ScheduleNodeKill.
+	Chaos *ChaosPlan
+	// OpTimeout bounds every individual protocol Send/Recv, so a peer
+	// crashing mid-save surfaces as a bounded error instead of a hang.
+	// 0 selects the default (60s); negative disables deadlines.
+	OpTimeout time.Duration
 }
 
 // System is a running ECCheck deployment: the engine plus the cluster,
 // network and remote-store substrates it manages.
 type System struct {
-	ckpt   *core.Checkpointer
-	net    transport.Network
-	clus   *cluster.Cluster
-	remote *remotestore.Store
-	topo   *Topology
+	ckpt     *core.Checkpointer
+	net      transport.Network
+	chaosNet *chaos.Network // non-nil when Config.Chaos is set
+	clus     *cluster.Cluster
+	remote   *remotestore.Store
+	topo     *Topology
 }
 
 // SaveReport summarises one checkpoint round.
@@ -92,6 +105,16 @@ func Initialize(cfg Config) (*System, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("eccheck: %w", err)
+	}
+
+	var chaosNet *chaos.Network
+	if cfg.Chaos != nil {
+		chaosNet, err = chaos.Wrap(net, *cfg.Chaos)
+		if err != nil {
+			_ = net.Close()
+			return nil, fmt.Errorf("eccheck: %w", err)
+		}
+		net = chaosNet
 	}
 
 	clus, err := cluster.New(cfg.Nodes, cfg.GPUsPerNode)
@@ -125,12 +148,19 @@ func Initialize(cfg Config) (*System, error) {
 		BufferSize:         cfg.BufferSize,
 		RemotePersistEvery: persistEvery,
 		IncrementalCache:   cfg.Incremental,
+		OpTimeout:          cfg.OpTimeout,
 	}, net, clus, remote)
 	if err != nil {
 		_ = net.Close()
 		return nil, fmt.Errorf("eccheck: %w", err)
 	}
-	return &System{ckpt: ckpt, net: net, clus: clus, remote: remote, topo: topo}, nil
+	if chaosNet != nil {
+		// A chaos kill models a whole-machine crash: the node's transport
+		// dies and its volatile host memory — checkpoint chunks included —
+		// is destroyed in the same instant.
+		chaosNet.SetOnKill(func(node int) { _ = clus.Fail(node) })
+	}
+	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote, topo: topo}, nil
 }
 
 // Close releases the system's resources.
@@ -169,8 +199,18 @@ func (s *System) LoadFromRemote(version int) ([]*StateDict, error) {
 // including its checkpoint chunk — is destroyed.
 func (s *System) FailNode(node int) error { return s.clus.Fail(node) }
 
-// ReplaceNode brings a failed machine back as a fresh, empty node.
-func (s *System) ReplaceNode(node int) error { return s.clus.Replace(node) }
+// ReplaceNode brings a failed machine back as a fresh, empty node. Under
+// chaos, the replacement also gets a working transport again (a chaos kill
+// only destroyed the old machine).
+func (s *System) ReplaceNode(node int) error {
+	if err := s.clus.Replace(node); err != nil {
+		return err
+	}
+	if s.chaosNet != nil {
+		return s.chaosNet.Revive(node)
+	}
+	return nil
+}
 
 // AliveNodes lists the currently healthy machines.
 func (s *System) AliveNodes() []int { return s.clus.AliveNodes() }
@@ -213,4 +253,32 @@ type VerifyReport = core.VerifyReport
 // corruption before a recovery depends on it.
 func (s *System) VerifyIntegrity() (*VerifyReport, error) {
 	return s.ckpt.VerifyIntegrity()
+}
+
+// ScheduleNodeKill arranges for node to crash after it performs
+// afterSends more transport sends (0 kills it on its very next send).
+// Requires Config.Chaos; the kill destroys the node's host memory like
+// FailNode and makes every subsequent transport operation on it fail
+// with ErrChaosKilled.
+func (s *System) ScheduleNodeKill(node, afterSends int) error {
+	if s.chaosNet == nil {
+		return fmt.Errorf("eccheck: chaos not enabled (set Config.Chaos)")
+	}
+	return s.chaosNet.ScheduleKill(node, afterSends)
+}
+
+// ChaosStats reports fault-injection counters. Requires Config.Chaos.
+func (s *System) ChaosStats() (ChaosStats, error) {
+	if s.chaosNet == nil {
+		return ChaosStats{}, fmt.Errorf("eccheck: chaos not enabled (set Config.Chaos)")
+	}
+	return s.chaosNet.Stats(), nil
+}
+
+// CorruptChunk flips one bit in the middle of node's stored chunk,
+// simulating silent host-memory corruption. The damage is caught by the
+// blob checksum on the next Load or VerifyIntegrity and repaired through
+// the erasure code.
+func (s *System) CorruptChunk(node int) error {
+	return s.ckpt.CorruptChunkByte(node)
 }

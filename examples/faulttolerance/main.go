@@ -3,6 +3,11 @@
 // failure patterns are injected into both systems after a checkpoint; the
 // survival rates measured here reproduce the analytical curves of the
 // paper's Fig. 15 with real recoveries, not formulas.
+//
+// A second act exercises the harder failure modes: a machine crashing in
+// the middle of a save round (the previous checkpoint must stay intact),
+// and silent host-memory corruption (caught by blob checksums and repaired
+// through the code). Both run under the deterministic chaos layer.
 package main
 
 import (
@@ -10,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"eccheck"
 	"eccheck/internal/baseline"
@@ -93,6 +99,99 @@ func run() error {
 	fmt.Printf("  base3 (groups of 2): survived %3d/%d = %.2f  (closed form %.2f)\n",
 		b3OK, trials, float64(b3OK)/trials, repExpect)
 	fmt.Printf("  eccheck strictly dominates: every base3 survival (%d) was also an eccheck survival\n", both)
+
+	if err := chaosDemo(ctx, topo, dicts); err != nil {
+		return fmt.Errorf("chaos demo: %w", err)
+	}
+	return corruptionDemo(ctx, dicts)
+}
+
+// chaosDemo crashes a node in the middle of a save round: the round fails
+// with a bounded error, no staged state leaks, and after replacing the
+// machine the previous checkpoint loads byte-exact.
+func chaosDemo(ctx context.Context, topo *eccheck.Topology, dicts []*eccheck.StateDict) error {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 1, TPDegree: 1, PPStages: 4,
+		K: 2, M: 2, DisableRemote: true, BufferSize: 512 << 10,
+		Chaos:     &eccheck.ChaosPlan{Seed: 7},
+		OpTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		return fmt.Errorf("save v1: %w", err)
+	}
+
+	const victim = 2
+	if err := sys.ScheduleNodeKill(victim, 3); err != nil {
+		return err
+	}
+	_, err = sys.Save(ctx, dicts)
+	if err == nil {
+		return fmt.Errorf("save v2 should have failed: node %d was killed mid-round", victim)
+	}
+
+	fmt.Printf("\ncrash mid-save (chaos, node %d killed after 3 sends):\n", victim)
+	fmt.Printf("  save v2 failed as expected: %v\n", err)
+	if v := sys.Version(); v != 1 {
+		return fmt.Errorf("version advanced to %d on a failed save", v)
+	}
+
+	if err := sys.ReplaceNode(victim); err != nil {
+		return err
+	}
+	recovered, report, err := sys.Load(ctx)
+	if err != nil {
+		return fmt.Errorf("load after crash: %w", err)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(recovered[rank]) {
+			return fmt.Errorf("rank %d differs after crash recovery", rank)
+		}
+	}
+	stats, err := sys.ChaosStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  replaced node %d, recovered v%d via %s workflow, byte-exact (%d sends observed, kills %v)\n",
+		victim, report.Version, report.Workflow, stats.Sends, stats.Killed)
+	return nil
+}
+
+// corruptionDemo flips a bit inside a stored chunk: the blob checksum
+// turns silent corruption into an erasure, and the load rebuilds it.
+func corruptionDemo(ctx context.Context, dicts []*eccheck.StateDict) error {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 1, TPDegree: 1, PPStages: 4,
+		K: 2, M: 2, DisableRemote: true, BufferSize: 512 << 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		return err
+	}
+	victim := sys.DataNodes()[0]
+	if err := sys.CorruptChunk(victim); err != nil {
+		return err
+	}
+	recovered, report, err := sys.Load(ctx)
+	if err != nil {
+		return fmt.Errorf("load with corrupt chunk: %w", err)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(recovered[rank]) {
+			return fmt.Errorf("rank %d differs after corruption recovery", rank)
+		}
+	}
+	fmt.Printf("\nsilent corruption (bit flipped in node %d's chunk):\n", victim)
+	fmt.Printf("  checksum caught %d corrupt blob(s), chunks %v rebuilt via %s workflow, byte-exact\n",
+		report.CorruptBlobs, report.CorruptedChunks, report.Workflow)
 	return nil
 }
 

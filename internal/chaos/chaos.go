@@ -1,0 +1,295 @@
+// Package chaos injects transport-level faults into a running deployment:
+// link latency and jitter, dropped or erroring sends, and node kills armed
+// to fire after a node's Jth send. It wraps any transport.Network, so the
+// same checkpoint protocol that runs over channels or TCP can be exercised
+// under a reproducible failure model — the property ECRM and Checkmate
+// stress: fault tolerance must hold during the checkpoint window, not just
+// between quiescent points.
+//
+// Determinism: all probabilistic decisions draw from one rand.Rand seeded
+// by Plan.Seed, so a single-goroutine access pattern replays exactly.
+// Kill schedules count sends per node and are exactly reproducible even
+// under concurrency (the Jth send dies no matter which goroutine issues
+// it).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"eccheck/internal/transport"
+)
+
+// ErrKilled is returned by every Send/Recv of a node the chaos schedule
+// has killed. It models the process being gone: the node never observes
+// its own failure as anything but an abrupt end of communication.
+var ErrKilled = errors.New("chaos: node killed")
+
+// ErrInjected is returned by sends the fault plan decides to fail with an
+// explicit error (a reset connection, a NACKed write).
+var ErrInjected = errors.New("chaos: injected send error")
+
+// Kill schedules the death of a node: after its AfterSends-th successful
+// send, every further Send/Recv on that node returns ErrKilled.
+type Kill struct {
+	// Node is the victim's index.
+	Node int
+	// AfterSends is how many sends the node completes before dying.
+	// 0 kills the node on its first send attempt.
+	AfterSends int
+}
+
+// Plan describes the faults to inject. The zero value injects nothing.
+type Plan struct {
+	// Seed seeds the deterministic random source.
+	Seed int64
+	// Latency is added to every send before delivery.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropProb is the probability a send is silently dropped: the sender
+	// sees success, the receiver sees nothing (a lost datagram). Receivers
+	// survive drops only if their Recvs carry deadlines.
+	DropProb float64
+	// ErrProb is the probability a send fails with ErrInjected.
+	ErrProb float64
+	// Kills are the scheduled node deaths.
+	Kills []Kill
+}
+
+// Stats counts the faults a Network has injected so far.
+type Stats struct {
+	// Sends is the total send attempts observed (including faulted ones).
+	Sends int
+	// Dropped is how many sends were silently discarded.
+	Dropped int
+	// Errored is how many sends failed with ErrInjected.
+	Errored int
+	// Killed lists the nodes the schedule has killed, in kill order.
+	Killed []int
+}
+
+// Network wraps a transport.Network and injects the plan's faults into
+// every endpoint it hands out. It implements transport.Network.
+type Network struct {
+	inner transport.Network
+	plan  Plan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	sends  []int // per-node successful-send counts
+	killAt []int // per-node send threshold; -1 = no kill scheduled
+	killed []bool
+	stats  Stats
+	onKill func(node int)
+}
+
+// Wrap builds a fault-injecting view of inner under the given plan.
+func Wrap(inner transport.Network, plan Plan) (*Network, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("chaos: nil inner network")
+	}
+	if plan.DropProb < 0 || plan.DropProb > 1 || plan.ErrProb < 0 || plan.ErrProb > 1 {
+		return nil, fmt.Errorf("chaos: probabilities must be in [0, 1], got drop=%v err=%v",
+			plan.DropProb, plan.ErrProb)
+	}
+	n := &Network{
+		inner:  inner,
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		sends:  make([]int, inner.Size()),
+		killAt: make([]int, inner.Size()),
+		killed: make([]bool, inner.Size()),
+	}
+	for i := range n.killAt {
+		n.killAt[i] = -1
+	}
+	for _, k := range plan.Kills {
+		if k.Node < 0 || k.Node >= inner.Size() {
+			return nil, fmt.Errorf("chaos: kill node %d out of range [0, %d)", k.Node, inner.Size())
+		}
+		if k.AfterSends < 0 {
+			return nil, fmt.Errorf("chaos: negative kill threshold %d", k.AfterSends)
+		}
+		n.killAt[k.Node] = k.AfterSends
+	}
+	return n, nil
+}
+
+// SetOnKill installs a hook fired exactly once per killed node, outside the
+// network's locks. Deployments use it to destroy the node's volatile host
+// memory at the instant its transport dies, so a kill is a full machine
+// crash.
+func (n *Network) SetOnKill(fn func(node int)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onKill = fn
+}
+
+// ScheduleKill arms a kill at runtime: the node dies after afterSends more
+// sends, counted from now. It overwrites any earlier schedule for the node.
+func (n *Network) ScheduleKill(node, afterSends int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node < 0 || node >= len(n.killAt) {
+		return fmt.Errorf("chaos: kill node %d out of range [0, %d)", node, len(n.killAt))
+	}
+	if afterSends < 0 {
+		return fmt.Errorf("chaos: negative kill threshold %d", afterSends)
+	}
+	if n.killed[node] {
+		return fmt.Errorf("chaos: node %d already killed", node)
+	}
+	n.killAt[node] = n.sends[node] + afterSends
+	return nil
+}
+
+// Revive clears a node's killed state and any pending kill schedule: the
+// failed machine has been swapped for a fresh one, whose transport works
+// again. Pair it with cluster.Replace. Reviving a live node is a no-op.
+func (n *Network) Revive(node int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node < 0 || node >= len(n.killed) {
+		return fmt.Errorf("chaos: revive node %d out of range [0, %d)", node, len(n.killed))
+	}
+	n.killed[node] = false
+	n.killAt[node] = -1
+	return nil
+}
+
+// Killed reports whether the schedule has killed the node.
+func (n *Network) Killed(node int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return node >= 0 && node < len(n.killed) && n.killed[node]
+}
+
+// SendCount returns how many send attempts the node has made.
+func (n *Network) SendCount(node int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node < 0 || node >= len(n.sends) {
+		return 0
+	}
+	return n.sends[node]
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.Killed = append([]int(nil), n.stats.Killed...)
+	return out
+}
+
+// Size returns the inner network's node count.
+func (n *Network) Size() int { return n.inner.Size() }
+
+// Close shuts down the inner network.
+func (n *Network) Close() error { return n.inner.Close() }
+
+// Endpoint returns node i's fault-injecting endpoint.
+func (n *Network) Endpoint(node int) (transport.Endpoint, error) {
+	ep, err := n.inner.Endpoint(node)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosEndpoint{net: n, ep: ep}, nil
+}
+
+// sendVerdict is the fate the plan assigns one send.
+type sendVerdict int
+
+const (
+	verdictDeliver sendVerdict = iota
+	verdictDrop
+	verdictError
+	verdictKilled
+)
+
+// judgeSend advances the node's send counter, applies the kill schedule and
+// rolls the probabilistic faults. The returned delay applies only to
+// delivered sends. The kill hook (if any) is returned for the caller to
+// fire outside the lock.
+func (n *Network) judgeSend(node int) (verdict sendVerdict, delay time.Duration, killHook func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.killed[node] {
+		return verdictKilled, 0, nil
+	}
+	n.stats.Sends++
+	n.sends[node]++
+	if at := n.killAt[node]; at >= 0 && n.sends[node] > at {
+		n.killed[node] = true
+		n.stats.Killed = append(n.stats.Killed, node)
+		if fn := n.onKill; fn != nil {
+			killHook = func() { fn(node) }
+		}
+		return verdictKilled, 0, killHook
+	}
+	if n.plan.DropProb > 0 && n.rng.Float64() < n.plan.DropProb {
+		n.stats.Dropped++
+		return verdictDrop, 0, nil
+	}
+	if n.plan.ErrProb > 0 && n.rng.Float64() < n.plan.ErrProb {
+		n.stats.Errored++
+		return verdictError, 0, nil
+	}
+	delay = n.plan.Latency
+	if n.plan.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.plan.Jitter)))
+	}
+	return verdictDeliver, delay, nil
+}
+
+type chaosEndpoint struct {
+	net *Network
+	ep  transport.Endpoint
+}
+
+func (e *chaosEndpoint) Rank() int { return e.ep.Rank() }
+
+func (e *chaosEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
+	verdict, delay, killHook := e.net.judgeSend(e.ep.Rank())
+	if killHook != nil {
+		killHook()
+	}
+	switch verdict {
+	case verdictKilled:
+		return fmt.Errorf("chaos: node %d send to %d tag %q: %w", e.ep.Rank(), to, tag, ErrKilled)
+	case verdictDrop:
+		return nil // the sender believes it succeeded
+	case verdictError:
+		return fmt.Errorf("chaos: node %d send to %d tag %q: %w", e.ep.Rank(), to, tag, ErrInjected)
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return fmt.Errorf("chaos: send to %d tag %q: %w", to, tag, ctx.Err())
+		}
+	}
+	return e.ep.Send(ctx, to, tag, payload)
+}
+
+func (e *chaosEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
+	if e.net.Killed(e.ep.Rank()) {
+		return nil, fmt.Errorf("chaos: node %d recv from %d tag %q: %w", e.ep.Rank(), from, tag, ErrKilled)
+	}
+	return e.ep.Recv(ctx, from, tag)
+}
+
+func (e *chaosEndpoint) Close() error { return e.ep.Close() }
+
+var (
+	_ transport.Network  = (*Network)(nil)
+	_ transport.Endpoint = (*chaosEndpoint)(nil)
+)

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Host-memory blobs are volatile and uninspected between checkpoints, so a
+// silently flipped bit is indistinguishable from good data until a recovery
+// depends on it. Every blob the engine stores therefore carries a CRC32
+// (Castagnoli) footer; fetch verifies it and surfaces mismatches as
+// ErrChecksum, which the load path treats exactly like an erased chunk.
+
+// ErrChecksum marks a blob whose stored CRC32 footer does not match its
+// payload: silent host-memory corruption.
+var ErrChecksum = errors.New("cluster: blob checksum mismatch")
+
+// footerLen is the CRC32 footer size appended to every checksummed blob.
+const footerLen = 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BlobStore is the minimal node-addressed blob interface the checksum
+// helpers need. Cluster and SubCluster both implement it.
+type BlobStore interface {
+	Store(node int, key string, blob []byte) error
+	Load(node int, key string) ([]byte, error)
+}
+
+// StoreSummed writes blob under key with a CRC32 footer appended, so any
+// later in-memory corruption is detectable at fetch time.
+func StoreSummed(s BlobStore, node int, key string, blob []byte) error {
+	framed := make([]byte, len(blob)+footerLen)
+	copy(framed, blob)
+	binary.LittleEndian.PutUint32(framed[len(blob):], crc32.Checksum(blob, crcTable))
+	return s.Store(node, key, framed)
+}
+
+// FetchSummed reads a checksummed blob and verifies its footer, returning
+// the payload without the footer. A mismatch wraps ErrChecksum.
+func FetchSummed(s BlobStore, node int, key string) ([]byte, error) {
+	framed, err := s.Load(node, key)
+	if err != nil {
+		return nil, err
+	}
+	if len(framed) < footerLen {
+		return nil, fmt.Errorf("cluster: node %d blob %q of %d bytes has no checksum footer: %w",
+			node, key, len(framed), ErrChecksum)
+	}
+	payload := framed[:len(framed)-footerLen]
+	want := binary.LittleEndian.Uint32(framed[len(payload):])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, fmt.Errorf("cluster: node %d blob %q: %w", node, key, ErrChecksum)
+	}
+	return payload, nil
+}
+
+// Delete removes a blob from a node's host memory. Deleting a missing key
+// is a no-op; deleting on a failed node is an error (its memory is gone).
+func (c *Cluster) Delete(node int, key string) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed[node] {
+		return fmt.Errorf("cluster: node %d is failed", node)
+	}
+	delete(c.hostMem[node], key)
+	return nil
+}
+
+// Delete removes a blob from the mapped parent node.
+func (s *SubCluster) Delete(local int, key string) error {
+	g, err := s.global(local)
+	if err != nil {
+		return err
+	}
+	return s.parent.Delete(g, key)
+}
+
+// Corrupt flips one bit of a stored blob in place, the fault-injection
+// primitive for silent host-memory corruption. offset indexes the raw
+// stored bytes (including any checksum footer).
+func (c *Cluster) Corrupt(node int, key string, offset int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed[node] {
+		return fmt.Errorf("cluster: node %d is failed", node)
+	}
+	blob, ok := c.hostMem[node][key]
+	if !ok {
+		return fmt.Errorf("cluster: node %d has no blob %q", node, key)
+	}
+	if offset < 0 || offset >= len(blob) {
+		return fmt.Errorf("cluster: corrupt offset %d out of range [0, %d)", offset, len(blob))
+	}
+	blob[offset] ^= 0x01
+	return nil
+}

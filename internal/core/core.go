@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +47,9 @@ const (
 	DefaultEncodingBuffers = 24
 	// DefaultRemotePersistEvery persists to remote storage every Nth save.
 	DefaultRemotePersistEvery = 10
+	// DefaultOpTimeout bounds every protocol Send/Recv so a crashed peer
+	// turns into an error instead of a hang.
+	DefaultOpTimeout = 60 * time.Second
 )
 
 // Config parameterises a Checkpointer.
@@ -76,6 +80,11 @@ type Config struct {
 	// host memory so SaveIncremental can diff against them. Costs one
 	// extra packet of memory per worker.
 	IncrementalCache bool
+	// OpTimeout is the deadline applied to every individual Send/Recv of
+	// the save and load protocols, bounding how long a round can hang on a
+	// peer that crashed mid-round. 0 selects DefaultOpTimeout; negative
+	// disables deadlines.
+	OpTimeout time.Duration
 	// CodeOptions tune the Cauchy Reed-Solomon code.
 	CodeOptions []erasure.Option
 }
@@ -87,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RemotePersistEvery == 0 {
 		c.RemotePersistEvery = DefaultRemotePersistEvery
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = DefaultOpTimeout
 	}
 	return c
 }
@@ -107,9 +119,14 @@ type HostStore interface {
 	Load(node int, key string) ([]byte, error)
 	// Has reports whether the node holds the key.
 	Has(node int, key string) bool
+	// Delete removes a blob (a no-op for missing keys).
+	Delete(node int, key string) error
 }
 
-var _ HostStore = (*cluster.Cluster)(nil)
+var (
+	_ HostStore = (*cluster.Cluster)(nil)
+	_ HostStore = (*cluster.SubCluster)(nil)
+)
 
 // Checkpointer is the ECCheck engine bound to a cluster, a network and an
 // optional remote store. It corresponds to the paper's eccheck.initialize:
@@ -195,6 +212,54 @@ func (c *Checkpointer) scalarMulPooled(coef int, dst, src []byte) error {
 	return c.pool.RunSchedule(sched, [][]byte{src}, [][]byte{dst})
 }
 
+// store writes a blob into a node's host memory with a CRC32 footer, so
+// silent corruption is detectable when the blob is next fetched.
+func (c *Checkpointer) store(node int, key string, blob []byte) error {
+	return cluster.StoreSummed(c.clus, node, key, blob)
+}
+
+// fetch reads a checksummed blob, verifying its footer. Mismatches wrap
+// cluster.ErrChecksum and are treated by recovery as erasures.
+func (c *Checkpointer) fetch(node int, key string) ([]byte, error) {
+	return cluster.FetchSummed(c.clus, node, key)
+}
+
+// endpoint returns the node's transport endpoint with the configured
+// per-operation deadline applied to every Send and Recv.
+func (c *Checkpointer) endpoint(node int) (transport.Endpoint, error) {
+	ep, err := c.net.Endpoint(node)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.OpTimeout <= 0 {
+		return ep, nil
+	}
+	return &deadlineEndpoint{ep: ep, d: c.cfg.OpTimeout}, nil
+}
+
+// deadlineEndpoint bounds every individual operation: a peer that crashed
+// mid-round surfaces as a deadline error rather than an unbounded hang.
+type deadlineEndpoint struct {
+	ep transport.Endpoint
+	d  time.Duration
+}
+
+func (e *deadlineEndpoint) Rank() int { return e.ep.Rank() }
+
+func (e *deadlineEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, e.d)
+	defer cancel()
+	return e.ep.Send(ctx, to, tag, payload)
+}
+
+func (e *deadlineEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, e.d)
+	defer cancel()
+	return e.ep.Recv(ctx, from, tag)
+}
+
+func (e *deadlineEndpoint) Close() error { return e.ep.Close() }
+
 // Plan returns the compiled communication plan.
 func (c *Checkpointer) Plan() *placement.Plan { return c.plan }
 
@@ -227,6 +292,13 @@ type LoadReport struct {
 	Workflow string
 	// MissingChunks are the chunk indices that had to be restored.
 	MissingChunks []int
+	// CorruptedChunks are the chunk indices rebuilt because a stored blob
+	// failed checksum verification — silent corruption handled exactly
+	// like a machine failure.
+	CorruptedChunks []int
+	// CorruptBlobs counts host-memory blobs (segments, manifests, small
+	// components) that failed checksum verification during the scan.
+	CorruptBlobs int
 	// Elapsed is the wall time of the functional recovery.
 	Elapsed time.Duration
 }
@@ -238,6 +310,94 @@ func keySegment(chunk, seg int) string {
 	return fmt.Sprintf("chunk/%d/seg/%d", chunk, seg)
 }
 func keyManifest() string { return "manifest" }
+
+// stagePrefix namespaces the blobs of an in-flight save. A crash mid-save
+// leaves only staged keys behind; the committed checkpoint under the final
+// keys stays untouched and loadable.
+const stagePrefix = "stage/"
+
+func keyStaged(key string) string { return stagePrefix + key }
+
+// checkpointKeys enumerates every host-memory key one save round writes on
+// the node, in commit order: the manifest is last, so a node's checkpoint
+// is visible at the new version only once all its blobs are in place.
+func (c *Checkpointer) checkpointKeys(node int) []string {
+	world := c.cfg.Topo.World()
+	g := c.cfg.Topo.GPUsPerNode()
+	span := world / c.cfg.K
+	keys := make([]string, 0, 2*world+span+g+1)
+	for rank := 0; rank < world; rank++ {
+		keys = append(keys, keySmallMeta(rank), keySmallKeys(rank))
+	}
+	if c.cfg.IncrementalCache {
+		for w := node * g; w < (node+1)*g; w++ {
+			keys = append(keys, keyOwnPacket(w))
+		}
+	}
+	chunk := c.plan.ChunkOfNode[node]
+	for s := 0; s < span; s++ {
+		keys = append(keys, keySegment(chunk, s))
+	}
+	return append(keys, keyManifest())
+}
+
+// commitStaged promotes every node's staged blobs to the final keys and
+// removes the staging copies. It runs only after every node finished its
+// round, so the previous checkpoint is overwritten exclusively by a
+// complete new one. Commit is pure local host-memory work — no network —
+// and a node that dies inside this window loses its whole memory anyway,
+// which the erasure code absorbs like any machine failure.
+func (c *Checkpointer) commitStaged() error {
+	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
+		for _, key := range c.checkpointKeys(node) {
+			// Raw load/store: the staged blob already carries its footer.
+			blob, err := c.clus.Load(node, keyStaged(key))
+			if err != nil {
+				return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
+			}
+			if err := c.clus.Store(node, key, blob); err != nil {
+				return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
+			}
+		}
+		for _, key := range c.checkpointKeys(node) {
+			if err := c.clus.Delete(node, keyStaged(key)); err != nil {
+				return fmt.Errorf("core: node %d unstage %q: %w", node, key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// discardStaged removes every staged blob of an aborted save on all nodes
+// that still have memory. Errors are ignored: a failed node's memory —
+// staged blobs included — is already gone.
+func (c *Checkpointer) discardStaged() {
+	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
+		if !c.clus.Alive(node) {
+			continue
+		}
+		for _, key := range c.checkpointKeys(node) {
+			_ = c.clus.Delete(node, keyStaged(key))
+		}
+	}
+}
+
+// CorruptChunkByte flips one payload byte of the node's stored chunk
+// (segment 0) — the fault-injection primitive for silent host-memory
+// corruption. Recovery must detect the checksum mismatch and rebuild the
+// chunk through the erasure code.
+func (c *Checkpointer) CorruptChunkByte(node int) error {
+	if node < 0 || node >= c.cfg.Topo.Nodes() {
+		return fmt.Errorf("core: node %d out of range [0, %d)", node, c.cfg.Topo.Nodes())
+	}
+	key := keySegment(c.plan.ChunkOfNode[node], 0)
+	raw, err := c.clus.Load(node, key)
+	if err != nil {
+		return fmt.Errorf("core: corrupt node %d: %w", node, err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	return c.clus.Store(node, key, raw)
+}
 
 func remoteKey(prefix string, version, rank int) string {
 	return fmt.Sprintf("eccheck/%sv%d/rank%d", prefix, version, rank)

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"eccheck/internal/chaos"
+	"eccheck/internal/cluster"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/transport"
+)
+
+// newChaosRig wires a rig whose transport is wrapped in the fault
+// injector, with a short per-op deadline so a killed peer surfaces as a
+// bounded error. Kills destroy the victim's host memory, like a real
+// machine crash.
+func newChaosRig(t *testing.T, nodes, gpus, k, m int, plan chaos.Plan) (*testRig, *chaos.Network) {
+	t.Helper()
+	topo, err := parallel.NewTopology(nodes, gpus, gpus, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := transport.NewMemory(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := chaos.Wrap(inner, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := cluster.New(nodes, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetOnKill(func(node int) { _ = clus.Fail(node) })
+	remote, err := remotestore.New(5e9 / 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := New(Config{
+		Topo:               topo,
+		K:                  k,
+		M:                  m,
+		BufferSize:         64 << 10,
+		RemotePersistEvery: 0,
+		OpTimeout:          2 * time.Second,
+	}, net, clus, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ckpt.Close()
+		_ = net.Close()
+	})
+	buildOpt := model.NewBuildOptions()
+	buildOpt.Scale = 32
+	buildOpt.Seed = 1234
+	buildOpt.Iteration = 77
+	dicts, err := model.BuildClusterStateDicts(model.GPT2_345M(), topo, buildOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{topo: topo, net: net, clus: clus, remote: remote, ckpt: ckpt, dicts: dicts}, net
+}
+
+// stagedKeys lists staged blobs left on the node's host memory.
+func stagedKeys(clus *cluster.Cluster, node int) []string {
+	var out []string
+	for _, k := range clus.Keys(node) {
+		if strings.HasPrefix(k, stagePrefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestSaveKilledMidSaveKeepsPreviousCheckpoint is the headline crash test:
+// a node dies in the middle of a save round. The save must fail with a
+// bounded error, leave no staged blobs behind, and the previous
+// checkpoint must remain fully loadable after the machine is replaced.
+func TestSaveKilledMidSaveKeepsPreviousCheckpoint(t *testing.T) {
+	rig, net := newChaosRig(t, 4, 2, 2, 2, chaos.Plan{Seed: 1})
+	ctx := context.Background()
+
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatalf("save v1: %v", err)
+	}
+	if got := rig.ckpt.Version(); got != 1 {
+		t.Fatalf("version = %d after first save", got)
+	}
+
+	// Arm the kill: node 1 dies ten sends into the next round.
+	const victim = 1
+	if err := net.ScheduleKill(victim, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err := rig.ckpt.Save(ctx, rig.dicts)
+	if err == nil {
+		t.Fatal("save v2 with a mid-round kill should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("failed save took %v; deadlines should bound it", elapsed)
+	}
+	if !net.Killed(victim) {
+		t.Fatal("victim was never killed — the save failed for the wrong reason")
+	}
+	if rig.clus.Alive(victim) {
+		t.Fatal("kill must destroy the victim's host memory (OnKill hook)")
+	}
+	if got := rig.ckpt.Version(); got != 1 {
+		t.Fatalf("version advanced to %d on a failed save", got)
+	}
+
+	// Crash consistency: the aborted round left no staged blobs anywhere.
+	for _, node := range rig.clus.AliveNodes() {
+		if leftover := stagedKeys(rig.clus, node); len(leftover) != 0 {
+			t.Errorf("node %d still holds staged blobs after aborted save: %v", node, leftover)
+		}
+	}
+
+	// Replace the dead machine and recover: version 1 must come back whole.
+	// The replacement is a fresh machine, so its transport works again.
+	if err := rig.clus.Replace(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Revive(victim); err != nil {
+		t.Fatal(err)
+	}
+	got, report, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatalf("load after crash: %v", err)
+	}
+	if report.Version != 1 {
+		t.Fatalf("recovered version %d, want 1 (v2 never committed)", report.Version)
+	}
+	dictsEqual(t, rig.dicts, got)
+
+	// Fault tolerance restored: the rebuilt chunk survives another scan.
+	vr, err := rig.ckpt.VerifyIntegrity()
+	if err != nil {
+		t.Fatalf("verify after recovery: %v", err)
+	}
+	if len(vr.CorruptSegments) != 0 {
+		t.Fatalf("corrupt segments after recovery: %v", vr.CorruptSegments)
+	}
+}
+
+// TestSaveLeavesNoStagedKeys asserts a successful round fully promotes its
+// staging area.
+func TestSaveLeavesNoStagedKeys(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	if _, err := rig.ckpt.Save(context.Background(), rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 4; node++ {
+		if leftover := stagedKeys(rig.clus, node); len(leftover) != 0 {
+			t.Errorf("node %d holds staged blobs after successful save: %v", node, leftover)
+		}
+	}
+}
+
+// TestLoadTreatsCorruptionAsErasure flips a byte inside a stored data
+// chunk. The checksum catches it, the chunk is rebuilt through the code,
+// and the recovery both returns intact state and reports the corruption.
+func TestLoadTreatsCorruptionAsErasure(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := rig.ckpt.Plan().DataNodes[0]
+	victimChunk := rig.ckpt.Plan().ChunkOfNode[victim]
+	if err := rig.ckpt.CorruptChunkByte(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	got, report, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatalf("load with corrupt chunk: %v", err)
+	}
+	dictsEqual(t, rig.dicts, got)
+	if report.Workflow != "decode" {
+		t.Errorf("workflow = %q, want decode (a data chunk was lost)", report.Workflow)
+	}
+	if report.CorruptBlobs < 1 {
+		t.Errorf("CorruptBlobs = %d, want >= 1", report.CorruptBlobs)
+	}
+	foundChunk := false
+	for _, c := range report.CorruptedChunks {
+		if c == victimChunk {
+			foundChunk = true
+		}
+	}
+	if !foundChunk {
+		t.Errorf("CorruptedChunks = %v, want to include chunk %d", report.CorruptedChunks, victimChunk)
+	}
+
+	// The rebuild overwrote the damaged blob: a fresh scan is clean.
+	vr, err := rig.ckpt.VerifyIntegrity()
+	if err != nil {
+		t.Fatalf("verify after rebuild: %v", err)
+	}
+	if len(vr.CorruptSegments) != 0 {
+		t.Fatalf("corrupt segments after rebuild: %v", vr.CorruptSegments)
+	}
+}
+
+// TestLoadTreatsParityCorruptionAsErasure corrupts a parity chunk: the
+// recovery stays a pure replacement (all data chunks intact) but still
+// detects and repairs the damage.
+func TestLoadTreatsParityCorruptionAsErasure(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	ctx := context.Background()
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := rig.ckpt.Plan().ParityNodes[0]
+	if err := rig.ckpt.CorruptChunkByte(victim); err != nil {
+		t.Fatal(err)
+	}
+	got, report, err := rig.ckpt.Load(ctx)
+	if err != nil {
+		t.Fatalf("load with corrupt parity: %v", err)
+	}
+	dictsEqual(t, rig.dicts, got)
+	if report.Workflow != "replacement" {
+		t.Errorf("workflow = %q, want replacement (all data chunks intact)", report.Workflow)
+	}
+	if report.CorruptBlobs < 1 {
+		t.Errorf("CorruptBlobs = %d, want >= 1", report.CorruptBlobs)
+	}
+}

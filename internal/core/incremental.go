@@ -74,7 +74,7 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 	packetBytes = c.code.ChunkAlign(packetBytes)
 	if usable {
 		for node := 0; usable && node < c.cfg.Topo.Nodes(); node++ {
-			blob, err := c.clus.Load(node, keyManifest())
+			blob, err := c.fetch(node, keyManifest())
 			if err != nil {
 				usable = false
 				break
@@ -148,7 +148,7 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 	bufSize := c.cfg.BufferSize
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
 
-	ep, err := c.net.Endpoint(node)
+	ep, err := c.endpoint(node)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -203,7 +203,7 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 	span := topo.World() / c.cfg.K
 	chunkSegs := make([][]byte, span)
 	for s := 0; s < span; s++ {
-		blob, err := c.clus.Load(node, keySegment(myChunk, s))
+		blob, err := c.fetch(node, keySegment(myChunk, s))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -276,7 +276,7 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 		if err != nil {
 			return 0, 0, err
 		}
-		oldPacket, err := c.clus.Load(node, keyOwnPacket(w))
+		oldPacket, err := c.fetch(node, keyOwnPacket(w))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -362,7 +362,7 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 
 		// Refresh the cache and the broadcast small components (metadata
 		// such as the iteration counter changes every step).
-		if err := c.clus.Store(node, keyOwnPacket(w), newPacket); err != nil {
+		if err := c.store(node, keyOwnPacket(w), newPacket); err != nil {
 			return 0, 0, err
 		}
 		for peer := 0; peer < topo.Nodes(); peer++ {
@@ -376,10 +376,10 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 				return 0, 0, err
 			}
 		}
-		if err := c.clus.Store(node, keySmallMeta(w), dec.MetaBlob); err != nil {
+		if err := c.store(node, keySmallMeta(w), dec.MetaBlob); err != nil {
 			return 0, 0, err
 		}
-		if err := c.clus.Store(node, keySmallKeys(w), dec.KeysBlob); err != nil {
+		if err := c.store(node, keySmallKeys(w), dec.KeysBlob); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -400,10 +400,10 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := c.clus.Store(node, keySmallMeta(rank), meta); err != nil {
+		if err := c.store(node, keySmallMeta(rank), meta); err != nil {
 			return 0, 0, err
 		}
-		if err := c.clus.Store(node, keySmallKeys(rank), keys); err != nil {
+		if err := c.store(node, keySmallKeys(rank), keys); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -418,11 +418,11 @@ func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, p
 
 	// Persist the updated chunk and bump the manifest.
 	for s := 0; s < span; s++ {
-		if err := c.clus.Store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
+		if err := c.store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
 			return 0, 0, err
 		}
 	}
-	if err := c.clus.Store(node, keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
+	if err := c.store(node, keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
 		return 0, 0, err
 	}
 	return localChanged, localTotal, nil

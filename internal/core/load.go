@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"eccheck/internal/cluster"
 	"eccheck/internal/gf"
 	"eccheck/internal/serialize"
 	"eccheck/internal/statedict"
@@ -55,38 +57,66 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 		}
 	}
 
-	// Assess chunk availability from host memory.
+	// Assess chunk availability from host memory. Every blob is fetched
+	// through its checksum: a silently corrupted segment, manifest or
+	// small component is indistinguishable from a lost one, so corruption
+	// is folded into the erasure model — the chunk counts as missing and
+	// is rebuilt through the code.
 	span := topo.World() / c.cfg.K
+	world := topo.World()
 	type nodeState struct {
-		intact  bool
-		version int
-		packet  int
-		bufSize int
+		manifestOK bool
+		chunkOK    bool
+		smallsOK   bool
+		corrupt    bool // at least one checksum mismatch on this node
+		version    int
+		packet     int
+		bufSize    int
 	}
 	states := make([]nodeState, n)
+	corruptBlobs := 0
+	checksumMiss := func(st *nodeState, err error) {
+		if errors.Is(err, cluster.ErrChecksum) {
+			corruptBlobs++
+			st.corrupt = true
+		}
+	}
 	latest := 0
 	for node := 0; node < n; node++ {
-		blob, err := c.clus.Load(node, keyManifest())
+		st := &states[node]
+		blob, err := c.fetch(node, keyManifest())
 		if err != nil {
-			continue // no manifest: node lost its memory
+			checksumMiss(st, err)
+			continue // no usable manifest: the node's checkpoint is lost
 		}
 		v, p, b, err := parseManifest(blob)
 		if err != nil {
 			return nil, nil, err
 		}
+		st.manifestOK = true
+		st.version, st.packet, st.bufSize = v, p, b
 		chunk := c.plan.ChunkOfNode[node]
-		ok := true
+		st.chunkOK = true
 		for s := 0; s < span; s++ {
-			if !c.clus.Has(node, keySegment(chunk, s)) {
-				ok = false
+			if _, err := c.fetch(node, keySegment(chunk, s)); err != nil {
+				st.chunkOK = false
+				checksumMiss(st, err)
 				break
 			}
 		}
-		if !ok {
-			continue
+		st.smallsOK = true
+		for rank := 0; rank < world && st.smallsOK; rank++ {
+			if _, err := c.fetch(node, keySmallMeta(rank)); err != nil {
+				st.smallsOK = false
+				checksumMiss(st, err)
+				break
+			}
+			if _, err := c.fetch(node, keySmallKeys(rank)); err != nil {
+				st.smallsOK = false
+				checksumMiss(st, err)
+			}
 		}
-		states[node] = nodeState{intact: true, version: v, packet: p, bufSize: b}
-		if v > latest {
+		if st.manifestOK && st.chunkOK && v > latest {
 			latest = v
 		}
 	}
@@ -94,17 +124,21 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 		return nil, nil, fmt.Errorf("core: no intact in-memory checkpoint found; recover from remote storage")
 	}
 
-	var availableChunks, missingChunks []int
+	var availableChunks, missingChunks, corruptedChunks []int
 	packetBytes := 0
 	savedBufSize := 0
 	for node := 0; node < n; node++ {
+		st := states[node]
 		chunk := c.plan.ChunkOfNode[node]
-		if states[node].intact && states[node].version == latest {
+		if st.manifestOK && st.chunkOK && st.version == latest {
 			availableChunks = append(availableChunks, chunk)
-			packetBytes = states[node].packet
-			savedBufSize = states[node].bufSize
+			packetBytes = st.packet
+			savedBufSize = st.bufSize
 		} else {
 			missingChunks = append(missingChunks, chunk)
+			if st.corrupt {
+				corruptedChunks = append(corruptedChunks, chunk)
+			}
 		}
 	}
 	if len(availableChunks) < c.cfg.K {
@@ -149,13 +183,17 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 		spec.transform = tm
 	}
 	for node := 0; node < n; node++ {
-		if states[node].intact && states[node].version == latest {
+		st := states[node]
+		if st.manifestOK && st.version == latest && st.smallsOK {
 			if spec.smallSource == -1 {
 				spec.smallSource = node
 			}
 		} else {
 			spec.needSmall[node] = true
 		}
+	}
+	if spec.smallSource == -1 {
+		return nil, nil, fmt.Errorf("core: no node holds intact small components; recover from remote storage")
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -190,10 +228,12 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	c.version = latest
 
 	return dicts, &LoadReport{
-		Version:       latest,
-		Workflow:      workflow,
-		MissingChunks: missingChunks,
-		Elapsed:       time.Since(started),
+		Version:         latest,
+		Workflow:        workflow,
+		MissingChunks:   missingChunks,
+		CorruptedChunks: corruptedChunks,
+		CorruptBlobs:    corruptBlobs,
+		Elapsed:         time.Since(started),
 	}, nil
 }
 
@@ -211,7 +251,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	packetBytes := spec.packetBytes
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
 
-	ep, err := c.net.Endpoint(node)
+	ep, err := c.endpoint(node)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +289,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	chunkSegs := make([][]byte, span)
 	if missingPos == -1 {
 		for s := 0; s < span; s++ {
-			seg, err := c.clus.Load(node, keySegment(myChunk, s))
+			seg, err := c.fetch(node, keySegment(myChunk, s))
 			if err != nil {
 				return nil, err
 			}
@@ -324,13 +364,15 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 		return nil, rebuildErr
 	}
 	if missingPos != -1 {
-		// Persist the rebuilt chunk: fault tolerance is restored.
+		// Persist the rebuilt chunk: fault tolerance is restored. Segments
+		// land before the manifest, so the node's checkpoint becomes
+		// visible at the recovered version only once it is complete.
 		for s := 0; s < span; s++ {
-			if err := c.clus.Store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
+			if err := c.store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
 				return nil, err
 			}
 		}
-		if err := c.clus.Store(node, keyManifest(), manifestBlob(spec.version, packetBytes, bufSize)); err != nil {
+		if err := c.store(node, keyManifest(), manifestBlob(spec.version, packetBytes, bufSize)); err != nil {
 			return nil, err
 		}
 	}
@@ -342,11 +384,11 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 				continue
 			}
 			for rank := 0; rank < world; rank++ {
-				meta, err := c.clus.Load(node, keySmallMeta(rank))
+				meta, err := c.fetch(node, keySmallMeta(rank))
 				if err != nil {
 					return nil, err
 				}
-				keys, err := c.clus.Load(node, keySmallKeys(rank))
+				keys, err := c.fetch(node, keySmallKeys(rank))
 				if err != nil {
 					return nil, err
 				}
@@ -369,10 +411,10 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			if err != nil {
 				return nil, err
 			}
-			if err := c.clus.Store(node, keySmallMeta(rank), meta); err != nil {
+			if err := c.store(node, keySmallMeta(rank), meta); err != nil {
 				return nil, err
 			}
-			if err := c.clus.Store(node, keySmallKeys(rank), keys); err != nil {
+			if err := c.store(node, keySmallKeys(rank), keys); err != nil {
 				return nil, err
 			}
 		}
@@ -425,11 +467,11 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 // reassembleWorker rebuilds a worker's state dict from its packet and the
 // broadcast small components stored on the node.
 func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte) (*statedict.StateDict, error) {
-	meta, err := c.clus.Load(node, keySmallMeta(rank))
+	meta, err := c.fetch(node, keySmallMeta(rank))
 	if err != nil {
 		return nil, fmt.Errorf("rank %d small meta: %w", rank, err)
 	}
-	keys, err := c.clus.Load(node, keySmallKeys(rank))
+	keys, err := c.fetch(node, keySmallKeys(rank))
 	if err != nil {
 		return nil, fmt.Errorf("rank %d small keys: %w", rank, err)
 	}

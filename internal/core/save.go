@@ -79,7 +79,17 @@ func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (
 	wg.Wait()
 	close(errc)
 	if err := <-errc; err != nil {
+		// Abort: drop the staged blobs so host memory holds exactly the
+		// previous committed checkpoint, still fully loadable.
+		c.discardStaged()
 		return nil, err
+	}
+	// Every node finished staging the new version; promote it. The commit
+	// is local host-memory work (no network), ordered so each node's
+	// manifest — the blob that announces the new version — lands last.
+	if err := c.commitStaged(); err != nil {
+		c.discardStaged()
+		return nil, fmt.Errorf("core: commit v%d: %w", version, err)
 	}
 	c.version = version
 
@@ -175,7 +185,11 @@ type reduceState struct {
 }
 
 // nodeSave runs one node's side of the checkpointing round and returns the
-// broadcast small-component volume it observed.
+// broadcast small-component volume it observed. Every blob is written
+// under a staged key; the caller promotes the staging area only after all
+// nodes finish, so an aborted round never damages the committed
+// checkpoint. Every Send/Recv carries the configured deadline, so a peer
+// that crashes mid-round turns into a bounded error, not a hang.
 func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes int, dicts []*statedict.StateDict) (int, error) {
 	topo := c.cfg.Topo
 	plan := c.plan
@@ -185,9 +199,13 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	bufSize := c.cfg.BufferSize
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
 
-	ep, err := c.net.Endpoint(node)
+	ep, err := c.endpoint(node)
 	if err != nil {
 		return 0, err
+	}
+	// stage writes a blob into this node's staging area, checksummed.
+	stage := func(key string, blob []byte) error {
+		return c.store(node, keyStaged(key), blob)
 	}
 
 	// --- Step 1: decompose local dicts and offload tensor data into
@@ -225,10 +243,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 				return 0, err
 			}
 		}
-		if err := c.clus.Store(node, keySmallMeta(w), blobs[0]); err != nil {
+		if err := stage(keySmallMeta(w), blobs[0]); err != nil {
 			return 0, err
 		}
-		if err := c.clus.Store(node, keySmallKeys(w), blobs[1]); err != nil {
+		if err := stage(keySmallKeys(w), blobs[1]); err != nil {
 			return 0, err
 		}
 	}
@@ -251,10 +269,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			return 0, err
 		}
 		smallBytes += len(meta) + len(keys)
-		if err := c.clus.Store(node, keySmallMeta(rank), meta); err != nil {
+		if err := stage(keySmallMeta(rank), meta); err != nil {
 			return 0, err
 		}
-		if err := c.clus.Store(node, keySmallKeys(rank), keys); err != nil {
+		if err := stage(keySmallKeys(rank), keys); err != nil {
 			return 0, err
 		}
 	}
@@ -535,19 +553,19 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	// Cache this node's own packets for incremental saves.
 	if c.cfg.IncrementalCache {
 		for _, w := range localWorkers {
-			if err := c.clus.Store(node, keyOwnPacket(w), packets[w]); err != nil {
+			if err := stage(keyOwnPacket(w), packets[w]); err != nil {
 				return 0, err
 			}
 		}
 	}
 
-	// Persist the chunk and manifest in host memory.
+	// Stage the chunk and manifest; the caller commits after the barrier.
 	for s := range chunkSegs {
-		if err := c.clus.Store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
+		if err := stage(keySegment(myChunk, s), chunkSegs[s]); err != nil {
 			return 0, err
 		}
 	}
-	if err := c.clus.Store(node, keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
+	if err := stage(keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
 		return 0, err
 	}
 	return smallBytes, nil

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+
+	"eccheck/internal/cluster"
 )
 
 // VerifyReport summarises an integrity scan of the in-memory checkpoint.
@@ -30,7 +33,7 @@ func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
 		if !c.clus.Alive(node) {
 			return nil, fmt.Errorf("core: node %d is failed; cannot verify", node)
 		}
-		blob, err := c.clus.Load(node, keyManifest())
+		blob, err := c.fetch(node, keyManifest())
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d has no checkpoint manifest: %w", node, err)
 		}
@@ -50,20 +53,39 @@ func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
 
 	report := &VerifyReport{Version: version}
 	for seg := 0; seg < span; seg++ {
+		// A checksum mismatch on any stored blob is itself corruption:
+		// record the segment as corrupt instead of failing the scan.
+		segCorrupt := false
 		chunks := make([][]byte, c.cfg.K+c.cfg.M)
 		for j, node := range c.plan.DataNodes {
-			blob, err := c.clus.Load(node, keySegment(j, seg))
+			blob, err := c.fetch(node, keySegment(j, seg))
+			if errors.Is(err, cluster.ErrChecksum) {
+				segCorrupt = true
+				break
+			}
 			if err != nil {
 				return nil, fmt.Errorf("core: data chunk %d segment %d: %w", j, seg, err)
 			}
 			chunks[j] = blob
 		}
 		for i, node := range c.plan.ParityNodes {
-			blob, err := c.clus.Load(node, keySegment(c.cfg.K+i, seg))
+			if segCorrupt {
+				break
+			}
+			blob, err := c.fetch(node, keySegment(c.cfg.K+i, seg))
+			if errors.Is(err, cluster.ErrChecksum) {
+				segCorrupt = true
+				break
+			}
 			if err != nil {
 				return nil, fmt.Errorf("core: parity chunk %d segment %d: %w", i, seg, err)
 			}
 			chunks[c.cfg.K+i] = blob
+		}
+		if segCorrupt {
+			report.SegmentsChecked++
+			report.CorruptSegments = append(report.CorruptSegments, seg)
+			continue
 		}
 		for idx, ch := range chunks {
 			if len(ch) != packetBytes {

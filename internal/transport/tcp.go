@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP transport: every node runs a listener; peers dial lazily and keep one
@@ -145,29 +146,73 @@ func (e *TCPEndpoint) box(k mailboxKey) chan []byte {
 	return ch
 }
 
-// tcpConn pairs a connection with its write mutex so one slow write never
-// blocks the whole endpoint (readers need e.mu to deliver frames).
+// tcpConn pairs a lazily dialed connection with its write mutex so one slow
+// write never blocks the whole endpoint (readers need e.mu to deliver
+// frames). c is nil until the first successful dial and reset to nil on a
+// write failure, so the next send redials.
 type tcpConn struct {
-	c  net.Conn
 	mu sync.Mutex
+	c  net.Conn
 }
 
-func (e *TCPEndpoint) conn(to int) (*tcpConn, error) {
+// Dial retry parameters: peers start in arbitrary order (a replacement
+// machine joins while the survivors are already sending), so a refused
+// connection is retried with capped exponential backoff instead of failing
+// permanently.
+const (
+	dialBackoffMin = 5 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+	dialRetryFor   = 5 * time.Second
+)
+
+// slot returns (creating if needed) the per-destination connection slot and
+// the peer's address. Slots are created under e.mu; dialing happens under
+// the slot's own lock so a slow dial never blocks frame delivery.
+func (e *TCPEndpoint) slot(to int) (*tcpConn, string, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if c, ok := e.conns[to]; ok {
-		return c, nil
-	}
 	if to < 0 || to >= len(e.peers) || e.peers[to] == "" {
-		return nil, fmt.Errorf("transport: no address for peer %d", to)
+		return nil, "", fmt.Errorf("transport: no address for peer %d", to)
 	}
-	c, err := net.Dial("tcp", e.peers[to])
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, e.peers[to], err)
+	tc, ok := e.conns[to]
+	if !ok {
+		tc = &tcpConn{}
+		e.conns[to] = tc
 	}
-	tc := &tcpConn{c: c}
-	e.conns[to] = tc
-	return tc, nil
+	return tc, e.peers[to], nil
+}
+
+// dialRetry dials addr, retrying with capped exponential backoff until the
+// connection succeeds, the context is done, the endpoint closes, or the
+// retry budget runs out. It absorbs the startup race where a peer's
+// listener is not up yet.
+func (e *TCPEndpoint) dialRetry(ctx context.Context, to int, addr string) (net.Conn, error) {
+	var d net.Dialer
+	deadline := time.Now().Add(dialRetryFor)
+	backoff := dialBackoffMin
+	for {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, addr, err)
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, addr, ctx.Err())
+		case <-e.closed:
+			timer.Stop()
+			return nil, fmt.Errorf("transport: dial peer %d: endpoint closed", to)
+		}
+		backoff *= 2
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
 }
 
 // Send frames and writes the payload to the destination node. Writes to one
@@ -180,7 +225,7 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, tag string, payload []by
 	if len(payload) > maxFrameSize {
 		return fmt.Errorf("transport: payload of %d bytes exceeds frame limit", len(payload))
 	}
-	c, err := e.conn(to)
+	tc, addr, err := e.slot(to)
 	if err != nil {
 		return err
 	}
@@ -195,12 +240,18 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, tag string, payload []by
 	frame = append(frame, u[:]...)
 	frame = append(frame, payload...)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.c.Write(frame); err != nil {
-		e.mu.Lock()
-		delete(e.conns, to)
-		e.mu.Unlock()
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.c == nil {
+		c, err := e.dialRetry(ctx, to, addr)
+		if err != nil {
+			return err
+		}
+		tc.c = c
+	}
+	if _, err := tc.c.Write(frame); err != nil {
+		_ = tc.c.Close()
+		tc.c = nil // next send redials
 		return fmt.Errorf("transport: write to peer %d: %w", to, err)
 	}
 	return nil
@@ -225,13 +276,24 @@ func (e *TCPEndpoint) Close() error {
 		close(e.closed)
 		_ = e.ln.Close()
 		e.mu.Lock()
-		for _, c := range e.conns {
-			_ = c.c.Close()
+		conns := make([]*tcpConn, 0, len(e.conns))
+		for _, tc := range e.conns {
+			conns = append(conns, tc)
 		}
 		for conn := range e.accepted {
 			_ = conn.Close()
 		}
 		e.mu.Unlock()
+		// Take each slot's own lock: in-flight dial loops abort on e.closed
+		// and writes finish before we close the connection under them.
+		for _, tc := range conns {
+			tc.mu.Lock()
+			if tc.c != nil {
+				_ = tc.c.Close()
+				tc.c = nil
+			}
+			tc.mu.Unlock()
+		}
 	})
 	e.wg.Wait()
 	return nil

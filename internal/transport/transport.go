@@ -9,9 +9,16 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrPeerGone marks a send or receive that can never complete because the
+// network (or the endpoint) has been closed: the peer is gone, not slow.
+// Callers distinguish it from backpressure or deadline errors with
+// errors.Is.
+var ErrPeerGone = errors.New("transport: peer gone")
 
 // Endpoint is one node's attachment to the network.
 type Endpoint interface {
@@ -84,16 +91,23 @@ func (n *memNetwork) Close() error {
 
 // box returns (creating if needed) the channel for a stream. The buffer is
 // deep enough that a full checkpoint round never deadlocks on unmatched
-// sends.
-func (n *memNetwork) box(k mailboxKey) chan []byte {
+// sends. After Close the map is frozen: returning ErrPeerGone instead of
+// creating a fresh mailbox closes the race where a send racing Close would
+// enqueue into a channel nobody can ever drain.
+func (n *memNetwork) box(k mailboxKey) (chan []byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	select {
+	case <-n.closed:
+		return nil, ErrPeerGone
+	default:
+	}
 	ch, ok := n.boxes[k]
 	if !ok {
 		ch = make(chan []byte, 256)
 		n.boxes[k] = ch
 	}
-	return ch
+	return ch, nil
 }
 
 type memEndpoint struct {
@@ -110,12 +124,17 @@ func (e *memEndpoint) Send(ctx context.Context, to int, tag string, payload []by
 	// Copy so the sender may immediately reuse its buffer, exactly like a
 	// real network write.
 	cp := append([]byte(nil), payload...)
-	ch := e.net.box(mailboxKey{from: e.rank, to: to, tag: tag})
+	ch, err := e.net.box(mailboxKey{from: e.rank, to: to, tag: tag})
+	if err != nil {
+		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, err)
+	}
 	select {
 	case ch <- cp:
 		return nil
 	case <-e.net.closed:
-		return fmt.Errorf("transport: network closed")
+		// The receiver died under us (network torn down mid-send): report
+		// it distinguishably so callers do not mistake it for backpressure.
+		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, ErrPeerGone)
 	case <-ctx.Done():
 		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, ctx.Err())
 	}
@@ -125,12 +144,15 @@ func (e *memEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, e
 	if from < 0 || from >= e.net.size {
 		return nil, fmt.Errorf("transport: recv from node %d out of range [0, %d)", from, e.net.size)
 	}
-	ch := e.net.box(mailboxKey{from: from, to: e.rank, tag: tag})
+	ch, err := e.net.box(mailboxKey{from: from, to: e.rank, tag: tag})
+	if err != nil {
+		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, err)
+	}
 	select {
 	case payload := <-ch:
 		return payload, nil
 	case <-e.net.closed:
-		return nil, fmt.Errorf("transport: network closed")
+		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ErrPeerGone)
 	case <-ctx.Done():
 		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ctx.Err())
 	}

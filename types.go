@@ -1,6 +1,7 @@
 package eccheck
 
 import (
+	"eccheck/internal/chaos"
 	"eccheck/internal/erasure"
 	"eccheck/internal/model"
 	"eccheck/internal/parallel"
@@ -94,6 +95,21 @@ func BuildWorkerStateDict(cfg ModelConfig, topo *Topology, rank int, opt BuildOp
 func BuildClusterStateDicts(cfg ModelConfig, topo *Topology, opt BuildOptions) ([]*StateDict, error) {
 	return model.BuildClusterStateDicts(cfg, topo, opt)
 }
+
+// ChaosPlan describes the faults to inject into the transport: link
+// latency and jitter, probabilistic send drops and errors, and scheduled
+// node kills. A non-zero Seed makes the injection deterministic.
+type ChaosPlan = chaos.Plan
+
+// ChaosKill schedules one node crash within a ChaosPlan.
+type ChaosKill = chaos.Kill
+
+// ChaosStats counts the faults a chaos network has injected so far.
+type ChaosStats = chaos.Stats
+
+// ErrChaosKilled is returned by transport operations on a chaos-killed
+// node (test with errors.Is).
+var ErrChaosKilled = chaos.ErrKilled
 
 // Codec is the underlying systematic Cauchy Reed-Solomon code, exposed for
 // applications that want to erasure-code arbitrary buffers.
