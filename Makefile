@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke
+.PHONY: check vet build test race smoke doclint metrics-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
-check: vet build test race smoke
+check: vet build test race smoke doclint
 
 vet:
 	$(GO) vet ./...
@@ -14,11 +14,25 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages under the race detector.
+# The concurrency-sensitive packages under the race detector. internal/core
+# runs the full save/load protocol across node goroutines and internal/obs
+# is the lock-free metrics layer they all record into, so both are part of
+# the gate despite the longer runtime.
 race:
-	$(GO) test -race ./internal/transport ./internal/cluster ./internal/chaos
+	$(GO) test -race ./internal/transport ./internal/cluster ./internal/chaos ./internal/obs ./internal/core
 
 # Seeded chaos smoke test: replication head-to-head, a mid-save kill, and
 # a corruption-as-erasure recovery, all deterministic.
 smoke:
 	$(GO) run ./examples/faulttolerance
+
+# The public API is the operator surface: every exported identifier in the
+# root package must carry a doc comment.
+doclint:
+	$(GO) run ./cmd/doclint .
+
+# One checkpoint-and-recover round with the per-phase breakdown and the
+# full metric registry printed: the quickest way to see the observability
+# surface in action.
+metrics-demo:
+	$(GO) run ./cmd/eccheck-sim -iters 5 -ckpt-every 5 -fail-at 5 -metrics

@@ -1,0 +1,151 @@
+// Command doclint enforces the documentation contract of the public API:
+// every exported identifier in the packages it is pointed at must carry a
+// doc comment. It exists because the root eccheck package IS the operator
+// surface — an undocumented export there is a hole in the manual.
+//
+// Usage:
+//
+//	doclint [package-dir ...]   # default: .
+//
+// Exits non-zero listing every exported const, var, func, type, method and
+// struct field group that lacks a doc comment. Grouped declarations
+// (const/var blocks) pass if either the group or the individual spec is
+// documented; struct fields and interface methods are exempt, as Go's own
+// conventions leave those to the enclosing type's comment.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var problems []string
+	for _, dir := range dirs {
+		p, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) without doc comments\n", len(problems))
+		return 1
+	}
+	return 0
+}
+
+// lintDir parses one package directory (tests excluded) and returns one
+// line per undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("doclint: %s: %w", dir, err)
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			lintFile(file, report)
+		}
+	}
+	return out, nil
+}
+
+func lintFile(file *ast.File, report func(token.Pos, string, string)) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				if recv, exported := recvName(d.Recv); !exported {
+					continue // methods on unexported types are internal
+				} else {
+					report(d.Pos(), "method", recv+"."+d.Name.Name)
+				}
+				continue
+			}
+			report(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+}
+
+// lintGenDecl checks a const/var/type block: a doc comment on the block
+// covers every spec inside it; otherwise each exported spec needs its own.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := map[token.Token]string{
+		token.CONST: "const", token.VAR: "var", token.TYPE: "type",
+	}[d.Tok]
+	if kind == "" {
+		return // imports
+	}
+	blockDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !blockDocumented && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if blockDocumented || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// recvName extracts the receiver's type name and whether it is exported.
+func recvName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, id.IsExported()
+	}
+	return "", false
+}

@@ -8,9 +8,19 @@
 //	eccheck-bench            # run every experiment
 //	eccheck-bench fig10 fig13
 //	eccheck-bench -list
+//	eccheck-bench -metrics-out metrics.json fig11
+//
+// -metrics-out additionally runs one fully instrumented functional
+// checkpoint round (save, integrity verification, failure, recovery) on a
+// small in-process cluster and writes every metric series the system
+// recorded — phase timings, transport traffic, host-memory and remote-tier
+// volumes — as a machine-readable JSON dump to the given file. With no
+// experiment names on the command line, -metrics-out performs only the
+// dump.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"eccheck"
 	"eccheck/internal/harness"
 )
 
@@ -89,8 +100,59 @@ func main() {
 	os.Exit(run())
 }
 
+// dumpMetrics runs one instrumented functional round — two saves, an
+// integrity scan, a machine failure and the recovery — and writes the
+// resulting metric snapshot as JSON.
+func dumpMetrics(path string) error {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4,
+		K: 2, M: 2, BufferSize: 256 << 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 7
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := sys.Save(ctx, dicts); err != nil {
+			return err
+		}
+	}
+	if _, err := sys.VerifyIntegrity(); err != nil {
+		return err
+	}
+	if err := sys.FailNode(1); err != nil {
+		return err
+	}
+	if err := sys.ReplaceNode(1); err != nil {
+		return err
+	}
+	if _, _, err := sys.Load(ctx); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sys.Metrics().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
+	metricsOut := flag.String("metrics-out", "", "run an instrumented functional round and write its metric snapshot as JSON to this file")
 	flag.Parse()
 
 	exps := experiments()
@@ -102,7 +164,7 @@ func run() int {
 	}
 
 	selected := flag.Args()
-	if len(selected) == 0 {
+	if len(selected) == 0 && *metricsOut == "" {
 		for _, e := range exps {
 			selected = append(selected, e.name)
 		}
@@ -127,6 +189,14 @@ func run() int {
 		if err := e.run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			failed = true
+		}
+	}
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics dump: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
 		}
 	}
 	if failed {

@@ -7,8 +7,15 @@
 //
 // Usage:
 //
+// After every checkpoint it prints the round's phase breakdown (the same
+// partition SaveReport.Phases carries), and -metrics dumps the system's
+// full metric registry in Prometheus exposition format on exit.
+//
+// Usage:
+//
 //	eccheck-sim [-nodes 4] [-gpus 2] [-k 2] [-m 2] [-iters 30]
 //	            [-ckpt-every 5] [-fail-at 12,23] [-scale 32] [-seed 1]
+//	            [-metrics]
 package main
 
 import (
@@ -19,9 +26,27 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"eccheck"
 )
+
+// printPhases renders a one-round phase table in pipeline order, skipping
+// phases the round did not exercise (e.g. persist on non-persisted rounds).
+func printPhases(kind string, order []string, phases map[string]time.Duration, total time.Duration) {
+	fmt.Printf("          %-12s %10s %6s\n", kind+" phase", "time", "share")
+	for _, ph := range order {
+		d := phases[ph]
+		if d <= 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(d) / float64(total)
+		}
+		fmt.Printf("          %-12s %10s %5.1f%%\n", ph, d.Round(10*time.Microsecond), share)
+	}
+}
 
 func main() {
 	os.Exit(run())
@@ -38,6 +63,7 @@ func run() int {
 		failAtRaw = flag.String("fail-at", "12,23", "comma-separated iterations at which random failures strike")
 		scale     = flag.Int("scale", 32, "model down-scale factor (1 = full size)")
 		seed      = flag.Int64("seed", 1, "random seed for failure injection")
+		metrics   = flag.Bool("metrics", false, "dump the full metric registry (Prometheus text format) on exit")
 	)
 	flag.Parse()
 
@@ -109,9 +135,10 @@ func run() int {
 				return 1
 			}
 			lastCkptIter = iteration
-			fmt.Printf("iter %3d: checkpoint v%d (packet %.1f MB, small %d B, remote=%v)\n",
-				iteration, rep.Version, float64(rep.PacketBytes)/1e6,
-				rep.SmallBytes, rep.RemotePersisted)
+			fmt.Printf("iter %3d: checkpoint v%d in %v (packet %.1f MB, small %d B, remote=%v)\n",
+				iteration, rep.Version, rep.Elapsed.Round(10*time.Microsecond),
+				float64(rep.PacketBytes)/1e6, rep.SmallBytes, rep.RemotePersisted)
+			printPhases("save", eccheck.SavePhases(), rep.Phases, rep.Elapsed)
 		}
 
 		if failAt[iteration] {
@@ -139,6 +166,7 @@ func run() int {
 			}
 			fmt.Printf("iter %3d: recovered v%d via %s workflow (missing chunks %v) in %v\n",
 				iteration, lrep.Version, lrep.Workflow, lrep.MissingChunks, lrep.Elapsed)
+			printPhases("load", eccheck.LoadPhases(), lrep.Phases, lrep.Elapsed)
 
 			// Verify the recovered state matches the last checkpoint, then
 			// roll back and resume.
@@ -160,5 +188,12 @@ func run() int {
 		}
 	}
 	fmt.Printf("done: %d iterations, final checkpoint version %d\n", *iters, sys.Version())
+	if *metrics {
+		fmt.Println()
+		if err := sys.Metrics().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	return 0
 }

@@ -19,13 +19,61 @@
 //	...
 //	dicts, lrep, err := sys.Load(ctx)     // eccheck.load after failures
 //
-// Save runs the serialization-free encoding protocol: each worker's state
-// dict is decomposed into non-tensor metadata, tensor keys, and contiguous
-// tensor payloads; the payloads become erasure-code packets consumed in
-// place, streamed through a pipelined encode / XOR-reduce / P2P placement
-// protocol. Load runs the matching recovery workflows (pure replacement
-// when all data chunks survive, distributed decode otherwise) and restores
-// full fault tolerance.
+// # The save protocol
+//
+// Save runs the serialization-free encoding protocol in five steps:
+//
+//  1. Decompose & offload. Each worker's state dict splits into non-tensor
+//     metadata, tensor keys, and contiguous tensor payloads; the payloads
+//     are copied into fixed-size host-memory packets (the DtoH offload —
+//     the only step training waits for). Nothing large is ever serialized.
+//  2. Broadcast. The tiny metadata and key components are broadcast so
+//     every node can reassemble any worker's dict at recovery time.
+//  3. Encode, reduce, place. Packets stream through pipelined buffers:
+//     each worker scalar-multiplies its packet by its Cauchy generator
+//     coefficients, XOR reductions across reduction groups assemble parity
+//     packets on optimally chosen target workers, and P2P transfers place
+//     finished data and parity chunks on their machines — fully
+//     asynchronous behind training.
+//  4. Commit. Every blob lands under a staged key during the round; only
+//     after the all-nodes barrier is staging promoted to final, manifest
+//     last, so an aborted round never damages the committed checkpoint.
+//  5. Persist. Every Nth version (Config.RemotePersistEvery) additionally
+//     persists to the bandwidth-limited remote tier against catastrophes
+//     beyond m machines.
+//
+// Load runs the matching recovery workflows — pure redistribution when all
+// data chunks survive, distributed decode otherwise — and then rebuilds
+// the lost chunks so the full fault-tolerance capacity is restored.
+//
+// # Failure model
+//
+// The robustness layer covers the three failure classes an in-memory
+// checkpoint meets in production. Machines crashing mid-round: Config.Chaos
+// installs a deterministic fault-injection plan (link latency and jitter,
+// probabilistic drops and errors, node kills scheduled by send count), and
+// a kill destroys the victim's volatile host memory exactly like a machine
+// crash; the staged commit guarantees the previous checkpoint stays
+// loadable. Peers hanging instead of failing: Config.OpTimeout bounds every
+// protocol Send/Recv. Silent host-memory corruption: every blob carries a
+// checksum footer, and a mismatch at load time is folded into the erasure
+// model — the chunk counts as missing and is rebuilt through the code
+// (see System.CorruptChunk and VerifyIntegrity).
+//
+// # Observability
+//
+// Every System carries an always-on, dependency-free metric registry.
+// System.Metrics returns a Snapshot of all counters and histograms the
+// system has recorded — per-phase save/load timings
+// (save_phase_ns{phase,node}), transport traffic per (node, peer) pair,
+// injected chaos faults by kind, host-memory and remote-tier volumes —
+// renderable as Prometheus exposition text (Snapshot.WriteText) or JSON
+// (Snapshot.WriteJSON). Each SaveReport and LoadReport additionally breaks
+// its round's wall time into an exclusive phase partition (SaveReport.Phases
+// over SavePhases: offload, serialize, encode, xor, p2p, barrier, promote,
+// persist) whose durations sum to the round's elapsed time. Recording is
+// lock-free atomic arithmetic, so the instrumentation stays on
+// unconditionally.
 //
 // The library also ships the complete evaluation harness of the paper —
 // workload models, the three baselines, the reliability analysis, and one

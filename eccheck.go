@@ -8,6 +8,7 @@ import (
 	"eccheck/internal/chaos"
 	"eccheck/internal/cluster"
 	"eccheck/internal/core"
+	"eccheck/internal/obs"
 	"eccheck/internal/remotestore"
 	"eccheck/internal/transport"
 )
@@ -76,6 +77,7 @@ type System struct {
 	clus     *cluster.Cluster
 	remote   *remotestore.Store
 	topo     *Topology
+	metrics  *obs.Registry
 }
 
 // SaveReport summarises one checkpoint round.
@@ -94,6 +96,10 @@ func Initialize(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("eccheck: %w", err)
 	}
 
+	// Every system carries a metrics registry; recording is lock-free
+	// atomic adds, so it stays on unconditionally.
+	reg := obs.NewRegistry()
+
 	var net transport.Network
 	switch cfg.Transport {
 	case 0, TransportMemory:
@@ -106,6 +112,11 @@ func Initialize(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eccheck: %w", err)
 	}
+	// The base transport records its own internals (TCP dial retries);
+	// wire it before any wrapper hides the concrete type.
+	if ms, ok := net.(transport.MetricsSetter); ok {
+		ms.SetMetrics(reg)
+	}
 
 	var chaosNet *chaos.Network
 	if cfg.Chaos != nil {
@@ -114,14 +125,20 @@ func Initialize(cfg Config) (*System, error) {
 			_ = net.Close()
 			return nil, fmt.Errorf("eccheck: %w", err)
 		}
+		chaosNet.SetMetrics(reg)
 		net = chaosNet
 	}
+	// Outermost wrapper counts every protocol send/recv per (node, peer);
+	// under chaos it observes what the protocol attempted, while the chaos
+	// counters record what the fault plan did to it.
+	net = transport.WithMetrics(net, reg)
 
 	clus, err := cluster.New(cfg.Nodes, cfg.GPUsPerNode)
 	if err != nil {
 		_ = net.Close()
 		return nil, fmt.Errorf("eccheck: %w", err)
 	}
+	clus.SetMetrics(reg)
 
 	var remote *remotestore.Store
 	if !cfg.DisableRemote {
@@ -134,6 +151,7 @@ func Initialize(cfg Config) (*System, error) {
 			_ = net.Close()
 			return nil, fmt.Errorf("eccheck: %w", err)
 		}
+		remote.SetMetrics(reg)
 	}
 
 	persistEvery := cfg.RemotePersistEvery
@@ -149,6 +167,7 @@ func Initialize(cfg Config) (*System, error) {
 		RemotePersistEvery: persistEvery,
 		IncrementalCache:   cfg.Incremental,
 		OpTimeout:          cfg.OpTimeout,
+		Metrics:            reg,
 	}, net, clus, remote)
 	if err != nil {
 		_ = net.Close()
@@ -160,8 +179,17 @@ func Initialize(cfg Config) (*System, error) {
 		// is destroyed in the same instant.
 		chaosNet.SetOnKill(func(node int) { _ = clus.Fail(node) })
 	}
-	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote, topo: topo}, nil
+	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote, topo: topo, metrics: reg}, nil
 }
+
+// Metrics returns a point-in-time snapshot of every counter and histogram
+// the system has recorded: per-phase save/load timings
+// (save_phase_ns{phase,node}), transport traffic per (node, peer) pair,
+// injected chaos faults by kind, host-memory and remote-tier volumes.
+// Render it with Snapshot.WriteText (Prometheus exposition format) or
+// Snapshot.WriteJSON, or query single series with Snapshot.Counter and
+// Snapshot.Histogram.
+func (s *System) Metrics() Snapshot { return s.metrics.Snapshot() }
 
 // Close releases the system's resources.
 func (s *System) Close() error {

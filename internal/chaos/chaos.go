@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
+	"eccheck/internal/obs"
 	"eccheck/internal/transport"
 )
 
@@ -86,6 +88,13 @@ type Network struct {
 	killed []bool
 	stats  Stats
 	onKill func(node int)
+
+	// Injected-fault counters by kind; nil (no-op) until SetMetrics.
+	mSends   *obs.Counter
+	mDropped *obs.Counter
+	mErrored *obs.Counter
+	mKilled  *obs.Counter
+	mReg     *obs.Registry
 }
 
 // Wrap builds a fault-injecting view of inner under the given plan.
@@ -118,6 +127,25 @@ func Wrap(inner transport.Network, plan Plan) (*Network, error) {
 		n.killAt[k.Node] = k.AfterSends
 	}
 	return n, nil
+}
+
+// SetMetrics installs counters recording every injected fault by kind:
+// chaos_sends_total (send attempts observed), chaos_dropped_total,
+// chaos_errored_total and chaos_killed_total{node}. It implements
+// transport.MetricsSetter, so wrapping a chaos network with
+// transport.WithMetrics wires these up automatically.
+func (n *Network) SetMetrics(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.mSends, n.mDropped, n.mErrored, n.mKilled = nil, nil, nil, nil
+		return
+	}
+	n.mSends = reg.Counter("chaos_sends_total")
+	n.mDropped = reg.Counter("chaos_dropped_total")
+	n.mErrored = reg.Counter("chaos_errored_total")
+	n.mKilled = reg.Counter("chaos_killed_total")
+	n.mReg = reg
 }
 
 // SetOnKill installs a hook fired exactly once per killed node, outside the
@@ -225,9 +253,14 @@ func (n *Network) judgeSend(node int) (verdict sendVerdict, delay time.Duration,
 	}
 	n.stats.Sends++
 	n.sends[node]++
+	n.mSends.Inc()
 	if at := n.killAt[node]; at >= 0 && n.sends[node] > at {
 		n.killed[node] = true
 		n.stats.Killed = append(n.stats.Killed, node)
+		n.mKilled.Inc()
+		if reg := n.mReg; reg != nil {
+			reg.Counter("chaos_kills_total", obs.L("node", strconv.Itoa(node))).Inc()
+		}
 		if fn := n.onKill; fn != nil {
 			killHook = func() { fn(node) }
 		}
@@ -235,10 +268,12 @@ func (n *Network) judgeSend(node int) (verdict sendVerdict, delay time.Duration,
 	}
 	if n.plan.DropProb > 0 && n.rng.Float64() < n.plan.DropProb {
 		n.stats.Dropped++
+		n.mDropped.Inc()
 		return verdictDrop, 0, nil
 	}
 	if n.plan.ErrProb > 0 && n.rng.Float64() < n.plan.ErrProb {
 		n.stats.Errored++
+		n.mErrored.Inc()
 		return verdictError, 0, nil
 	}
 	delay = n.plan.Latency

@@ -9,7 +9,10 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+
+	"eccheck/internal/obs"
 )
 
 // Cluster is a set of nodes with volatile host memory. It is safe for
@@ -23,6 +26,38 @@ type Cluster struct {
 	// epochs counts how many times each node has been replaced, letting
 	// tests assert a node restarted empty.
 	epochs []int
+
+	// Per-node host-memory traffic counters, indexed by node; nil slices
+	// (and the nil Counters inside) are no-ops until SetMetrics.
+	mStores     []*obs.Counter
+	mStoreBytes []*obs.Counter
+	mLoads      []*obs.Counter
+	mLoadBytes  []*obs.Counter
+}
+
+// SetMetrics installs host-memory traffic counters, one series per node:
+// hostmem_stores_total{node}, hostmem_store_bytes_total{node},
+// hostmem_loads_total{node} and hostmem_load_bytes_total{node}. Counters
+// are resolved once here, so the per-blob cost is one atomic add. A nil
+// registry disables recording.
+func (c *Cluster) SetMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reg == nil {
+		c.mStores, c.mStoreBytes, c.mLoads, c.mLoadBytes = nil, nil, nil, nil
+		return
+	}
+	c.mStores = make([]*obs.Counter, c.nodes)
+	c.mStoreBytes = make([]*obs.Counter, c.nodes)
+	c.mLoads = make([]*obs.Counter, c.nodes)
+	c.mLoadBytes = make([]*obs.Counter, c.nodes)
+	for i := 0; i < c.nodes; i++ {
+		nodeL := obs.L("node", strconv.Itoa(i))
+		c.mStores[i] = reg.Counter("hostmem_stores_total", nodeL)
+		c.mStoreBytes[i] = reg.Counter("hostmem_store_bytes_total", nodeL)
+		c.mLoads[i] = reg.Counter("hostmem_loads_total", nodeL)
+		c.mLoadBytes[i] = reg.Counter("hostmem_load_bytes_total", nodeL)
+	}
 }
 
 // New constructs a cluster of n nodes with g workers each.
@@ -69,6 +104,10 @@ func (c *Cluster) Store(node int, key string, blob []byte) error {
 		return fmt.Errorf("cluster: node %d is failed", node)
 	}
 	c.hostMem[node][key] = append([]byte(nil), blob...)
+	if c.mStores != nil {
+		c.mStores[node].Inc()
+		c.mStoreBytes[node].Add(int64(len(blob)))
+	}
 	return nil
 }
 
@@ -85,6 +124,10 @@ func (c *Cluster) Load(node int, key string) ([]byte, error) {
 	blob, ok := c.hostMem[node][key]
 	if !ok {
 		return nil, fmt.Errorf("cluster: node %d has no blob %q", node, key)
+	}
+	if c.mLoads != nil {
+		c.mLoads[node].Inc()
+		c.mLoadBytes[node].Add(int64(len(blob)))
 	}
 	return append([]byte(nil), blob...), nil
 }

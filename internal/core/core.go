@@ -31,6 +31,7 @@ import (
 	"eccheck/internal/cluster"
 	"eccheck/internal/ecpool"
 	"eccheck/internal/erasure"
+	"eccheck/internal/obs"
 	"eccheck/internal/parallel"
 	"eccheck/internal/placement"
 	"eccheck/internal/remotestore"
@@ -85,6 +86,10 @@ type Config struct {
 	// peer that crashed mid-round. 0 selects DefaultOpTimeout; negative
 	// disables deadlines.
 	OpTimeout time.Duration
+	// Metrics receives the engine's counters, phase histograms and spans
+	// (save_phase_ns, load_phase_ns, save_rounds_total, ...). Nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Registry
 	// CodeOptions tune the Cauchy Reed-Solomon code.
 	CodeOptions []erasure.Option
 }
@@ -282,6 +287,15 @@ type SaveReport struct {
 	RemotePersisted bool
 	// Elapsed is the wall time of the functional round.
 	Elapsed time.Duration
+	// Phases breaks the round down by pipeline phase (see SavePhases for
+	// the names). Each node goroutine's wall time is partitioned
+	// exclusively into phases; Phases holds the per-phase mean across
+	// nodes, plus the coordinator's commit (in "promote") and remote
+	// persistence (in "persist"), so the values sum to approximately
+	// Elapsed.
+	Phases map[string]time.Duration
+	// NodePhases holds each node's own phase partition, indexed by node.
+	NodePhases []map[string]time.Duration
 }
 
 // LoadReport summarises a recovery.
@@ -301,6 +315,9 @@ type LoadReport struct {
 	CorruptBlobs int
 	// Elapsed is the wall time of the functional recovery.
 	Elapsed time.Duration
+	// Phases breaks the recovery down by phase (see LoadPhases): the
+	// coordinator's scan plus the per-phase mean across node goroutines.
+	Phases map[string]time.Duration
 }
 
 // Host-memory key layout.

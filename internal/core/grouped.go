@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eccheck/internal/cluster"
+	"eccheck/internal/obs"
 	"eccheck/internal/parallel"
 	"eccheck/internal/remotestore"
 	"eccheck/internal/statedict"
@@ -39,6 +40,10 @@ type GroupedConfig struct {
 	BufferSize int
 	// RemotePersistEvery persists every Nth save (0 = default, <0 = off).
 	RemotePersistEvery int
+	// Metrics receives every group instance's counters and phase
+	// histograms; the group is distinguishable by the RemotePrefix-style
+	// group index in span labels. Nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 // NewGrouped builds one ECCheck instance per group over views of the
@@ -85,6 +90,7 @@ func NewGrouped(cfg GroupedConfig, net transport.Network, clus *cluster.Cluster,
 			BufferSize:         cfg.BufferSize,
 			RemotePersistEvery: cfg.RemotePersistEvery,
 			RemotePrefix:       fmt.Sprintf("group%d/", gi),
+			Metrics:            cfg.Metrics,
 		}, subNet, subClus, remote)
 		if err != nil {
 			grouped.Close()

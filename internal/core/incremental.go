@@ -134,6 +134,12 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 		rep.ChangedBuffers += changed[node]
 		rep.TotalBuffers += total[node]
 	}
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("save_incremental_rounds_total").Inc()
+		reg.Counter("incremental_changed_buffers_total").Add(int64(rep.ChangedBuffers))
+		reg.Counter("incremental_total_buffers_total").Add(int64(rep.TotalBuffers))
+		reg.Histogram("save_incremental_ns").ObserveDuration(rep.Elapsed)
+	}
 	return rep, nil
 }
 

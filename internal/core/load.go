@@ -10,6 +10,7 @@ import (
 
 	"eccheck/internal/cluster"
 	"eccheck/internal/gf"
+	"eccheck/internal/obs"
 	"eccheck/internal/serialize"
 	"eccheck/internal/statedict"
 )
@@ -49,6 +50,8 @@ type recoverySpec struct {
 // tolerance is restored, and reports which workflow ran.
 func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadReport, error) {
 	started := time.Now()
+	ctx, loadSpan := obs.StartSpan(ctx, c.cfg.Metrics, "load")
+	defer loadSpan.End()
 	topo := c.cfg.Topo
 	n := topo.Nodes()
 	for node := 0; node < n; node++ {
@@ -195,6 +198,7 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	if spec.smallSource == -1 {
 		return nil, nil, fmt.Errorf("core: no node holds intact small components; recover from remote storage")
 	}
+	scanTime := time.Since(started)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -203,11 +207,12 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	var dictsMu sync.Mutex
 	errc := make(chan error, n)
 	var wg sync.WaitGroup
+	nodePhases := make([]map[string]time.Duration, n)
 	for node := 0; node < n; node++ {
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			local, err := c.nodeLoad(ctx, node, spec)
+			local, phases, err := c.nodeLoad(ctx, node, spec)
 			if err != nil {
 				errc <- fmt.Errorf("core: node %d load: %w", node, err)
 				cancel()
@@ -218,6 +223,7 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 				dicts[rank] = sd
 			}
 			dictsMu.Unlock()
+			nodePhases[node] = phases
 		}(node)
 	}
 	wg.Wait()
@@ -227,6 +233,17 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	}
 	c.version = latest
 
+	for node, phases := range nodePhases {
+		observePhases(c.cfg.Metrics, "load", node, phases)
+	}
+	phases := meanPhases(nodePhases)
+	phases[PhaseScan] += scanTime
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("load_rounds_total").Inc()
+		reg.Counter("load_rebuilt_chunks_total").Add(int64(len(missingChunks)))
+		reg.Counter("load_corrupt_blobs_total").Add(int64(corruptBlobs))
+	}
+
 	return dicts, &LoadReport{
 		Version:         latest,
 		Workflow:        workflow,
@@ -234,12 +251,14 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 		CorruptedChunks: corruptedChunks,
 		CorruptBlobs:    corruptBlobs,
 		Elapsed:         time.Since(started),
+		Phases:          phases,
 	}, nil
 }
 
 // nodeLoad runs one node's side of recovery and returns its local workers'
-// reconstructed state dicts.
-func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpec) (map[int]*statedict.StateDict, error) {
+// reconstructed state dicts plus the goroutine's phase partition (see
+// LoadPhases).
+func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpec) (map[int]*statedict.StateDict, map[string]time.Duration, error) {
 	topo := c.cfg.Topo
 	plan := c.plan
 	world := topo.World()
@@ -250,10 +269,11 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	}
 	packetBytes := spec.packetBytes
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
+	pc := newPhaseClock(PhaseFetch)
 
 	ep, err := c.endpoint(node)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	myChunk := plan.ChunkOfNode[node]
@@ -291,7 +311,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 		for s := 0; s < span; s++ {
 			seg, err := c.fetch(node, keySegment(myChunk, s))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			chunkSegs[s] = seg
 		}
@@ -300,6 +320,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			chunkSegs[s] = make([]byte, packetBytes)
 		}
 	}
+	pc.Switch(PhaseRebuild)
 
 	// --- Phase R1: distributed rebuild of missing chunks. ---
 	// Basis holders stream coefficient-multiplied slices to each missing
@@ -350,10 +371,10 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 					lo, hi := sliceBounds(b)
 					contribution := make([]byte, hi-lo)
 					if err := c.scalarMulPooled(coef, contribution, chunkSegs[s][lo:hi]); err != nil {
-						return nil, err
+						return nil, nil, err
 					}
 					if err := ep.Send(ctx, dstNode, tagRebuild(missingChunk, s), contribution); err != nil {
-						return nil, err
+						return nil, nil, err
 					}
 				}
 			}
@@ -361,7 +382,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	}
 	rebuildWG.Wait()
 	if rebuildErr != nil {
-		return nil, rebuildErr
+		return nil, nil, rebuildErr
 	}
 	if missingPos != -1 {
 		// Persist the rebuilt chunk: fault tolerance is restored. Segments
@@ -369,13 +390,14 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 		// visible at the recovered version only once it is complete.
 		for s := 0; s < span; s++ {
 			if err := c.store(node, keySegment(myChunk, s), chunkSegs[s]); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if err := c.store(node, keyManifest(), manifestBlob(spec.version, packetBytes, bufSize)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	pc.Switch(PhaseSmallSync)
 
 	// --- Phase R2: re-broadcast small components to nodes that lost them. ---
 	if node == spec.smallSource {
@@ -386,17 +408,17 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			for rank := 0; rank < world; rank++ {
 				meta, err := c.fetch(node, keySmallMeta(rank))
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				keys, err := c.fetch(node, keySmallKeys(rank))
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				if err := ep.Send(ctx, peer, tagSmallSyncMeta(rank), meta); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				if err := ep.Send(ctx, peer, tagSmallSyncKeys(rank), keys); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 		}
@@ -405,20 +427,21 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 		for rank := 0; rank < world; rank++ {
 			meta, err := ep.Recv(ctx, spec.smallSource, tagSmallSyncMeta(rank))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			keys, err := ep.Recv(ctx, spec.smallSource, tagSmallSyncKeys(rank))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if err := c.store(node, keySmallMeta(rank), meta); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if err := c.store(node, keySmallKeys(rank), keys); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
+	pc.Switch(PhaseRedistribute)
 
 	// --- Phase R3: distribute original packets so every worker resumes. ---
 	// Data nodes serve the segments of their (possibly just rebuilt) chunk.
@@ -429,13 +452,13 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			}
 			dstNode, err := topo.NodeOf(w)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if dstNode == node {
 				continue
 			}
 			if err := ep.Send(ctx, dstNode, tagPacket(w), chunkSegs[plan.SegmentOf[w]]); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -451,17 +474,17 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			srcNode := plan.DataNodes[j]
 			p, err := ep.Recv(ctx, srcNode, tagPacket(w))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			packet = p
 		}
 		sd, err := c.reassembleWorker(node, w, packet)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out[w] = sd
 	}
-	return out, nil
+	return out, pc.Stop(), nil
 }
 
 // reassembleWorker rebuilds a worker's state dict from its packet and the

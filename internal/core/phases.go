@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"eccheck/internal/obs"
+)
+
+// Phase names of the save round. Each node goroutine's wall time is
+// partitioned exclusively into these phases (see phaseClock), so a round's
+// phase durations sum to the round's wall time.
+const (
+	// PhaseSerialize is small-component serialization (the state-dict
+	// decomposition into metadata + tensor keys).
+	PhaseSerialize = "serialize"
+	// PhaseOffload is the DtoH packet copy (and local chunk staging
+	// memory work) — the only phase training stalls on.
+	PhaseOffload = "offload"
+	// PhaseEncode is Cauchy scalar-multiplication of packets.
+	PhaseEncode = "encode"
+	// PhaseXOR is XOR reduction of encoded contributions.
+	PhaseXOR = "xor"
+	// PhaseP2P is transport send/recv work and pipeline backpressure.
+	PhaseP2P = "p2p"
+	// PhaseBarrier is the residual wait for outstanding deliveries.
+	PhaseBarrier = "barrier"
+	// PhasePromote is staging writes plus the commit that promotes the
+	// staged checkpoint to its final keys.
+	PhasePromote = "promote"
+	// PhasePersist is the low-frequency remote persistence (step 4); it
+	// appears only on rounds that persist.
+	PhasePersist = "persist"
+)
+
+// SavePhases lists the save-round phases in pipeline order, for rendering
+// phase tables. PhasePersist is appended because it only occurs on
+// persisting rounds.
+func SavePhases() []string {
+	return []string{PhaseOffload, PhaseSerialize, PhaseEncode, PhaseXOR,
+		PhaseP2P, PhaseBarrier, PhasePromote, PhasePersist}
+}
+
+// Phase names of the recovery (Load) round.
+const (
+	// PhaseScan is the coordinator's host-memory availability assessment.
+	PhaseScan = "scan"
+	// PhaseFetch is reading the node's own surviving chunk segments.
+	PhaseFetch = "fetch"
+	// PhaseRebuild is the distributed decode/re-encode of missing chunks.
+	PhaseRebuild = "rebuild"
+	// PhaseSmallSync re-broadcasts small components to nodes that lost them.
+	PhaseSmallSync = "smallsync"
+	// PhaseRedistribute ships original packets back to their workers and
+	// reassembles state dicts.
+	PhaseRedistribute = "redistribute"
+)
+
+// LoadPhases lists the recovery phases in protocol order.
+func LoadPhases() []string {
+	return []string{PhaseScan, PhaseFetch, PhaseRebuild, PhaseSmallSync, PhaseRedistribute}
+}
+
+// phaseClock partitions one goroutine's timeline exclusively into named
+// phases: at any instant exactly one phase is charged, so the phase
+// durations sum to the clock's total span. It is not safe for concurrent
+// use — one clock per goroutine.
+type phaseClock struct {
+	phases map[string]time.Duration
+	cur    string
+	mark   time.Time
+}
+
+// newPhaseClock starts a clock charging the given phase.
+func newPhaseClock(phase string) *phaseClock {
+	return &phaseClock{
+		phases: make(map[string]time.Duration, 8),
+		cur:    phase,
+		mark:   time.Now(),
+	}
+}
+
+// Switch charges the time since the last boundary to the current phase and
+// starts charging the given one.
+func (p *phaseClock) Switch(phase string) {
+	if phase == p.cur {
+		return
+	}
+	now := time.Now()
+	p.phases[p.cur] += now.Sub(p.mark)
+	p.cur, p.mark = phase, now
+}
+
+// Stop charges the tail interval and freezes the clock, returning the
+// phase map.
+func (p *phaseClock) Stop() map[string]time.Duration {
+	if p.cur != "" {
+		now := time.Now()
+		p.phases[p.cur] += now.Sub(p.mark)
+		p.cur, p.mark = "", now
+	}
+	return p.phases
+}
+
+// Total sums all charged phases.
+func (p *phaseClock) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p.phases {
+		t += d
+	}
+	return t
+}
+
+// shiftPhase moves up to limit (of the amount available) from one phase to
+// another, keeping the partition's sum constant. Used to re-attribute XOR
+// work done by receiver goroutines out of the main goroutine's barrier
+// wait, which it overlaps.
+func shiftPhase(phases map[string]time.Duration, from, to string, amount time.Duration) {
+	if amount <= 0 {
+		return
+	}
+	if avail := phases[from]; amount > avail {
+		amount = avail
+	}
+	phases[from] -= amount
+	phases[to] += amount
+}
+
+// meanPhases averages per-node phase maps key-wise over all nodes (the
+// union of keys; absent keys count as zero). Because every node's map
+// partitions that node's wall time and the nodes run concurrently in
+// lock-step (each waits on the others' deliveries), the mean's sum tracks
+// the round's wall time closely.
+func meanPhases(perNode []map[string]time.Duration) map[string]time.Duration {
+	out := make(map[string]time.Duration, 8)
+	if len(perNode) == 0 {
+		return out
+	}
+	for _, m := range perNode {
+		for ph, d := range m {
+			out[ph] += d
+		}
+	}
+	for ph := range out {
+		out[ph] /= time.Duration(len(perNode))
+	}
+	return out
+}
+
+// observePhases records one node's phase breakdown into the registry as
+// <op>_phase_ns{phase,node} histogram series. Safe with a nil registry.
+func observePhases(reg *obs.Registry, op string, node int, phases map[string]time.Duration) {
+	if reg == nil {
+		return
+	}
+	nodeLabel := obs.L("node", strconv.Itoa(node))
+	for ph, d := range phases {
+		reg.Histogram(op+"_phase_ns", obs.L("phase", ph), nodeLabel).ObserveDuration(d)
+	}
+}

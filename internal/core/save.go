@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eccheck/internal/gf"
+	"eccheck/internal/obs"
 	"eccheck/internal/serialize"
 	"eccheck/internal/statedict"
 )
@@ -24,9 +26,12 @@ func tagDataP2P(chunk, seg int) string         { return fmt.Sprintf("pd/%d/%d", 
 // dicts is indexed by world rank; each node goroutine only touches its own
 // workers' dicts, so the call behaves like a true distributed protocol. On
 // success every node's host memory holds exactly its data or parity chunk
-// plus the broadcast small components.
+// plus the broadcast small components. The report carries a per-phase
+// breakdown of the round (see SaveReport.Phases).
 func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (*SaveReport, error) {
 	started := time.Now()
+	ctx, saveSpan := obs.StartSpan(ctx, c.cfg.Metrics, "save")
+	defer saveSpan.End()
 	world := c.cfg.Topo.World()
 	if len(dicts) != world {
 		return nil, fmt.Errorf("core: got %d state dicts, want world size %d", len(dicts), world)
@@ -63,20 +68,24 @@ func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (
 	errc := make(chan error, c.cfg.Topo.Nodes())
 	var wg sync.WaitGroup
 	smallTotal := make([]int, c.cfg.Topo.Nodes())
+	nodePhases := make([]map[string]time.Duration, c.cfg.Topo.Nodes())
+	sectionStart := time.Now()
 	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			small, err := c.nodeSave(ctx, node, version, packetBytes, dicts)
+			small, phases, err := c.nodeSave(ctx, node, version, packetBytes, dicts)
 			if err != nil {
 				errc <- fmt.Errorf("core: node %d save: %w", node, err)
 				cancel()
 				return
 			}
 			smallTotal[node] = small
+			nodePhases[node] = phases
 		}(node)
 	}
 	wg.Wait()
+	sectionWall := time.Since(sectionStart)
 	close(errc)
 	if err := <-errc; err != nil {
 		// Abort: drop the staged blobs so host memory holds exactly the
@@ -87,20 +96,43 @@ func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (
 	// Every node finished staging the new version; promote it. The commit
 	// is local host-memory work (no network), ordered so each node's
 	// manifest — the blob that announces the new version — lands last.
+	commitStart := time.Now()
 	if err := c.commitStaged(); err != nil {
 		c.discardStaged()
 		return nil, fmt.Errorf("core: commit v%d: %w", version, err)
 	}
+	commitTime := time.Since(commitStart)
 	c.version = version
+
+	for node, phases := range nodePhases {
+		observePhases(c.cfg.Metrics, "save", node, phases)
+	}
+	phases := meanPhases(nodePhases)
+	// The mean of the node partitions covers each node's own timeline, but
+	// the round lasts as long as its slowest node. The difference is
+	// synchronization skew — time faster nodes' finished chunks sat waiting
+	// for stragglers before commit — and belongs with the barrier phase, so
+	// the phase breakdown sums to the round's wall time.
+	var meanTotal time.Duration
+	for _, d := range phases {
+		meanTotal += d
+	}
+	if skew := sectionWall - meanTotal; skew > 0 {
+		phases[PhaseBarrier] += skew
+	}
+	phases[PhasePromote] += commitTime
 
 	report := &SaveReport{
 		Version:     version,
 		PacketBytes: packetBytes,
 		SmallBytes:  smallTotal[0],
+		Phases:      phases,
+		NodePhases:  nodePhases,
 	}
 
 	// Step 4: low-frequency remote persistence.
 	if c.remote != nil && c.cfg.RemotePersistEvery > 0 && version%c.cfg.RemotePersistEvery == 0 {
+		persistStart := time.Now()
 		for rank, sd := range dicts {
 			blob, err := serialize.Marshal(sd)
 			if err != nil {
@@ -124,8 +156,14 @@ func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (
 				}
 			}
 		}
+		phases[PhasePersist] += time.Since(persistStart)
 	}
 	report.Elapsed = time.Since(started)
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("save_rounds_total").Inc()
+		reg.Counter("save_small_bytes_total").Add(int64(report.SmallBytes))
+		reg.Histogram("save_round_ns").ObserveDuration(report.Elapsed)
+	}
 	return report, nil
 }
 
@@ -184,13 +222,17 @@ type reduceState struct {
 	remaining int
 }
 
-// nodeSave runs one node's side of the checkpointing round and returns the
-// broadcast small-component volume it observed. Every blob is written
-// under a staged key; the caller promotes the staging area only after all
-// nodes finish, so an aborted round never damages the committed
-// checkpoint. Every Send/Recv carries the configured deadline, so a peer
-// that crashes mid-round turns into a bounded error, not a hang.
-func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes int, dicts []*statedict.StateDict) (int, error) {
+// nodeSave runs one node's side of the checkpointing round. It returns the
+// broadcast small-component volume it observed and the node's phase
+// partition: the goroutine's wall time charged exclusively to the phases of
+// SavePhases, with receiver-side XOR work re-attributed from "barrier" to
+// "xor" (it overlaps the main goroutine's waits).
+//
+// Every blob is written under a staged key; the caller promotes the staging
+// area only after all nodes finish, so an aborted round never damages the
+// committed checkpoint. Every Send/Recv carries the configured deadline, so
+// a peer that crashes mid-round turns into a bounded error, not a hang.
+func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes int, dicts []*statedict.StateDict) (int, map[string]time.Duration, error) {
 	topo := c.cfg.Topo
 	plan := c.plan
 	g := topo.GPUsPerNode()
@@ -198,10 +240,11 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	span := world / c.cfg.K
 	bufSize := c.cfg.BufferSize
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
+	pc := newPhaseClock(PhaseSerialize)
 
 	ep, err := c.endpoint(node)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	// stage writes a blob into this node's staging area, checksummed.
 	stage := func(key string, blob []byte) error {
@@ -217,19 +260,22 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	packets := make(map[int][]byte, g)   // rank -> packet
 	smalls := make(map[int][2][]byte, g) // rank -> {metaBlob, keysBlob}
 	for _, w := range localWorkers {
+		pc.Switch(PhaseSerialize)
 		dec, err := dicts[w].Decompose()
 		if err != nil {
-			return 0, fmt.Errorf("rank %d decompose: %w", w, err)
+			return 0, nil, fmt.Errorf("rank %d decompose: %w", w, err)
 		}
+		pc.Switch(PhaseOffload)
 		pkt, err := buildPacket(dec, packetBytes)
 		if err != nil {
-			return 0, fmt.Errorf("rank %d: %w", w, err)
+			return 0, nil, fmt.Errorf("rank %d: %w", w, err)
 		}
 		packets[w] = pkt
 		smalls[w] = [2][]byte{dec.MetaBlob, dec.KeysBlob}
 	}
 
 	// --- Step 2: broadcast the small components; store everything. ---
+	pc.Switch(PhaseP2P)
 	for _, w := range localWorkers {
 		blobs := smalls[w]
 		for peer := 0; peer < topo.Nodes(); peer++ {
@@ -237,24 +283,24 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 				continue
 			}
 			if err := ep.Send(ctx, peer, tagSmallMeta(w), blobs[0]); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			if err := ep.Send(ctx, peer, tagSmallKeys(w), blobs[1]); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
 		if err := stage(keySmallMeta(w), blobs[0]); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if err := stage(keySmallKeys(w), blobs[1]); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	smallBytes := 0
 	for rank := 0; rank < world; rank++ {
 		srcNode, err := topo.NodeOf(rank)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if srcNode == node {
 			smallBytes += len(smalls[rank][0]) + len(smalls[rank][1])
@@ -262,22 +308,23 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		}
 		meta, err := ep.Recv(ctx, srcNode, tagSmallMeta(rank))
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		keys, err := ep.Recv(ctx, srcNode, tagSmallKeys(rank))
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		smallBytes += len(meta) + len(keys)
 		if err := stage(keySmallMeta(rank), meta); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if err := stage(keySmallKeys(rank), keys); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 
 	// --- Step 3: pipelined encode, XOR reduction, P2P placement. ---
+	pc.Switch(PhaseOffload)
 	myChunk := plan.ChunkOfNode[node]
 	chunkSegs := make([][]byte, span)
 	for s := range chunkSegs {
@@ -289,6 +336,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		accMu sync.Mutex
 		accs  = map[reduceKey]*reduceState{}
 	)
+	// recvXorNs accumulates XOR-reduce time spent on receiver goroutines;
+	// it overlaps the main goroutine's barrier wait and is re-attributed
+	// from "barrier" to "xor" at the end of the round.
+	var recvXorNs atomic.Int64
 	sliceBounds := func(b int) (int, int) {
 		lo := b * bufSize
 		hi := lo + bufSize
@@ -326,7 +377,16 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	}
 
 	// contribute XORs one contribution into the accumulator for (g, i, b).
-	contribute := func(k reduceKey, contribution []byte) {
+	// timeXor attributes the XOR to the receiver-side accumulator; the main
+	// goroutine passes false because its XOR time is already on the phase
+	// clock. Each contribution stream is sequential and finalize fires
+	// synchronously inside the call, so parity P2P sends for one (group,
+	// parity) stay in buffer order.
+	contribute := func(k reduceKey, contribution []byte, timeXor bool) {
+		var xorStart time.Time
+		if timeXor {
+			xorStart = time.Now()
+		}
 		accMu.Lock()
 		st, ok := accs[k]
 		if !ok {
@@ -344,6 +404,9 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			delete(accs, k)
 		}
 		accMu.Unlock()
+		if timeXor {
+			recvXorNs.Add(time.Since(xorStart).Nanoseconds())
+		}
 		if done {
 			finalize(k, st.acc)
 		}
@@ -354,7 +417,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	for _, r := range plan.Reductions {
 		tNode, err := topo.NodeOf(r.Target)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if tNode != node {
 			continue
@@ -366,7 +429,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		for _, w := range r.Workers {
 			srcNode, err := topo.NodeOf(w)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			if srcNode != node {
 				remoteBySrc[srcNode]++
@@ -381,7 +444,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 							fail(err)
 							return
 						}
-						contribute(reduceKey{group: r.group, parity: r.parity, buf: b}, payload)
+						contribute(reduceKey{group: r.group, parity: r.parity, buf: b}, payload, true)
 					}
 				}
 			}(reduceKeyBase{group: r.Group, parity: r.ParityIndex}, srcNode, count)
@@ -398,7 +461,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			}
 			tNode, err := topo.NodeOf(r.Target)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			if tNode == node {
 				continue // finalize writes locally
@@ -427,7 +490,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			}
 			srcNode, err := topo.NodeOf(w)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			if srcNode == node {
 				continue
@@ -452,11 +515,13 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	// Sender/compute loop: stream buffers through the pipeline. A bounded
 	// channel of encoded contributions decouples the encoding stage from
 	// the communication stage, as in the paper's pipelined execution.
+	// Contributions to reductions targeted at this node are reduced inline
+	// on this goroutine (charged to the "xor" phase); remote contributions
+	// and data packets flow through the send queue.
 	type outMsg struct {
 		dstNode int
 		tag     string
 		payload []byte
-		local   *reduceKey // non-nil: local contribution instead of a send
 	}
 	sendQueue := make(chan outMsg, DefaultEncodingBuffers)
 	var sendWG sync.WaitGroup
@@ -464,10 +529,6 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	go func() {
 		defer sendWG.Done()
 		for msg := range sendQueue {
-			if msg.local != nil {
-				contribute(*msg.local, msg.payload)
-				continue
-			}
 			if err := ep.Send(ctx, msg.dstNode, msg.tag, msg.payload); err != nil {
 				fail(err)
 				return
@@ -493,6 +554,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 					if err != nil {
 						return err
 					}
+					pc.Switch(PhaseEncode)
 					contribution := make([]byte, hi-lo)
 					if err := c.scalarMulPooled(coef, contribution, packets[w][lo:hi]); err != nil {
 						return err
@@ -503,8 +565,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 					}
 					k := reduceKey{group: r.Group, parity: r.ParityIndex, buf: b}
 					if tNode == node {
-						sendQueue <- outMsg{local: &k, payload: contribution}
+						pc.Switch(PhaseXOR)
+						contribute(k, contribution, false)
 					} else {
+						pc.Switch(PhaseP2P)
 						sendQueue <- outMsg{dstNode: tNode, tag: tagXOR(r.Group, r.ParityIndex), payload: contribution}
 					}
 				}
@@ -516,22 +580,26 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 				dstNode := plan.DataNodes[j]
 				if dstNode == node {
 					if myChunk == j {
+						pc.Switch(PhaseOffload)
 						copy(chunkSegs[seg][lo:hi], packets[w][lo:hi])
 					}
 					continue
 				}
+				pc.Switch(PhaseP2P)
 				sendQueue <- outMsg{dstNode: dstNode, tag: tagDataP2P(j, seg), payload: packets[w][lo:hi]}
 			}
 		}
 		return nil
 	}()
 	close(sendQueue)
+	pc.Switch(PhaseP2P)
 	sendWG.Wait()
 	if encodeErr != nil {
-		return 0, encodeErr
+		return 0, nil, encodeErr
 	}
 
 	// Wait for the chunk to be complete.
+	pc.Switch(PhaseBarrier)
 	done := make(chan struct{})
 	go func() {
 		deliveries.Wait()
@@ -540,21 +608,22 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	select {
 	case <-done:
 	case err := <-errOnce:
-		return 0, err
+		return 0, nil, err
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return 0, nil, ctx.Err()
 	}
 	select {
 	case err := <-errOnce:
-		return 0, err
+		return 0, nil, err
 	default:
 	}
 
 	// Cache this node's own packets for incremental saves.
+	pc.Switch(PhasePromote)
 	if c.cfg.IncrementalCache {
 		for _, w := range localWorkers {
 			if err := stage(keyOwnPacket(w), packets[w]); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
 	}
@@ -562,13 +631,15 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	// Stage the chunk and manifest; the caller commits after the barrier.
 	for s := range chunkSegs {
 		if err := stage(keySegment(myChunk, s), chunkSegs[s]); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	if err := stage(keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return smallBytes, nil
+	phases := pc.Stop()
+	shiftPhase(phases, PhaseBarrier, PhaseXOR, time.Duration(recvXorNs.Load()))
+	return smallBytes, phases, nil
 }
 
 // reduceKeyBase is reduceKey without the buffer index, used by receiver

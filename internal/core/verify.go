@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"eccheck/internal/cluster"
 )
@@ -23,6 +24,7 @@ type VerifyReport struct {
 // silent host-memory corruption before it is needed for a recovery. All
 // nodes must be alive and hold their chunks.
 func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
+	started := time.Now()
 	topo := c.cfg.Topo
 	span := topo.World() / c.cfg.K
 
@@ -118,6 +120,12 @@ func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
 		if !segOK {
 			report.CorruptSegments = append(report.CorruptSegments, seg)
 		}
+	}
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("verify_runs_total").Inc()
+		reg.Counter("verify_segments_total").Add(int64(report.SegmentsChecked))
+		reg.Counter("verify_corrupt_segments_total").Add(int64(len(report.CorruptSegments)))
+		reg.Histogram("verify_ns").ObserveDuration(time.Since(started))
 	}
 	return report, nil
 }

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	// Name is the metric name.
+	Name string `json:"name"`
+	// Labels is the canonical (key-sorted) label set.
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the count at snapshot time.
+	Value int64 `json:"value"`
+}
+
+// HistogramPoint is one histogram in a snapshot: the streaming aggregates
+// plus the standard quantile estimates.
+type HistogramPoint struct {
+	// Name is the metric name.
+	Name string `json:"name"`
+	// Labels is the canonical (key-sorted) label set.
+	Labels []Label `json:"labels,omitempty"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observations.
+	Sum int64 `json:"sum"`
+	// Min and Max are the observed extremes.
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// P50, P95 and P99 are log-bucket quantile estimates.
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time, deterministic dump of a registry: counters
+// then histograms, each sorted by name and canonical labels. It renders as
+// Prometheus-style exposition text (WriteText) or JSON (WriteJSON).
+type Snapshot struct {
+	// Counters holds every counter, sorted.
+	Counters []CounterPoint `json:"counters"`
+	// Histograms holds every histogram, sorted.
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		counters = append(counters, e)
+	}
+	hists := make([]*histEntry, 0, len(r.hists))
+	for _, e := range r.hists {
+		hists = append(hists, e)
+	}
+	r.mu.Unlock()
+
+	for _, e := range counters {
+		s.Counters = append(s.Counters, CounterPoint{
+			Name:   e.name,
+			Labels: e.labels,
+			Value:  e.c.Value(),
+		})
+	}
+	for _, e := range hists {
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name:   e.name,
+			Labels: e.labels,
+			Count:  e.h.Count(),
+			Sum:    e.h.Sum(),
+			Min:    e.h.Min(),
+			Max:    e.h.Max(),
+			P50:    e.h.Quantile(0.50),
+			P95:    e.h.Quantile(0.95),
+			P99:    e.h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return pointLess(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return pointLess(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+	return s
+}
+
+func pointLess(an string, al []Label, bn string, bl []Label) bool {
+	if an != bn {
+		return an < bn
+	}
+	return metricID(an, al) < metricID(bn, bl)
+}
+
+// Counter looks a counter value up in the snapshot by name and labels
+// (order-insensitive). The second return reports whether it was present.
+func (s Snapshot) Counter(name string, labels ...Label) (int64, bool) {
+	id := metricID(name, canonicalLabels(labels))
+	for _, c := range s.Counters {
+		if metricID(c.Name, c.Labels) == id {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram looks a histogram point up in the snapshot by name and labels
+// (order-insensitive).
+func (s Snapshot) Histogram(name string, labels ...Label) (HistogramPoint, bool) {
+	id := metricID(name, canonicalLabels(labels))
+	for _, h := range s.Histograms {
+		if metricID(h.Name, h.Labels) == id {
+			return h, true
+		}
+	}
+	return HistogramPoint{}, false
+}
+
+// labelString renders a label set as {k="v",...}, with an optional extra
+// label appended ("" key skips it).
+func labelString(labels []Label, extraKey, extraVal string) string {
+	all := labels
+	if extraKey != "" {
+		all = make([]Label, 0, len(labels)+1)
+		all = append(all, labels...)
+		all = append(all, L(extraKey, extraVal))
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	out := "{"
+	for i, l := range all {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return out + "}"
+}
+
+// WriteText renders the snapshot in Prometheus exposition style: counters
+// as `# TYPE <name> counter` families, histograms as summaries (quantile
+// series plus _sum and _count), extended with _min and _max series. The
+// output is deterministic for a given snapshot, so it is diffable and
+// golden-testable.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lastType := ""
+	for _, c := range s.Counters {
+		if c.Name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.Name); err != nil {
+				return err
+			}
+			lastType = c.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, labelString(c.Labels, "", ""), c.Value); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, h := range s.Histograms {
+		if h.Name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", h.Name); err != nil {
+				return err
+			}
+			lastType = h.Name
+		}
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", h.Name, labelString(h.Labels, "quantile", q.label), q.v); err != nil {
+				return err
+			}
+		}
+		for _, series := range []struct {
+			suffix string
+			v      int64
+		}{{"_sum", h.Sum}, {"_count", h.Count}, {"_min", h.Min}, {"_max", h.Max}} {
+			if _, err := fmt.Fprintf(w, "%s%s%s %d\n", h.Name, series.suffix, labelString(h.Labels, "", ""), series.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON, the machine-readable
+// dump format (eccheck-bench writes one next to its results).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents,
+// representative of what a real save round produces.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("chaos_dropped_total").Add(3)
+	reg.Counter("save_rounds_total").Inc()
+	reg.Counter("transport_send_bytes_total", L("node", "0"), L("peer", "1")).Add(4096)
+	reg.Counter("transport_send_bytes_total", L("node", "1"), L("peer", "0")).Add(8192)
+	reg.Counter("transport_sends_total", L("node", "0"), L("peer", "1")).Add(2)
+
+	enc := reg.Histogram("save_phase_ns", L("phase", "encode"), L("node", "0"))
+	for _, v := range []int64{100, 200, 400, 800} {
+		enc.Observe(v)
+	}
+	xor := reg.Histogram("save_phase_ns", L("phase", "xor"), L("node", "0"))
+	xor.Observe(50)
+	reg.Histogram("remote_transfer_ns").Observe(1500)
+	return reg
+}
+
+// TestTextGolden is the exposition-format contract: the rendered text for
+// a fixed registry must match the golden file byte for byte. Regenerate
+// with `go test ./internal/obs -run TextGolden -update`.
+func TestTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "snapshot.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("rendered text differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTextRoundTrip re-parses every sample line of the rendered text and
+// checks the values against the snapshot, so the renderer cannot silently
+// drop or corrupt a series.
+func TestTextRoundTrip(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	values := map[string]string{}
+	samples := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		values[line[:sp]] = line[sp+1:]
+		samples++
+	}
+	wantSamples := len(snap.Counters) + 7*len(snap.Histograms)
+	if samples != wantSamples {
+		t.Fatalf("rendered %d samples, want %d", samples, wantSamples)
+	}
+	if got := values[`transport_send_bytes_total{node="0",peer="1"}`]; got != "4096" {
+		t.Fatalf("counter sample = %q, want 4096", got)
+	}
+	if got := values[`save_phase_ns_count{node="0",phase="encode"}`]; got != "4" {
+		t.Fatalf("histogram count sample = %q, want 4", got)
+	}
+	if got := values[`save_phase_ns_sum{node="0",phase="encode"}`]; got != "1500" {
+		t.Fatalf("histogram sum sample = %q, want 1500", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal rendered JSON: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("JSON round trip changed the snapshot:\n got %+v\nwant %+v", back, snap)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("weird_total", L("k", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `weird_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label escaping wrong: %s", buf.String())
+	}
+}

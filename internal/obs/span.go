@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// spanCtxKey carries the active span through a context.
+type spanCtxKey struct{}
+
+// Span is a wall-clock region of execution. Spans nest through the
+// context: a span started under another span records its duration under
+// the slash-joined path of its ancestors ("save/encode"), so the span
+// histogram doubles as a phase-duration breakdown. A nil *Span is safe to
+// End.
+type Span struct {
+	reg    *Registry
+	path   string
+	labels []Label
+	start  time.Time
+}
+
+// StartSpan opens a span named name under reg and returns a context
+// carrying it; child spans started from that context extend the path. When
+// reg is nil the span inherits the parent span's registry (if any), so
+// only the outermost call site needs to hold the registry.
+func StartSpan(ctx context.Context, reg *Registry, name string, labels ...Label) (context.Context, *Span) {
+	path := name
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		path = parent.path + "/" + name
+		if reg == nil {
+			reg = parent.reg
+		}
+	}
+	s := &Span{reg: reg, path: path, labels: labels, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// ActiveSpan returns the span the context carries, or nil.
+func ActiveSpan(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Path returns the span's slash-joined name ("" on a nil span).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End closes the span, records its duration into the registry's "span_ns"
+// histogram under the label span="<path>" (plus the span's own labels),
+// and returns the duration. Ending a nil span returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.reg != nil {
+		labels := make([]Label, 0, len(s.labels)+1)
+		labels = append(labels, L("span", s.path))
+		labels = append(labels, s.labels...)
+		s.reg.Histogram("span_ns", labels...).ObserveDuration(d)
+	}
+	return d
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	reg := NewRegistry()
+	ctx := context.Background()
+
+	ctx, save := StartSpan(ctx, reg, "save")
+	if save.Path() != "save" {
+		t.Fatalf("root span path = %q", save.Path())
+	}
+	if ActiveSpan(ctx) != save {
+		t.Fatalf("context does not carry the root span")
+	}
+
+	// A child started with a nil registry inherits the parent's.
+	encCtx, enc := StartSpan(ctx, nil, "encode")
+	if enc.Path() != "save/encode" {
+		t.Fatalf("child span path = %q, want save/encode", enc.Path())
+	}
+	_, inner := StartSpan(encCtx, nil, "xor")
+	if inner.Path() != "save/encode/xor" {
+		t.Fatalf("grandchild span path = %q", inner.Path())
+	}
+	time.Sleep(time.Millisecond)
+	if d := inner.End(); d <= 0 {
+		t.Fatalf("grandchild duration = %v", d)
+	}
+	enc.End()
+	save.End()
+
+	// Siblings from the same parent context share the parent path.
+	_, sib := StartSpan(ctx, nil, "p2p")
+	if sib.Path() != "save/p2p" {
+		t.Fatalf("sibling span path = %q", sib.Path())
+	}
+	sib.End()
+
+	snap := reg.Snapshot()
+	for _, path := range []string{"save", "save/encode", "save/encode/xor", "save/p2p"} {
+		hp, ok := snap.Histogram("span_ns", L("span", path))
+		if !ok {
+			t.Fatalf("no span_ns series for %q", path)
+		}
+		if hp.Count != 1 {
+			t.Fatalf("span %q count = %d, want 1", path, hp.Count)
+		}
+		if path == "save/encode/xor" && hp.Min < time.Millisecond.Nanoseconds() {
+			t.Fatalf("span %q recorded %dns, slept 1ms", path, hp.Min)
+		}
+	}
+}
+
+func TestSpanLabels(t *testing.T) {
+	reg := NewRegistry()
+	_, sp := StartSpan(context.Background(), reg, "load", L("node", "3"))
+	sp.End()
+	if _, ok := reg.Snapshot().Histogram("span_ns", L("span", "load"), L("node", "3")); !ok {
+		t.Fatalf("span labels were not attached to the histogram")
+	}
+}

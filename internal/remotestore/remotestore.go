@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"eccheck/internal/obs"
 	"eccheck/internal/simnet"
 )
 
@@ -24,6 +25,32 @@ type Store struct {
 	rate    float64 // aggregate bytes/second
 	objects map[string][]byte
 	uplink  *simnet.Resource
+
+	// Operation counters and modeled-transfer histogram; nil (no-op)
+	// until SetMetrics installs a registry.
+	mPuts       *obs.Counter
+	mGets       *obs.Counter
+	mPutBytes   *obs.Counter
+	mGetBytes   *obs.Counter
+	mTransferNs *obs.Histogram
+}
+
+// SetMetrics installs remote-tier instrumentation: remote_puts_total,
+// remote_gets_total, remote_put_bytes_total, remote_get_bytes_total, and
+// remote_transfer_ns (the modeled occupancy of each transfer on the shared
+// uplink). A nil registry disables recording.
+func (s *Store) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		s.mPuts, s.mGets, s.mPutBytes, s.mGetBytes, s.mTransferNs = nil, nil, nil, nil, nil
+		return
+	}
+	s.mPuts = reg.Counter("remote_puts_total")
+	s.mGets = reg.Counter("remote_gets_total")
+	s.mPutBytes = reg.Counter("remote_put_bytes_total")
+	s.mGetBytes = reg.Counter("remote_get_bytes_total")
+	s.mTransferNs = reg.Histogram("remote_transfer_ns")
 }
 
 // New constructs a store with the given aggregate bandwidth in
@@ -53,6 +80,9 @@ func (s *Store) Put(ready time.Duration, key string, data []byte) (simnet.Span, 
 		return simnet.Span{}, fmt.Errorf("remotestore: put %q: %w", key, err)
 	}
 	s.objects[key] = append([]byte(nil), data...)
+	s.mPuts.Inc()
+	s.mPutBytes.Add(int64(len(data)))
+	s.mTransferNs.ObserveDuration(span.End - span.Start)
 	return span, nil
 }
 
@@ -68,6 +98,9 @@ func (s *Store) Get(ready time.Duration, key string) ([]byte, simnet.Span, error
 	if err != nil {
 		return nil, simnet.Span{}, fmt.Errorf("remotestore: get %q: %w", key, err)
 	}
+	s.mGets.Inc()
+	s.mGetBytes.Add(int64(len(data)))
+	s.mTransferNs.ObserveDuration(span.End - span.Start)
 	return append([]byte(nil), data...), span, nil
 }
 

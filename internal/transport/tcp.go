@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"eccheck/internal/obs"
 )
 
 // TCP transport: every node runs a listener; peers dial lazily and keep one
@@ -33,9 +36,32 @@ type TCPEndpoint struct {
 	accepted map[net.Conn]bool
 	boxes    map[mailboxKey]chan []byte
 
+	// Dial instrumentation; nil counters are no-ops, so the fields stay
+	// nil until SetMetrics installs a registry.
+	dials        *obs.Counter
+	dialRetries  *obs.Counter
+	dialFailures *obs.Counter
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closed    chan struct{}
+}
+
+// SetMetrics installs dial-path counters for the endpoint:
+// transport_dials_total{node}, transport_dial_retries_total{node} (backoff
+// rounds while a peer's listener is not up yet) and
+// transport_dial_failures_total{node} (retry budget exhausted).
+func (e *TCPEndpoint) SetMetrics(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reg == nil {
+		e.dials, e.dialRetries, e.dialFailures = nil, nil, nil
+		return
+	}
+	nodeL := obs.L("node", strconv.Itoa(e.rank))
+	e.dials = reg.Counter("transport_dials_total", nodeL)
+	e.dialRetries = reg.Counter("transport_dial_retries_total", nodeL)
+	e.dialFailures = reg.Counter("transport_dial_failures_total", nodeL)
 }
 
 // NewTCPEndpoint starts a listener for the node. peers[i] must hold node
@@ -188,6 +214,10 @@ func (e *TCPEndpoint) slot(to int) (*tcpConn, string, error) {
 // listener is not up yet.
 func (e *TCPEndpoint) dialRetry(ctx context.Context, to int, addr string) (net.Conn, error) {
 	var d net.Dialer
+	e.mu.Lock()
+	dials, retries, failures := e.dials, e.dialRetries, e.dialFailures
+	e.mu.Unlock()
+	dials.Inc()
 	deadline := time.Now().Add(dialRetryFor)
 	backoff := dialBackoffMin
 	for {
@@ -196,16 +226,20 @@ func (e *TCPEndpoint) dialRetry(ctx context.Context, to int, addr string) (net.C
 			return c, nil
 		}
 		if time.Now().After(deadline) {
+			failures.Inc()
 			return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, addr, err)
 		}
+		retries.Inc()
 		timer := time.NewTimer(backoff)
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
 			timer.Stop()
+			failures.Inc()
 			return nil, fmt.Errorf("transport: dial peer %d at %s: %w", to, addr, ctx.Err())
 		case <-e.closed:
 			timer.Stop()
+			failures.Inc()
 			return nil, fmt.Errorf("transport: dial peer %d: endpoint closed", to)
 		}
 		backoff *= 2
@@ -331,6 +365,13 @@ func NewTCPLoopback(size int) (Network, error) {
 		ep.SetPeers(addrs)
 	}
 	return &tcpNetwork{eps: eps}, nil
+}
+
+// SetMetrics forwards the registry to every endpoint's dial counters.
+func (n *tcpNetwork) SetMetrics(reg *obs.Registry) {
+	for _, ep := range n.eps {
+		ep.SetMetrics(reg)
+	}
 }
 
 func (n *tcpNetwork) Size() int { return len(n.eps) }

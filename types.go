@@ -2,8 +2,10 @@ package eccheck
 
 import (
 	"eccheck/internal/chaos"
+	"eccheck/internal/core"
 	"eccheck/internal/erasure"
 	"eccheck/internal/model"
+	"eccheck/internal/obs"
 	"eccheck/internal/parallel"
 	"eccheck/internal/statedict"
 	"eccheck/internal/tensor"
@@ -118,3 +120,24 @@ type Codec = erasure.Code
 // NewCodec constructs a (k, m) Cauchy Reed-Solomon code: k data chunks,
 // m parity chunks, any k of k+m reconstruct.
 func NewCodec(k, m int) (*Codec, error) { return erasure.New(k, m) }
+
+// Snapshot is a point-in-time copy of all metrics a System has recorded.
+// Render it with WriteText (Prometheus exposition format) or WriteJSON, or
+// query single series with the Counter and Histogram lookup methods.
+type Snapshot = obs.Snapshot
+
+// MetricLabel is one key/value dimension of a metric series.
+type MetricLabel = obs.Label
+
+// Label constructs a MetricLabel for Snapshot lookups, e.g.
+// snap.Histogram("save_phase_ns", Label("phase", "encode"), Label("node", "0")).
+var Label = obs.L
+
+// SavePhases lists the save-round phase names in pipeline order: offload,
+// serialize, encode, xor, p2p, barrier, promote, persist. Use it to render
+// SaveReport.Phases as a stable-order table.
+func SavePhases() []string { return core.SavePhases() }
+
+// LoadPhases lists the recovery phase names in protocol order: scan,
+// fetch, rebuild, smallsync, redistribute.
+func LoadPhases() []string { return core.LoadPhases() }
