@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke doclint metrics-demo
+.PHONY: check fmt vet build test race smoke doclint metrics-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
-check: vet build test race smoke doclint
+check: fmt vet build test race smoke doclint
+
+# Formatting is part of the gate: fail loudly with the offending files
+# rather than letting gofmt drift accumulate.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -11,15 +17,19 @@ vet:
 build:
 	$(GO) build ./...
 
+# TESTFLAGS lets CI pass -short, keeping full-size stress tests and 64 MB
+# benchmarks out of the PR gate while the weekly benchmark job runs them.
+TESTFLAGS ?=
+
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 # The concurrency-sensitive packages under the race detector. internal/core
 # runs the full save/load protocol across node goroutines and internal/obs
 # is the lock-free metrics layer they all record into, so both are part of
 # the gate despite the longer runtime.
 race:
-	$(GO) test -race ./internal/transport ./internal/cluster ./internal/chaos ./internal/obs ./internal/core
+	$(GO) test -race $(TESTFLAGS) ./internal/transport ./internal/cluster ./internal/chaos ./internal/obs ./internal/core ./internal/bufpool ./internal/ecpool
 
 # Seeded chaos smoke test: replication head-to-head, a mid-save kill, and
 # a corruption-as-erasure recovery, all deterministic.

@@ -136,6 +136,9 @@ func BenchmarkFig15FaultTolerance(b *testing.B) {
 }
 
 func BenchmarkAblations(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size ablation sweep; run without -short")
+	}
 	var pipelineGain float64
 	for i := 0; i < b.N; i++ {
 		res, err := harness.Ablations(nil)
@@ -169,6 +172,9 @@ func BenchmarkCommVolume(b *testing.B) {
 // BenchmarkFunctionalSave measures the real distributed save path
 // (encode + XOR reduce + P2P over the in-process transport) end to end.
 func BenchmarkFunctionalSave(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size distributed save; run without -short")
+	}
 	sys, err := eccheck.Initialize(eccheck.Config{
 		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4, K: 2, M: 2,
 		DisableRemote: true, BufferSize: 1 << 20,
@@ -201,6 +207,9 @@ func BenchmarkFunctionalSave(b *testing.B) {
 // BenchmarkFunctionalRecovery measures the real distributed decode path
 // after the worst recoverable failure (both data nodes).
 func BenchmarkFunctionalRecovery(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size distributed recovery; run without -short")
+	}
 	sys, err := eccheck.Initialize(eccheck.Config{
 		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4, K: 2, M: 2,
 		DisableRemote: true, BufferSize: 1 << 20,

@@ -1,0 +1,258 @@
+package main
+
+// Steady-state performance measurement: the numbers CI tracks across PRs.
+//
+// runBenchOut measures the functional hot paths with the same methodology
+// every time so successive BENCH_*.json dumps are comparable:
+//
+//   - save_round: steady-state distributed save rounds on a small in-process
+//     cluster, reporting throughput alongside allocs/op and B/op measured
+//     with runtime.ReadMemStats deltas (runtime.GC first, so only live
+//     steady-state allocation is counted);
+//   - encode: raw pooled Cauchy Reed-Solomon encode bandwidth with the same
+//     alloc accounting;
+//   - xor_kernel: the word-wise XOR kernel by itself.
+//
+// The dump is machine-readable JSON; EXPERIMENTS.md describes how the
+// committed BENCH_*.json snapshots are produced and compared.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eccheck"
+	"eccheck/internal/ecpool"
+	"eccheck/internal/erasure"
+	"eccheck/internal/gf"
+)
+
+// benchEnv identifies the machine the numbers were taken on.
+type benchEnv struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// saveRoundResult is the steady-state save-round measurement.
+type saveRoundResult struct {
+	Rounds        int     `json:"rounds"`
+	Nodes         int     `json:"nodes"`
+	K             int     `json:"k"`
+	M             int     `json:"m"`
+	BufferBytes   int     `json:"buffer_bytes"`
+	PayloadBytes  int64   `json:"payload_bytes_per_round"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	MBPerS        float64 `json:"mb_per_s"`
+	AllocsPerOp   uint64  `json:"allocs_per_op"`
+	AllocBytesPer uint64  `json:"alloc_bytes_per_op"`
+}
+
+// encodeResult is one pooled-encode measurement row.
+type encodeResult struct {
+	K             int     `json:"k"`
+	M             int     `json:"m"`
+	Threads       int     `json:"threads"`
+	ChunkBytes    int     `json:"chunk_bytes"`
+	XORs          int     `json:"xors"`
+	GBPerS        float64 `json:"gb_per_s"`
+	AllocsPerOp   uint64  `json:"allocs_per_op"`
+	AllocBytesPer uint64  `json:"alloc_bytes_per_op"`
+}
+
+// xorResult is the raw XOR kernel measurement.
+type xorResult struct {
+	SizeBytes int     `json:"size_bytes"`
+	GBPerS    float64 `json:"gb_per_s"`
+}
+
+// benchDump is the full machine-readable snapshot.
+type benchDump struct {
+	Schema    string          `json:"schema"`
+	Env       benchEnv        `json:"env"`
+	SaveRound saveRoundResult `json:"save_round"`
+	Encode    []encodeResult  `json:"encode"`
+	XORKernel xorResult       `json:"xor_kernel"`
+}
+
+// measureAllocs runs fn n times and returns (elapsed, allocs/op, bytes/op).
+// A GC runs first so the deltas reflect steady-state allocation only.
+func measureAllocs(n int, fn func() error) (time.Duration, uint64, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, (m1.Mallocs - m0.Mallocs) / uint64(n), (m1.TotalAlloc - m0.TotalAlloc) / uint64(n), nil
+}
+
+// benchSaveRound measures steady-state distributed save rounds.
+func benchSaveRound(rounds int) (saveRoundResult, error) {
+	const (
+		nodes, gpus = 4, 2
+		k, m        = 2, 2
+		bufferBytes = 256 << 10
+	)
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: nodes, GPUsPerNode: gpus, TPDegree: 2, PPStages: 4,
+		K: k, M: m, BufferSize: bufferBytes, DisableRemote: true,
+	})
+	if err != nil {
+		return saveRoundResult{}, err
+	}
+	defer sys.Close()
+
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 7
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		return saveRoundResult{}, err
+	}
+	var payload int64
+	for _, sd := range dicts {
+		payload += int64(sd.TensorBytes())
+	}
+	ctx := context.Background()
+	// Warm up: the first rounds populate buffer pools, mailboxes and metric
+	// instruments; steady state is what training observes every interval.
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Save(ctx, dicts); err != nil {
+			return saveRoundResult{}, err
+		}
+	}
+	elapsed, allocs, bytes, err := measureAllocs(rounds, func() error {
+		_, err := sys.Save(ctx, dicts)
+		return err
+	})
+	if err != nil {
+		return saveRoundResult{}, err
+	}
+	return saveRoundResult{
+		Rounds:        rounds,
+		Nodes:         nodes,
+		K:             k,
+		M:             m,
+		BufferBytes:   bufferBytes,
+		PayloadBytes:  payload,
+		NsPerOp:       elapsed.Nanoseconds() / int64(rounds),
+		MBPerS:        float64(payload) * float64(rounds) / elapsed.Seconds() / 1e6,
+		AllocsPerOp:   allocs,
+		AllocBytesPer: bytes,
+	}, nil
+}
+
+// benchEncode measures pooled encode bandwidth for one configuration.
+func benchEncode(k, m, threads, size, iters int) (encodeResult, error) {
+	code, err := erasure.New(k, m)
+	if err != nil {
+		return encodeResult{}, err
+	}
+	chunk := code.ChunkAlign(size)
+	data := make([][]byte, k)
+	parity := make([][]byte, m)
+	for i := range data {
+		data[i] = make([]byte, chunk)
+		for j := 0; j < chunk; j += 4096 {
+			data[i][j] = byte(i + j)
+		}
+	}
+	for i := range parity {
+		parity[i] = make([]byte, chunk)
+	}
+	pool := ecpool.NewPool(threads)
+	defer pool.Close()
+	if err := pool.Encode(code, data, parity); err != nil {
+		return encodeResult{}, err
+	}
+	elapsed, allocs, bytes, err := measureAllocs(iters, func() error {
+		return pool.Encode(code, data, parity)
+	})
+	if err != nil {
+		return encodeResult{}, err
+	}
+	return encodeResult{
+		K:             k,
+		M:             m,
+		Threads:       threads,
+		ChunkBytes:    chunk,
+		XORs:          code.EncodeXORCount(),
+		GBPerS:        float64(iters) * float64(k) * float64(chunk) / elapsed.Seconds() / 1e9,
+		AllocsPerOp:   allocs,
+		AllocBytesPer: bytes,
+	}, nil
+}
+
+// benchXOR measures the raw gf.XORSlice kernel.
+func benchXOR(size, iters int) (xorResult, error) {
+	dst := make([]byte, size)
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := gf.XORSlice(dst, src); err != nil {
+			return xorResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return xorResult{
+		SizeBytes: size,
+		GBPerS:    float64(iters) * float64(size) / elapsed.Seconds() / 1e9,
+	}, nil
+}
+
+// runBenchOut produces the machine-readable performance snapshot.
+func runBenchOut(path string) error {
+	dump := benchDump{
+		Schema: "eccheck-bench/v1",
+		Env: benchEnv{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+	}
+	var err error
+	if dump.SaveRound, err = benchSaveRound(10); err != nil {
+		return fmt.Errorf("save round: %w", err)
+	}
+	for _, cfg := range [][2]int{{2, 2}, {8, 4}} {
+		for _, threads := range []int{1, runtime.GOMAXPROCS(0)} {
+			res, err := benchEncode(cfg[0], cfg[1], threads, 8<<20, 5)
+			if err != nil {
+				return fmt.Errorf("encode (%d,%d)x%d: %w", cfg[0], cfg[1], threads, err)
+			}
+			dump.Encode = append(dump.Encode, res)
+			if runtime.GOMAXPROCS(0) == 1 {
+				break // the two thread counts coincide
+			}
+		}
+	}
+	if dump.XORKernel, err = benchXOR(16<<20, 50); err != nil {
+		return fmt.Errorf("xor kernel: %w", err)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -9,6 +9,7 @@
 //	eccheck-bench fig10 fig13
 //	eccheck-bench -list
 //	eccheck-bench -metrics-out metrics.json fig11
+//	eccheck-bench -bench-out BENCH.json
 //
 // -metrics-out additionally runs one fully instrumented functional
 // checkpoint round (save, integrity verification, failure, recovery) on a
@@ -153,6 +154,7 @@ func dumpMetrics(path string) error {
 func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	metricsOut := flag.String("metrics-out", "", "run an instrumented functional round and write its metric snapshot as JSON to this file")
+	benchOut := flag.String("bench-out", "", "measure steady-state save rounds, encode bandwidth and the XOR kernel (throughput, allocs/op, B/op) and write the JSON snapshot to this file")
 	flag.Parse()
 
 	exps := experiments()
@@ -164,7 +166,7 @@ func run() int {
 	}
 
 	selected := flag.Args()
-	if len(selected) == 0 && *metricsOut == "" {
+	if len(selected) == 0 && *metricsOut == "" && *benchOut == "" {
 		for _, e := range exps {
 			selected = append(selected, e.name)
 		}
@@ -197,6 +199,14 @@ func run() int {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+		}
+	}
+	if *benchOut != "" {
+		if err := runBenchOut(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench dump: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote bench snapshot to %s\n", *benchOut)
 		}
 	}
 	if failed {

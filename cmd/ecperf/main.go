@@ -1,35 +1,81 @@
 // Command ecperf measures the raw Cauchy Reed-Solomon coding throughput of
-// this machine: encoding and reconstruction bandwidth across (k, m)
-// configurations and thread-pool widths, the numbers that size ECCheck's
-// EncodeRate parameter.
+// this machine: encoding bandwidth across (k, m) configurations and
+// thread-pool widths, the numbers that size ECCheck's EncodeRate parameter.
+// Alongside throughput it reports steady-state allocation per encode
+// (allocs/op and B/op from runtime.MemStats deltas), the signal the
+// zero-allocation hot path is gated on.
 //
 // Usage:
 //
-//	ecperf [-size 67108864] [-iters 5]
+//	ecperf [-size 67108864] [-iters 5] [-json out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"eccheck/internal/ecpool"
 	"eccheck/internal/erasure"
 )
 
+// row is one measurement: a (k, m) code at one pool width.
+type row struct {
+	K             int     `json:"k"`
+	M             int     `json:"m"`
+	Threads       int     `json:"threads"`
+	ChunkBytes    int     `json:"chunk_bytes"`
+	XORs          int     `json:"xors"`
+	GBPerS        float64 `json:"gb_per_s"`
+	AllocsPerOp   uint64  `json:"allocs_per_op"`
+	AllocBytesPer uint64  `json:"alloc_bytes_per_op"`
+}
+
+// dump is the machine-readable report (-json).
+type dump struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Rows      []row  `json:"rows"`
+}
+
 func main() {
 	os.Exit(run())
 }
 
+// measure runs fn iters times and returns (elapsed, allocs/op, bytes/op).
+// A GC first makes the MemStats deltas reflect steady-state allocation.
+func measure(iters int, fn func() error) (time.Duration, uint64, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, (m1.Mallocs - m0.Mallocs) / uint64(iters), (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters), nil
+}
+
 func run() int {
 	var (
-		size  = flag.Int("size", 64<<20, "chunk size in bytes")
-		iters = flag.Int("iters", 5, "iterations per measurement")
+		size     = flag.Int("size", 64<<20, "chunk size in bytes")
+		iters    = flag.Int("iters", 5, "iterations per measurement")
+		jsonPath = flag.String("json", "", "also write the report as JSON to this file")
 	)
 	flag.Parse()
 
-	fmt.Printf("%-8s %-8s %10s %14s\n", "code", "threads", "xors", "encode GB/s")
+	var rows []row
+	fmt.Printf("%-8s %-8s %10s %14s %12s %12s\n",
+		"code", "threads", "xors", "encode GB/s", "allocs/op", "B/op")
 	for _, km := range [][2]int{{2, 2}, {4, 2}, {8, 4}} {
 		code, err := erasure.New(km[0], km[1])
 		if err != nil {
@@ -57,20 +103,50 @@ func run() int {
 				pool.Close()
 				return 1
 			}
-			start := time.Now()
-			for i := 0; i < *iters; i++ {
-				if err := pool.Encode(code, data, parity); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					pool.Close()
-					return 1
-				}
-			}
-			elapsed := time.Since(start)
+			elapsed, allocs, bytes, err := measure(*iters, func() error {
+				return pool.Encode(code, data, parity)
+			})
 			pool.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
 			processed := float64(*iters) * float64(km[0]) * float64(chunk)
 			gbps := processed / elapsed.Seconds() / 1e9
-			fmt.Printf("(%d,%d)   %-8d %10d %14.2f\n",
-				km[0], km[1], threads, code.EncodeXORCount(), gbps)
+			fmt.Printf("(%d,%d)   %-8d %10d %14.2f %12d %12d\n",
+				km[0], km[1], threads, code.EncodeXORCount(), gbps, allocs, bytes)
+			rows = append(rows, row{
+				K: km[0], M: km[1], Threads: threads, ChunkBytes: chunk,
+				XORs: code.EncodeXORCount(), GBPerS: gbps,
+				AllocsPerOp: allocs, AllocBytesPer: bytes,
+			})
+		}
+	}
+
+	if *jsonPath != "" {
+		d := dump{
+			Schema:    "ecperf/v1",
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			Rows:      rows,
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
 	return 0

@@ -271,9 +271,37 @@ func CompileSmart(bm *Bitmatrix, k, m, w int) (*Schedule, error) {
 
 func bits64(v uint64) int { return bits.OnesCount64(v) }
 
+// Tiling parameters for cache-blocked schedule execution. A schedule walks
+// its full op list once per tile; within a tile, every packet slice it
+// touches is at most tile-width bytes, so the working set of one pass is
+// roughly (K + DstChunks) · W · tileBytes. tileTargetBytes budgets that
+// working set to fit in L1/L2 so packets reused across ops (smart schedules
+// rewrite parity packets repeatedly) hit cache instead of streaming from
+// DRAM.
+const (
+	tileTargetBytes = 256 << 10
+	minTileBytes    = 4 << 10
+)
+
+// tileBytes returns the per-packet tile width for this schedule, a multiple
+// of 8 so tiled XOR stays on the aligned word kernel.
+func (s *Schedule) tileBytes() int {
+	packets := (s.K + s.DstChunks) * s.W
+	if packets <= 0 {
+		return minTileBytes
+	}
+	t := tileTargetBytes / packets
+	t &^= 7
+	if t < minTileBytes {
+		t = minTileBytes
+	}
+	return t
+}
+
 // Execute runs the schedule over real memory. data holds the K source
 // chunks; out holds DstChunks destination chunks. Every chunk must have the
-// same length, divisible by W so it splits into W packets.
+// same length, divisible by W so it splits into W packets. Execution is
+// cache-blocked: see tileBytes.
 func (s *Schedule) Execute(data, out [][]byte) error {
 	if len(data) != s.K {
 		return fmt.Errorf("bitmatrix: execute with %d data chunks, want %d", len(data), s.K)
@@ -298,47 +326,14 @@ func (s *Schedule) Execute(data, out [][]byte) error {
 			return fmt.Errorf("bitmatrix: output chunk %d has size %d, want %d", i, len(p), size)
 		}
 	}
-	psize := size / s.W
-
-	packet := func(chunk, pkt int) ([]byte, error) {
-		var buf []byte
-		switch {
-		case chunk < s.K:
-			buf = data[chunk]
-		case chunk < s.K+s.DstChunks:
-			buf = out[chunk-s.K]
-		default:
-			return nil, fmt.Errorf("bitmatrix: chunk index %d out of range", chunk)
-		}
-		return buf[pkt*psize : (pkt+1)*psize], nil
-	}
-
-	for _, op := range s.Ops {
-		src, err := packet(op.SrcChunk, op.SrcPacket)
-		if err != nil {
-			return err
-		}
-		dst, err := packet(op.DstChunk, op.DstPacket)
-		if err != nil {
-			return err
-		}
-		switch op.Kind {
-		case OpCopy:
-			copy(dst, src)
-		case OpXOR:
-			if err := gf.XORSlice(dst, src); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("bitmatrix: unknown op kind %d", op.Kind)
-		}
-	}
-	return nil
+	return s.ExecuteRange(data, out, 0, size/s.W)
 }
 
 // ExecuteRange runs the schedule over the byte range [lo, hi) of each
 // packet, allowing one encode to be split across a worker pool. lo and hi
-// are offsets within a packet (0 <= lo <= hi <= packetSize).
+// are offsets within a packet (0 <= lo <= hi <= packetSize). The range is
+// processed in cache-sized tiles (see tileBytes): the op list runs once per
+// tile so intermediate packets stay resident between ops.
 func (s *Schedule) ExecuteRange(data, out [][]byte, lo, hi int) error {
 	if len(data) != s.K || len(out) != s.DstChunks {
 		return fmt.Errorf("bitmatrix: execute-range chunk count mismatch (data=%d want %d, out=%d want %d)",
@@ -355,21 +350,45 @@ func (s *Schedule) ExecuteRange(data, out [][]byte, lo, hi int) error {
 	if lo < 0 || hi > psize || lo > hi {
 		return fmt.Errorf("bitmatrix: invalid packet range [%d, %d) for packet size %d", lo, hi, psize)
 	}
+	tile := s.tileBytes()
+	for t := lo; t < hi; t += tile {
+		th := t + tile
+		if th > hi {
+			th = hi
+		}
+		if err := s.executeOps(data, out, t, th, psize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-	packet := func(chunk, pkt int) []byte {
+// executeOps runs the full op list over the packet byte range [lo, hi).
+// Shapes and bounds are already validated by the caller.
+func (s *Schedule) executeOps(data, out [][]byte, lo, hi, psize int) error {
+	packet := func(chunk, pkt int) ([]byte, error) {
 		var buf []byte
-		if chunk < s.K {
+		switch {
+		case chunk < s.K:
 			buf = data[chunk]
-		} else {
+		case chunk < s.K+s.DstChunks:
 			buf = out[chunk-s.K]
+		default:
+			return nil, fmt.Errorf("bitmatrix: chunk index %d out of range", chunk)
 		}
 		base := pkt * psize
-		return buf[base+lo : base+hi]
+		return buf[base+lo : base+hi], nil
 	}
 
 	for _, op := range s.Ops {
-		src := packet(op.SrcChunk, op.SrcPacket)
-		dst := packet(op.DstChunk, op.DstPacket)
+		src, err := packet(op.SrcChunk, op.SrcPacket)
+		if err != nil {
+			return err
+		}
+		dst, err := packet(op.DstChunk, op.DstPacket)
+		if err != nil {
+			return err
+		}
 		switch op.Kind {
 		case OpCopy:
 			copy(dst, src)

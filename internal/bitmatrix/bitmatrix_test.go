@@ -252,6 +252,68 @@ func TestExecuteRangeMatchesExecute(t *testing.T) {
 	}
 }
 
+// TestTiledExecuteMatchesReference uses packets wide enough that Execute
+// must split them into several cache tiles, and checks the result against
+// untiled op-by-op execution and against plain field arithmetic.
+func TestTiledExecuteMatchesReference(t *testing.T) {
+	f := gf.MustField(8)
+	w := int(f.W())
+	r := rand.New(rand.NewSource(29))
+	k, m := 4, 2
+	gen, err := cauchy.Generator(f, k, m, cauchy.Options{Improve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := gen.SubMatrix([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := FromMatrix(f, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compile := range []struct {
+		name string
+		fn   func(*Bitmatrix, int, int, int) (*Schedule, error)
+	}{
+		{"dumb", Compile},
+		{"smart", CompileSmart},
+	} {
+		sched, err := compile.fn(bm, k, m, w)
+		if err != nil {
+			t.Fatalf("%s: %v", compile.name, err)
+		}
+		psize := 3*sched.tileBytes() + 123 // several tiles plus a ragged tail
+		size := psize * w
+		if sched.tileBytes() >= psize {
+			t.Fatalf("%s: tile %d does not split packet %d — test is vacuous", compile.name, sched.tileBytes(), psize)
+		}
+		data := makeData(r, k, size)
+
+		tiled := make([][]byte, m)
+		untiled := make([][]byte, m)
+		for i := 0; i < m; i++ {
+			tiled[i] = make([]byte, size)
+			untiled[i] = make([]byte, size)
+		}
+		if err := sched.Execute(data, tiled); err != nil {
+			t.Fatalf("%s: %v", compile.name, err)
+		}
+		if err := sched.executeOps(data, untiled, 0, psize, psize); err != nil {
+			t.Fatalf("%s: %v", compile.name, err)
+		}
+		want := referenceEncode(t, f, parity, data)
+		for i := 0; i < m; i++ {
+			if !bytes.Equal(tiled[i], untiled[i]) {
+				t.Errorf("%s: tiled parity %d differs from untiled execution", compile.name, i)
+			}
+			if !bytes.Equal(tiled[i], want[i]) {
+				t.Errorf("%s: tiled parity %d differs from field arithmetic", compile.name, i)
+			}
+		}
+	}
+}
+
 func TestExecuteValidation(t *testing.T) {
 	f := gf.MustField(8)
 	w := int(f.W())

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"eccheck/internal/bufpool"
 )
 
 // Host-memory blobs are volatile and uninspected between checkpoints, so a
@@ -23,19 +25,25 @@ const footerLen = 4
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // BlobStore is the minimal node-addressed blob interface the checksum
-// helpers need. Cluster and SubCluster both implement it.
+// helpers need. Cluster and SubCluster both implement it. Store must copy
+// the blob rather than retain the slice: StoreSummed recycles its framing
+// scratch through the buffer pool as soon as Store returns.
 type BlobStore interface {
 	Store(node int, key string, blob []byte) error
 	Load(node int, key string) ([]byte, error)
 }
 
 // StoreSummed writes blob under key with a CRC32 footer appended, so any
-// later in-memory corruption is detectable at fetch time.
+// later in-memory corruption is detectable at fetch time. The framing
+// scratch is pooled: Store copies the frame into host memory, so the
+// scratch is recycled as soon as Store returns.
 func StoreSummed(s BlobStore, node int, key string, blob []byte) error {
-	framed := make([]byte, len(blob)+footerLen)
+	framed := bufpool.Get(len(blob) + footerLen)
 	copy(framed, blob)
 	binary.LittleEndian.PutUint32(framed[len(blob):], crc32.Checksum(blob, crcTable))
-	return s.Store(node, key, framed)
+	err := s.Store(node, key, framed)
+	bufpool.Put(framed)
+	return err
 }
 
 // FetchSummed reads a checksummed blob and verifies its footer, returning

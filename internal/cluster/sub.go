@@ -73,6 +73,15 @@ func (s *SubCluster) Load(local int, key string) ([]byte, error) {
 	return s.parent.Load(g, key)
 }
 
+// Move renames a blob on the mapped parent node without copying.
+func (s *SubCluster) Move(local int, srcKey, dstKey string) error {
+	g, err := s.global(local)
+	if err != nil {
+		return err
+	}
+	return s.parent.Move(g, srcKey, dstKey)
+}
+
 // Has reports key presence on the mapped parent node.
 func (s *SubCluster) Has(local int, key string) bool {
 	g, err := s.global(local)

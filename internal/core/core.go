@@ -26,8 +26,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"eccheck/internal/bufpool"
 	"eccheck/internal/cluster"
 	"eccheck/internal/ecpool"
 	"eccheck/internal/erasure"
@@ -133,6 +135,11 @@ var (
 	_ HostStore = (*cluster.SubCluster)(nil)
 )
 
+var (
+	_ blobMover = (*cluster.Cluster)(nil)
+	_ blobMover = (*cluster.SubCluster)(nil)
+)
+
 // Checkpointer is the ECCheck engine bound to a cluster, a network and an
 // optional remote store. It corresponds to the paper's eccheck.initialize:
 // construction fixes the encoding matrix and communication strategy.
@@ -141,11 +148,90 @@ type Checkpointer struct {
 	plan   *placement.Plan
 	code   *erasure.Code
 	pool   *ecpool.Pool
+	buf    *bufpool.Pool
+	keys   keyTable
 	net    transport.Network
 	clus   HostStore
 	remote *remotestore.Store // may be nil
+	// phaseHist pre-resolves the phase-breakdown histogram series per
+	// (op, node, phase); nil when metrics are off.
+	phaseHist map[string][]map[string]*obs.Histogram
 
 	version int
+}
+
+// keyTable pre-renders every host-memory key a checkpoint round touches.
+// The key layout is fixed by the plan, so formatting them per round would
+// be pure allocator churn on the hot path.
+type keyTable struct {
+	smallMeta []string   // by rank
+	smallKeys []string   // by rank
+	ownPacket []string   // by rank
+	segment   [][]string // by chunk, then segment
+	// Per-rank small-component broadcast tags, pre-rendered for the same
+	// reason as the keys.
+	smallMetaTag []string
+	smallKeysTag []string
+	// commit is each node's full key set in commit order (manifest last);
+	// staged holds the keyStaged counterparts, index-aligned. stagedOf
+	// maps a final key to its staged key for the save path's stage().
+	commit   [][]string
+	staged   [][]string
+	stagedOf map[string]string
+}
+
+// buildKeyTable renders the keys for one compiled plan.
+func buildKeyTable(cfg *Config, plan *placement.Plan) keyTable {
+	world := cfg.Topo.World()
+	nodes := cfg.Topo.Nodes()
+	g := cfg.Topo.GPUsPerNode()
+	span := world / cfg.K
+	t := keyTable{
+		smallMeta: make([]string, world),
+		smallKeys: make([]string, world),
+		ownPacket: make([]string, world),
+		segment:   make([][]string, cfg.K+cfg.M),
+		commit:    make([][]string, nodes),
+		staged:    make([][]string, nodes),
+		stagedOf:  make(map[string]string),
+	}
+	t.smallMetaTag = make([]string, world)
+	t.smallKeysTag = make([]string, world)
+	for rank := 0; rank < world; rank++ {
+		t.smallMeta[rank] = keySmallMeta(rank)
+		t.smallKeys[rank] = keySmallKeys(rank)
+		t.ownPacket[rank] = keyOwnPacket(rank)
+		t.smallMetaTag[rank] = tagSmallMeta(rank)
+		t.smallKeysTag[rank] = tagSmallKeys(rank)
+	}
+	for chunk := range t.segment {
+		t.segment[chunk] = make([]string, span)
+		for s := 0; s < span; s++ {
+			t.segment[chunk][s] = keySegment(chunk, s)
+		}
+	}
+	for node := 0; node < nodes; node++ {
+		keys := make([]string, 0, 2*world+g+span+1)
+		for rank := 0; rank < world; rank++ {
+			keys = append(keys, t.smallMeta[rank], t.smallKeys[rank])
+		}
+		if cfg.IncrementalCache {
+			for w := node * g; w < (node+1)*g; w++ {
+				keys = append(keys, t.ownPacket[w])
+			}
+		}
+		chunk := plan.ChunkOfNode[node]
+		keys = append(keys, t.segment[chunk]...)
+		keys = append(keys, keyManifest())
+		staged := make([]string, len(keys))
+		for i, key := range keys {
+			staged[i] = keyStaged(key)
+			t.stagedOf[key] = staged[i]
+		}
+		t.commit[node] = keys
+		t.staged[node] = staged
+	}
+	return t
 }
 
 // New validates the configuration, compiles the communication plan (data
@@ -184,14 +270,25 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// The engine shares the process-wide buffer pool with the transports
+	// and the cluster store, so one round's released buffers are reusable
+	// by every layer. When instrumentation is on, the pool's counters land
+	// in this engine's registry (last engine to install a registry wins,
+	// matching the pool's process-wide scope).
+	if cfg.Metrics != nil {
+		bufpool.Default.SetMetrics(cfg.Metrics)
+	}
 	return &Checkpointer{
-		cfg:    cfg,
-		plan:   plan,
-		code:   code,
-		pool:   ecpool.NewPool(cfg.EncoderThreads),
-		net:    net,
-		clus:   clus,
-		remote: remote,
+		cfg:       cfg,
+		plan:      plan,
+		code:      code,
+		pool:      ecpool.NewPool(cfg.EncoderThreads),
+		buf:       bufpool.Default,
+		keys:      buildKeyTable(&cfg, plan),
+		net:       net,
+		clus:      clus,
+		remote:    remote,
+		phaseHist: buildPhaseHistograms(cfg.Metrics, cfg.Topo.Nodes()),
 	}, nil
 }
 
@@ -244,23 +341,40 @@ func (c *Checkpointer) endpoint(node int) (transport.Endpoint, error) {
 
 // deadlineEndpoint bounds every individual operation: a peer that crashed
 // mid-round surfaces as a deadline error rather than an unbounded hang.
+// The bound rides the context as a transport.WithOpTimeout value — built
+// once per parent context and reused, where a context.WithTimeout per
+// operation would allocate a context, Done channel and timer on every
+// Send/Recv of the hot path.
 type deadlineEndpoint struct {
 	ep transport.Endpoint
 	d  time.Duration
+
+	mu      sync.Mutex
+	parent  context.Context
+	wrapped context.Context
 }
 
 func (e *deadlineEndpoint) Rank() int { return e.ep.Rank() }
 
+// wrap returns ctx with the op timeout attached, caching the wrapped
+// context: within a round every operation shares the round's context, so
+// the wrapping allocates once, not per operation.
+func (e *deadlineEndpoint) wrap(ctx context.Context) context.Context {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ctx != e.parent {
+		e.parent = ctx
+		e.wrapped = transport.WithOpTimeout(ctx, e.d)
+	}
+	return e.wrapped
+}
+
 func (e *deadlineEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
-	ctx, cancel := context.WithTimeout(ctx, e.d)
-	defer cancel()
-	return e.ep.Send(ctx, to, tag, payload)
+	return e.ep.Send(e.wrap(ctx), to, tag, payload)
 }
 
 func (e *deadlineEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
-	ctx, cancel := context.WithTimeout(ctx, e.d)
-	defer cancel()
-	return e.ep.Recv(ctx, from, tag)
+	return e.ep.Recv(e.wrap(ctx), from, tag)
 }
 
 func (e *deadlineEndpoint) Close() error { return e.ep.Close() }
@@ -337,25 +451,11 @@ func keyStaged(key string) string { return stagePrefix + key }
 
 // checkpointKeys enumerates every host-memory key one save round writes on
 // the node, in commit order: the manifest is last, so a node's checkpoint
-// is visible at the new version only once all its blobs are in place.
+// is visible at the new version only once all its blobs are in place. The
+// shared backing slice is pre-rendered at construction; callers must not
+// mutate it.
 func (c *Checkpointer) checkpointKeys(node int) []string {
-	world := c.cfg.Topo.World()
-	g := c.cfg.Topo.GPUsPerNode()
-	span := world / c.cfg.K
-	keys := make([]string, 0, 2*world+span+g+1)
-	for rank := 0; rank < world; rank++ {
-		keys = append(keys, keySmallMeta(rank), keySmallKeys(rank))
-	}
-	if c.cfg.IncrementalCache {
-		for w := node * g; w < (node+1)*g; w++ {
-			keys = append(keys, keyOwnPacket(w))
-		}
-	}
-	chunk := c.plan.ChunkOfNode[node]
-	for s := 0; s < span; s++ {
-		keys = append(keys, keySegment(chunk, s))
-	}
-	return append(keys, keyManifest())
+	return c.keys.commit[node]
 }
 
 // commitStaged promotes every node's staged blobs to the final keys and
@@ -364,11 +464,29 @@ func (c *Checkpointer) checkpointKeys(node int) []string {
 // complete new one. Commit is pure local host-memory work — no network —
 // and a node that dies inside this window loses its whole memory anyway,
 // which the erasure code absorbs like any machine failure.
+// blobMover is the optional fast path for commitStaged: a host store that
+// can promote a staged blob by renaming it instead of copying it.
+// cluster.Cluster and cluster.SubCluster implement it.
+type blobMover interface {
+	Move(node int, srcKey, dstKey string) error
+}
+
 func (c *Checkpointer) commitStaged() error {
+	mover, canMove := c.clus.(blobMover)
 	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
-		for _, key := range c.checkpointKeys(node) {
+		if canMove {
+			// Rename staged blobs in key order (manifest last): zero-copy
+			// and leaves no staging keys behind.
+			for i, key := range c.keys.commit[node] {
+				if err := mover.Move(node, c.keys.staged[node][i], key); err != nil {
+					return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
+				}
+			}
+			continue
+		}
+		for i, key := range c.keys.commit[node] {
 			// Raw load/store: the staged blob already carries its footer.
-			blob, err := c.clus.Load(node, keyStaged(key))
+			blob, err := c.clus.Load(node, c.keys.staged[node][i])
 			if err != nil {
 				return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
 			}
@@ -376,8 +494,8 @@ func (c *Checkpointer) commitStaged() error {
 				return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
 			}
 		}
-		for _, key := range c.checkpointKeys(node) {
-			if err := c.clus.Delete(node, keyStaged(key)); err != nil {
+		for i, key := range c.keys.commit[node] {
+			if err := c.clus.Delete(node, c.keys.staged[node][i]); err != nil {
 				return fmt.Errorf("core: node %d unstage %q: %w", node, key, err)
 			}
 		}
@@ -393,8 +511,8 @@ func (c *Checkpointer) discardStaged() {
 		if !c.clus.Alive(node) {
 			continue
 		}
-		for _, key := range c.checkpointKeys(node) {
-			_ = c.clus.Delete(node, keyStaged(key))
+		for _, staged := range c.keys.staged[node] {
+			_ = c.clus.Delete(node, staged)
 		}
 	}
 }

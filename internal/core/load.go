@@ -234,7 +234,7 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	c.version = latest
 
 	for node, phases := range nodePhases {
-		observePhases(c.cfg.Metrics, "load", node, phases)
+		c.observePhases("load", node, phases)
 	}
 	phases := meanPhases(nodePhases)
 	phases[PhaseScan] += scanTime
@@ -317,7 +317,8 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 		}
 	} else {
 		for s := range chunkSegs {
-			chunkSegs[s] = make([]byte, packetBytes)
+			// Zeroed: the rebuild below XOR-accumulates into these.
+			chunkSegs[s] = c.buf.GetZeroed(packetBytes)
 		}
 	}
 	pc.Switch(PhaseRebuild)
@@ -353,7 +354,9 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 							rebuildErr = fmt.Errorf("core: rebuild slice size %d, want %d", len(payload), hi-lo)
 							return
 						}
-						if err := gf.XORSlice(chunkSegs[s][lo:hi], payload); err != nil {
+						err = gf.XORSlice(chunkSegs[s][lo:hi], payload)
+						c.buf.Put(payload)
+						if err != nil {
 							rebuildErr = err
 							return
 						}
@@ -369,11 +372,16 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			for s := 0; s < span; s++ {
 				for b := 0; b < numBuffers; b++ {
 					lo, hi := sliceBounds(b)
-					contribution := make([]byte, hi-lo)
+					// Pooled, not zeroed: the scalar multiply fully
+					// overwrites it, and Send copies before returning.
+					contribution := c.buf.Get(hi - lo)
 					if err := c.scalarMulPooled(coef, contribution, chunkSegs[s][lo:hi]); err != nil {
+						c.buf.Put(contribution)
 						return nil, nil, err
 					}
-					if err := ep.Send(ctx, dstNode, tagRebuild(missingChunk, s), contribution); err != nil {
+					err := ep.Send(ctx, dstNode, tagRebuild(missingChunk, s), contribution)
+					c.buf.Put(contribution)
+					if err != nil {
 						return nil, nil, err
 					}
 				}
@@ -433,10 +441,15 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 			if err != nil {
 				return nil, nil, err
 			}
-			if err := c.store(node, keySmallMeta(rank), meta); err != nil {
+			// store copies, so the received buffers can go back to the pool.
+			err = c.store(node, keySmallMeta(rank), meta)
+			c.buf.Put(meta)
+			if err != nil {
 				return nil, nil, err
 			}
-			if err := c.store(node, keySmallKeys(rank), keys); err != nil {
+			err = c.store(node, keySmallKeys(rank), keys)
+			c.buf.Put(keys)
+			if err != nil {
 				return nil, nil, err
 			}
 		}
@@ -468,6 +481,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	for w := node * g; w < (node+1)*g; w++ {
 		j := plan.DataGroupOf[w]
 		var packet []byte
+		pooled := false
 		if plan.DataNodes[j] == node {
 			packet = chunkSegs[plan.SegmentOf[w]]
 		} else {
@@ -477,12 +491,25 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 				return nil, nil, err
 			}
 			packet = p
+			pooled = true
 		}
+		// reassembleWorker copies every tensor region into fresh storage, so
+		// a received packet can be recycled as soon as it returns.
 		sd, err := c.reassembleWorker(node, w, packet)
+		if pooled {
+			c.buf.Put(packet)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
 		out[w] = sd
+	}
+	// Rebuilt segments were persisted (store copies) and every consumer
+	// above copied out of them; recycle on the success path only.
+	if missingPos != -1 {
+		for s := range chunkSegs {
+			c.buf.Put(chunkSegs[s])
+		}
 	}
 	return out, pc.Stop(), nil
 }

@@ -147,14 +147,48 @@ func meanPhases(perNode []map[string]time.Duration) map[string]time.Duration {
 	return out
 }
 
+// buildPhaseHistograms pre-resolves the <op>_phase_ns series for every
+// (op, node, phase) combination the protocol records, so a round's phase
+// breakdown costs map lookups and atomic adds — not per-round label
+// canonicalization (which sorts and interns labels, allocating each time).
+// Returns nil for a nil registry.
+func buildPhaseHistograms(reg *obs.Registry, nodes int) map[string][]map[string]*obs.Histogram {
+	if reg == nil {
+		return nil
+	}
+	out := make(map[string][]map[string]*obs.Histogram, 2)
+	for op, phases := range map[string][]string{"save": SavePhases(), "load": LoadPhases()} {
+		perNode := make([]map[string]*obs.Histogram, nodes)
+		for node := 0; node < nodes; node++ {
+			nodeLabel := obs.L("node", strconv.Itoa(node))
+			m := make(map[string]*obs.Histogram, len(phases))
+			for _, ph := range phases {
+				m[ph] = reg.Histogram(op+"_phase_ns", obs.L("phase", ph), nodeLabel)
+			}
+			perNode[node] = m
+		}
+		out[op] = perNode
+	}
+	return out
+}
+
 // observePhases records one node's phase breakdown into the registry as
-// <op>_phase_ns{phase,node} histogram series. Safe with a nil registry.
-func observePhases(reg *obs.Registry, op string, node int, phases map[string]time.Duration) {
+// <op>_phase_ns{phase,node} histogram series, through the pre-resolved
+// table when possible. Safe with a nil registry.
+func (c *Checkpointer) observePhases(op string, node int, phases map[string]time.Duration) {
+	reg := c.cfg.Metrics
 	if reg == nil {
 		return
 	}
-	nodeLabel := obs.L("node", strconv.Itoa(node))
+	table := c.phaseHist[op]
 	for ph, d := range phases {
-		reg.Histogram(op+"_phase_ns", obs.L("phase", ph), nodeLabel).ObserveDuration(d)
+		if node >= 0 && node < len(table) {
+			if h, ok := table[node][ph]; ok {
+				h.ObserveDuration(d)
+				continue
+			}
+		}
+		// Unanticipated phase or node: fall back to the interning path.
+		reg.Histogram(op+"_phase_ns", obs.L("phase", ph), obs.L("node", strconv.Itoa(node))).ObserveDuration(d)
 	}
 }

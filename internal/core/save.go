@@ -105,7 +105,7 @@ func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (
 	c.version = version
 
 	for node, phases := range nodePhases {
-		observePhases(c.cfg.Metrics, "save", node, phases)
+		c.observePhases("save", node, phases)
 	}
 	phases := meanPhases(nodePhases)
 	// The mean of the node partitions covers each node's own timeline, but
@@ -182,6 +182,24 @@ func buildPacket(dec *statedict.Decomposition, packetBytes int) ([]byte, error) 
 	return packet, nil
 }
 
+// buildPacketPooled is buildPacket drawing the packet from the buffer pool.
+// The alignment padding is explicitly zeroed because recycled buffers carry
+// stale bytes. The caller owns the packet and must Put it when the round no
+// longer references it.
+func (c *Checkpointer) buildPacketPooled(dec *statedict.Decomposition, packetBytes int) ([]byte, error) {
+	if dec.TensorBytes() > packetBytes {
+		return nil, fmt.Errorf("core: tensor payload %d exceeds packet size %d",
+			dec.TensorBytes(), packetBytes)
+	}
+	packet := c.buf.Get(packetBytes)
+	off := 0
+	for _, buf := range dec.TensorData {
+		off += copy(packet[off:], buf)
+	}
+	clear(packet[off:])
+	return packet, nil
+}
+
 // manifestBlob encodes the per-node checkpoint manifest. The buffer size
 // is recorded because it defines the coding-region layout: decode and
 // verification must slice packets exactly as the encode did.
@@ -216,8 +234,14 @@ type reduceKey struct {
 	buf    int
 }
 
-// reduceState accumulates the k contributions of one reduction buffer.
+// reduceState accumulates the k contributions of one reduction buffer. The
+// first contribution is adopted as the accumulator (the pool hands every
+// contributor an exclusively owned buffer, so taking it is free); later
+// contributions are XOR-folded in and recycled. Each state has its own lock
+// so reductions for different (group, parity, buffer) keys fold
+// concurrently.
 type reduceState struct {
+	mu        sync.Mutex
 	acc       []byte
 	remaining int
 }
@@ -246,9 +270,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	if err != nil {
 		return 0, nil, err
 	}
-	// stage writes a blob into this node's staging area, checksummed.
+	// stage writes a blob into this node's staging area, checksummed. The
+	// staged key comes from the pre-rendered table: no per-call formatting.
 	stage := func(key string, blob []byte) error {
-		return c.store(node, keyStaged(key), blob)
+		return c.store(node, c.keys.stagedOf[key], blob)
 	}
 
 	// --- Step 1: decompose local dicts and offload tensor data into
@@ -257,16 +282,24 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	for w := node * g; w < (node+1)*g; w++ {
 		localWorkers = append(localWorkers, w)
 	}
-	packets := make(map[int][]byte, g)   // rank -> packet
-	smalls := make(map[int][2][]byte, g) // rank -> {metaBlob, keysBlob}
+	packets := make(map[int][]byte, g)   // rank -> packet (pooled)
+	smalls := make(map[int][2][]byte, g) // rank -> {metaBlob, keysBlob} (pooled)
+	// Packets stay referenced until the pipeline drains; recycle them on
+	// every exit. Safe on error paths too: by then the send queue has
+	// drained, and receiver goroutines never read packets.
+	defer func() {
+		for _, pkt := range packets {
+			c.buf.Put(pkt)
+		}
+	}()
 	for _, w := range localWorkers {
 		pc.Switch(PhaseSerialize)
-		dec, err := dicts[w].Decompose()
+		dec, err := dicts[w].DecomposeWith(c.buf)
 		if err != nil {
 			return 0, nil, fmt.Errorf("rank %d decompose: %w", w, err)
 		}
 		pc.Switch(PhaseOffload)
-		pkt, err := buildPacket(dec, packetBytes)
+		pkt, err := c.buildPacketPooled(dec, packetBytes)
 		if err != nil {
 			return 0, nil, fmt.Errorf("rank %d: %w", w, err)
 		}
@@ -278,21 +311,22 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	pc.Switch(PhaseP2P)
 	for _, w := range localWorkers {
 		blobs := smalls[w]
+		metaTag, keysTag := c.keys.smallMetaTag[w], c.keys.smallKeysTag[w]
 		for peer := 0; peer < topo.Nodes(); peer++ {
 			if peer == node {
 				continue
 			}
-			if err := ep.Send(ctx, peer, tagSmallMeta(w), blobs[0]); err != nil {
+			if err := ep.Send(ctx, peer, metaTag, blobs[0]); err != nil {
 				return 0, nil, err
 			}
-			if err := ep.Send(ctx, peer, tagSmallKeys(w), blobs[1]); err != nil {
+			if err := ep.Send(ctx, peer, keysTag, blobs[1]); err != nil {
 				return 0, nil, err
 			}
 		}
-		if err := stage(keySmallMeta(w), blobs[0]); err != nil {
+		if err := stage(c.keys.smallMeta[w], blobs[0]); err != nil {
 			return 0, nil, err
 		}
-		if err := stage(keySmallKeys(w), blobs[1]); err != nil {
+		if err := stage(c.keys.smallKeys[w], blobs[1]); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -306,29 +340,42 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			smallBytes += len(smalls[rank][0]) + len(smalls[rank][1])
 			continue
 		}
-		meta, err := ep.Recv(ctx, srcNode, tagSmallMeta(rank))
+		meta, err := ep.Recv(ctx, srcNode, c.keys.smallMetaTag[rank])
 		if err != nil {
 			return 0, nil, err
 		}
-		keys, err := ep.Recv(ctx, srcNode, tagSmallKeys(rank))
+		keys, err := ep.Recv(ctx, srcNode, c.keys.smallKeysTag[rank])
 		if err != nil {
 			return 0, nil, err
 		}
 		smallBytes += len(meta) + len(keys)
-		if err := stage(keySmallMeta(rank), meta); err != nil {
+		if err := stage(c.keys.smallMeta[rank], meta); err != nil {
 			return 0, nil, err
 		}
-		if err := stage(keySmallKeys(rank), keys); err != nil {
+		if err := stage(c.keys.smallKeys[rank], keys); err != nil {
 			return 0, nil, err
 		}
+		// Both recv'd blobs were copied into host memory by stage.
+		c.buf.Put(meta)
+		c.buf.Put(keys)
+	}
+	// The local small blobs were broadcast (Send copies) and staged; their
+	// pooled serialization buffers are free again.
+	for _, w := range localWorkers {
+		c.buf.Put(smalls[w][0])
+		c.buf.Put(smalls[w][1])
 	}
 
 	// --- Step 3: pipelined encode, XOR reduction, P2P placement. ---
 	pc.Switch(PhaseOffload)
 	myChunk := plan.ChunkOfNode[node]
+	// Pooled without zeroing: every byte of every segment is overwritten
+	// before staging — buffer ranges tile the packet exactly, and each range
+	// of each segment receives exactly one copy (local data, P2P data,
+	// finalized parity, or P2P parity).
 	chunkSegs := make([][]byte, span)
 	for s := range chunkSegs {
-		chunkSegs[s] = make([]byte, packetBytes)
+		chunkSegs[s] = c.buf.Get(packetBytes)
 	}
 
 	// Accumulators for reductions targeted at this node.
@@ -360,10 +407,19 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		}
 	}
 
+	// parityTags pre-renders the P2P tag of every (group, parity) stream so
+	// finalize does not format strings per buffer.
+	parityTags := make(map[reduceKeyBase]string, len(plan.Reductions))
+	for _, r := range plan.Reductions {
+		parityTags[reduceKeyBase{group: r.Group, parity: r.ParityIndex}] = tagParityP2P(r.ParityIndex, r.Group)
+	}
+
 	// finalize runs when a reduction buffer has all k contributions: write
-	// into the local chunk or forward to the parity node.
+	// into the local chunk or forward to the parity node. Either way the
+	// accumulator's contents are copied out, so it is recycled here.
 	finalize := func(k reduceKey, acc []byte) {
 		defer deliveries.Done()
+		defer c.buf.Put(acc)
 		parityChunk := c.cfg.K + k.parity
 		dstNode := plan.ParityNodes[k.parity]
 		lo, _ := sliceBounds(k.buf)
@@ -371,17 +427,31 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			copy(chunkSegs[k.group][lo:lo+len(acc)], acc)
 			return
 		}
-		if err := ep.Send(ctx, dstNode, tagParityP2P(k.parity, k.group), acc); err != nil {
+		if err := ep.Send(ctx, dstNode, parityTags[reduceKeyBase{group: k.group, parity: k.parity}], acc); err != nil {
 			fail(fmt.Errorf("parity p2p chunk %d group %d: %w", parityChunk, k.group, err))
 		}
 	}
 
-	// contribute XORs one contribution into the accumulator for (g, i, b).
-	// timeXor attributes the XOR to the receiver-side accumulator; the main
-	// goroutine passes false because its XOR time is already on the phase
-	// clock. Each contribution stream is sequential and finalize fires
-	// synchronously inside the call, so parity P2P sends for one (group,
-	// parity) stay in buffer order.
+	// xorInto folds src into dst, splitting large regions across the
+	// encoder thread pool — the receiver-side counterpart of the paper's
+	// thread-pool acceleration (reductions for one buffer used to run
+	// serially on whichever goroutine held the contribution).
+	const xorPoolThreshold = 256 << 10
+	xorInto := func(dst, src []byte) error {
+		if len(dst) >= xorPoolThreshold && c.pool.Workers() > 1 {
+			return c.pool.XOR(dst, src)
+		}
+		return gf.XORSlice(dst, src)
+	}
+
+	// contribute folds one contribution into the accumulator for (g, i, b),
+	// taking ownership of the buffer: the first contribution becomes the
+	// accumulator, later ones are XORed in and recycled. timeXor attributes
+	// the XOR to the receiver-side accumulator; the main goroutine passes
+	// false because its XOR time is already on the phase clock. Each
+	// contribution stream is sequential and finalize fires synchronously
+	// inside the call, so parity P2P sends for one (group, parity) stay in
+	// buffer order.
 	contribute := func(k reduceKey, contribution []byte, timeXor bool) {
 		var xorStart time.Time
 		if timeXor {
@@ -390,20 +460,30 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		accMu.Lock()
 		st, ok := accs[k]
 		if !ok {
-			st = &reduceState{acc: make([]byte, len(contribution)), remaining: c.cfg.K}
+			st = &reduceState{remaining: c.cfg.K}
 			accs[k] = st
 		}
-		if err := gf.XORSlice(st.acc, contribution); err != nil {
-			accMu.Unlock()
-			fail(err)
-			return
+		accMu.Unlock()
+		st.mu.Lock()
+		if st.acc == nil {
+			st.acc = contribution
+		} else {
+			err := xorInto(st.acc, contribution)
+			c.buf.Put(contribution)
+			if err != nil {
+				st.mu.Unlock()
+				fail(err)
+				return
+			}
 		}
 		st.remaining--
 		done := st.remaining == 0
+		st.mu.Unlock()
 		if done {
+			accMu.Lock()
 			delete(accs, k)
+			accMu.Unlock()
 		}
-		accMu.Unlock()
 		if timeXor {
 			recvXorNs.Add(time.Since(xorStart).Nanoseconds())
 		}
@@ -437,13 +517,15 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		}
 		for srcNode, count := range remoteBySrc {
 			go func(r reduceKeyBase, srcNode, count int) {
+				tag := tagXOR(r.group, r.parity)
 				for b := 0; b < numBuffers; b++ {
 					for n := 0; n < count; n++ {
-						payload, err := ep.Recv(ctx, srcNode, tagXOR(r.group, r.parity))
+						payload, err := ep.Recv(ctx, srcNode, tag)
 						if err != nil {
 							fail(err)
 							return
 						}
+						// contribute takes ownership of the payload.
 						contribute(reduceKey{group: r.group, parity: r.parity, buf: b}, payload, true)
 					}
 				}
@@ -468,14 +550,16 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			}
 			deliveries.Add(numBuffers)
 			go func(group, tNode, pi int) {
+				tag := tagParityP2P(pi, group)
 				for b := 0; b < numBuffers; b++ {
-					payload, err := ep.Recv(ctx, tNode, tagParityP2P(pi, group))
+					payload, err := ep.Recv(ctx, tNode, tag)
 					if err != nil {
 						fail(err)
 						return
 					}
 					lo, _ := sliceBounds(b)
 					copy(chunkSegs[group][lo:lo+len(payload)], payload)
+					c.buf.Put(payload)
 					deliveries.Done()
 				}
 			}(r.Group, tNode, pi)
@@ -498,14 +582,16 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			seg := plan.SegmentOf[w]
 			deliveries.Add(numBuffers)
 			go func(srcNode, seg int) {
+				tag := tagDataP2P(myChunk, seg)
 				for b := 0; b < numBuffers; b++ {
-					payload, err := ep.Recv(ctx, srcNode, tagDataP2P(myChunk, seg))
+					payload, err := ep.Recv(ctx, srcNode, tag)
 					if err != nil {
 						fail(err)
 						return
 					}
 					lo, _ := sliceBounds(b)
 					copy(chunkSegs[seg][lo:lo+len(payload)], payload)
+					c.buf.Put(payload)
 					deliveries.Done()
 				}
 			}(srcNode, seg)
@@ -522,6 +608,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		dstNode int
 		tag     string
 		payload []byte
+		// pooled marks payloads owned by the queue (encoded contributions):
+		// recycled after the send. Data-packet payloads alias the worker
+		// packets and are recycled by nodeSave instead.
+		pooled bool
 	}
 	sendQueue := make(chan outMsg, DefaultEncodingBuffers)
 	var sendWG sync.WaitGroup
@@ -529,19 +619,34 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	go func() {
 		defer sendWG.Done()
 		for msg := range sendQueue {
-			if err := ep.Send(ctx, msg.dstNode, msg.tag, msg.payload); err != nil {
+			err := ep.Send(ctx, msg.dstNode, msg.tag, msg.payload)
+			if msg.pooled {
+				c.buf.Put(msg.payload)
+			}
+			if err != nil {
 				fail(err)
 				return
 			}
 		}
 	}()
 
+	// Pre-render the per-stream tags once: the buffer loop below used to
+	// format them per (buffer, reduction, worker) message.
+	xorTags := make([]string, len(plan.Reductions))
+	for i, r := range plan.Reductions {
+		xorTags[i] = tagXOR(r.Group, r.ParityIndex)
+	}
+	dataTags := make(map[int]string, len(localWorkers))
+	for _, w := range localWorkers {
+		dataTags[w] = tagDataP2P(plan.DataGroupOf[w], plan.SegmentOf[w])
+	}
+
 	encodeErr := func() error {
 		for b := 0; b < numBuffers; b++ {
 			lo, hi := sliceBounds(b)
 			// Encoding stage: every local worker contributes to each of
 			// its reduction group's m reductions.
-			for _, r := range plan.Reductions {
+			for ri, r := range plan.Reductions {
 				for _, w := range r.Workers {
 					wNode, err := topo.NodeOf(w)
 					if err != nil {
@@ -555,12 +660,17 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 						return err
 					}
 					pc.Switch(PhaseEncode)
-					contribution := make([]byte, hi-lo)
+					// Pooled, not zeroed: the scalar multiply fully
+					// overwrites the region. Ownership passes to contribute
+					// or to the send queue.
+					contribution := c.buf.Get(hi - lo)
 					if err := c.scalarMulPooled(coef, contribution, packets[w][lo:hi]); err != nil {
+						c.buf.Put(contribution)
 						return err
 					}
 					tNode, err := topo.NodeOf(r.Target)
 					if err != nil {
+						c.buf.Put(contribution)
 						return err
 					}
 					k := reduceKey{group: r.Group, parity: r.ParityIndex, buf: b}
@@ -569,7 +679,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 						contribute(k, contribution, false)
 					} else {
 						pc.Switch(PhaseP2P)
-						sendQueue <- outMsg{dstNode: tNode, tag: tagXOR(r.Group, r.ParityIndex), payload: contribution}
+						sendQueue <- outMsg{dstNode: tNode, tag: xorTags[ri], payload: contribution, pooled: true}
 					}
 				}
 			}
@@ -586,7 +696,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 					continue
 				}
 				pc.Switch(PhaseP2P)
-				sendQueue <- outMsg{dstNode: dstNode, tag: tagDataP2P(j, seg), payload: packets[w][lo:hi]}
+				sendQueue <- outMsg{dstNode: dstNode, tag: dataTags[w], payload: packets[w][lo:hi]}
 			}
 		}
 		return nil
@@ -622,17 +732,21 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	pc.Switch(PhasePromote)
 	if c.cfg.IncrementalCache {
 		for _, w := range localWorkers {
-			if err := stage(keyOwnPacket(w), packets[w]); err != nil {
+			if err := stage(c.keys.ownPacket[w], packets[w]); err != nil {
 				return 0, nil, err
 			}
 		}
 	}
 
 	// Stage the chunk and manifest; the caller commits after the barrier.
+	// The segments are recycled only on this success path: on error paths a
+	// straggling receiver goroutine may still write into them, so they are
+	// simply dropped there.
 	for s := range chunkSegs {
-		if err := stage(keySegment(myChunk, s), chunkSegs[s]); err != nil {
+		if err := stage(c.keys.segment[myChunk][s], chunkSegs[s]); err != nil {
 			return 0, nil, err
 		}
+		c.buf.Put(chunkSegs[s])
 	}
 	if err := stage(keyManifest(), manifestBlob(version, packetBytes, bufSize)); err != nil {
 		return 0, nil, err

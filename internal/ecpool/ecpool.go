@@ -147,6 +147,40 @@ func (p *Pool) RunSchedule(sched *bitmatrix.Schedule, data, out [][]byte) error 
 	return p.run(fns)
 }
 
+// XORReduce folds every source into dst (dst ^= srcs[0] ^ srcs[1] ^ ...)
+// split across the pool by byte range: each worker owns a contiguous slice
+// of dst and streams all sources through it, so the reduction of a whole
+// group costs one pool dispatch instead of one per contribution. Used for
+// the receiver-side XOR-reduction step of the checkpointing protocol.
+func (p *Pool) XORReduce(dst []byte, srcs [][]byte) error {
+	for i, src := range srcs {
+		if len(src) != len(dst) {
+			return fmt.Errorf("ecpool: xor-reduce length mismatch: dst=%d srcs[%d]=%d", len(dst), i, len(src))
+		}
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+	ranges := splitRange(len(dst), p.workers, 8)
+	if len(ranges) == 0 {
+		return nil
+	}
+	fns := make([]func() error, len(ranges))
+	for i, rg := range ranges {
+		lo, hi := rg[0], rg[1]
+		fns[i] = func() error {
+			d := dst[lo:hi]
+			for _, src := range srcs {
+				if err := gf.XORSlice(d, src[lo:hi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return p.run(fns)
+}
+
 // XOR computes dst ^= src split across the pool, used to parallelise the
 // XOR-reduction step of the checkpointing protocol.
 func (p *Pool) XOR(dst, src []byte) error {

@@ -157,6 +157,36 @@ func TestPoolXOR(t *testing.T) {
 	}
 }
 
+func TestPoolXORReduce(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	p := NewPool(3)
+	defer p.Close()
+	for _, srcCount := range []int{0, 1, 2, 5} {
+		for _, n := range []int{0, 1, 8, 1000, 64 * 1024} {
+			dst := make([]byte, n)
+			r.Read(dst)
+			want := append([]byte(nil), dst...)
+			srcs := make([][]byte, srcCount)
+			for s := range srcs {
+				srcs[s] = make([]byte, n)
+				r.Read(srcs[s])
+				for i := range want {
+					want[i] ^= srcs[s][i]
+				}
+			}
+			if err := p.XORReduce(dst, srcs); err != nil {
+				t.Fatalf("srcs=%d n=%d: %v", srcCount, n, err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Errorf("srcs=%d n=%d: XORReduce mismatch", srcCount, n)
+			}
+		}
+	}
+	if err := p.XORReduce(make([]byte, 3), [][]byte{make([]byte, 4)}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
 func TestPoolDefaultWorkers(t *testing.T) {
 	p := NewPool(0)
 	defer p.Close()
@@ -184,6 +214,9 @@ func TestPoolEncodeEmptyData(t *testing.T) {
 }
 
 func BenchmarkPoolEncode64MBWorkers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size 64 MB encode; run without -short")
+	}
 	code, err := erasure.New(2, 2)
 	if err != nil {
 		b.Fatal(err)

@@ -126,6 +126,9 @@ func TestEmptyDictRoundTrip(t *testing.T) {
 }
 
 func BenchmarkMarshal64MB(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size 64 MB marshal; run without -short")
+	}
 	sd := statedict.New()
 	ts, err := tensor.New(tensor.Float32, 4096, 4096) // 64 MB
 	if err != nil {

@@ -81,8 +81,39 @@ func (r *blobReader) str() (string, error) {
 
 func (r *blobReader) done() bool { return r.off >= len(r.buf) }
 
+// metaBlobSizeHint upper-bounds the encoded size of the meta entries, so a
+// pooled serialization buffer can be sized to avoid growth reallocation.
+func metaBlobSizeHint(entries []MetaEntry) int {
+	n := 2 * binary.MaxVarintLen64
+	for _, e := range entries {
+		n += len(e.Key) + 3*binary.MaxVarintLen64
+		switch e.Value.kind {
+		case KindString:
+			n += len(e.Value.s)
+		case KindBytes:
+			n += len(e.Value.by)
+		}
+	}
+	return n
+}
+
+// keysBlobSizeHint upper-bounds the encoded size of the tensor keys.
+func keysBlobSizeHint(entries []TensorEntry) int {
+	n := 2 * binary.MaxVarintLen64
+	for _, e := range entries {
+		n += len(e.Key) + (3+e.Tensor.Rank())*binary.MaxVarintLen64
+	}
+	return n
+}
+
 func encodeMeta(entries []MetaEntry) ([]byte, error) {
-	w := &blobWriter{}
+	return encodeMetaInto(nil, entries)
+}
+
+// encodeMetaInto serializes into buf (appending from length zero); pass a
+// pooled buffer to keep serialization off the allocator.
+func encodeMetaInto(buf []byte, entries []MetaEntry) ([]byte, error) {
+	w := &blobWriter{buf: buf[:0]}
 	w.uvarint(metaBlobMagic)
 	w.uvarint(uint64(len(entries)))
 	for _, e := range entries {
@@ -210,16 +241,21 @@ func TensorSizes(keysBlob []byte) ([]int, error) {
 }
 
 func encodeTensorKeys(entries []TensorEntry) ([]byte, error) {
-	w := &blobWriter{}
+	return encodeTensorKeysInto(nil, entries)
+}
+
+// encodeTensorKeysInto serializes into buf (appending from length zero).
+func encodeTensorKeysInto(buf []byte, entries []TensorEntry) ([]byte, error) {
+	w := &blobWriter{buf: buf[:0]}
 	w.uvarint(keysBlobMagic)
 	w.uvarint(uint64(len(entries)))
 	for _, e := range entries {
 		w.str(e.Key)
 		w.uvarint(uint64(e.Tensor.DType()))
-		shape := e.Tensor.Shape()
-		w.uvarint(uint64(len(shape)))
-		for _, s := range shape {
-			w.uvarint(uint64(s))
+		rank := e.Tensor.Rank()
+		w.uvarint(uint64(rank))
+		for i := 0; i < rank; i++ {
+			w.uvarint(uint64(e.Tensor.Dim(i)))
 		}
 	}
 	return w.buf, nil

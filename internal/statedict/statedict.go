@@ -15,6 +15,7 @@ package statedict
 import (
 	"fmt"
 
+	"eccheck/internal/bufpool"
 	"eccheck/internal/tensor"
 )
 
@@ -175,11 +176,25 @@ func (d *Decomposition) TensorBytes() int {
 // Decompose splits the dict into its three components. Tensor data buffers
 // are aliases of the dict's storage, not copies.
 func (sd *StateDict) Decompose() (*Decomposition, error) {
-	metaBlob, err := encodeMeta(sd.meta)
+	return sd.DecomposeWith(nil)
+}
+
+// DecomposeWith is Decompose drawing the small-blob serialization buffers
+// from pool (nil falls back to the allocator). The returned MetaBlob and
+// KeysBlob are pool-owned: once the round has consumed them — they are
+// copied on store and on send — the caller should Put them back. TensorData
+// always aliases the dict's storage and must never be Put.
+func (sd *StateDict) DecomposeWith(pool *bufpool.Pool) (*Decomposition, error) {
+	var metaBuf, keysBuf []byte
+	if pool != nil {
+		metaBuf = pool.Get(metaBlobSizeHint(sd.meta))
+		keysBuf = pool.Get(keysBlobSizeHint(sd.tensors))
+	}
+	metaBlob, err := encodeMetaInto(metaBuf, sd.meta)
 	if err != nil {
 		return nil, err
 	}
-	keysBlob, err := encodeTensorKeys(sd.tensors)
+	keysBlob, err := encodeTensorKeysInto(keysBuf, sd.tensors)
 	if err != nil {
 		return nil, err
 	}

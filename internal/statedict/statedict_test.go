@@ -1,9 +1,11 @@
 package statedict
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
+	"eccheck/internal/bufpool"
 	"eccheck/internal/tensor"
 )
 
@@ -143,6 +145,33 @@ func TestDecomposeReassembleRoundTrip(t *testing.T) {
 	if !sd.Equal(rebuilt) {
 		t.Error("round trip produced different dict")
 	}
+}
+
+// DecomposeWith must produce byte-identical blobs from pooled buffers, and
+// those blobs must round-trip through Reassemble.
+func TestDecomposeWithPoolMatchesDecompose(t *testing.T) {
+	sd := sampleDict(t)
+	plain, err := sd.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New()
+	pooled, err := sd.DecomposeWith(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.MetaBlob, pooled.MetaBlob) || !bytes.Equal(plain.KeysBlob, pooled.KeysBlob) {
+		t.Fatal("pooled decomposition blobs differ from allocator path")
+	}
+	rebuilt, err := Reassemble(pooled.MetaBlob, pooled.KeysBlob, pooled.TensorData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sd.Equal(rebuilt) {
+		t.Error("pooled round trip produced different dict")
+	}
+	pool.Put(pooled.MetaBlob)
+	pool.Put(pooled.KeysBlob)
 }
 
 // The decomposition must be zero-copy: buffers alias the dict tensors.

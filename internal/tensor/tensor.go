@@ -116,6 +116,12 @@ func (t *Tensor) DType() DType { return t.dtype }
 // Shape returns a copy of the tensor shape.
 func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
 
+// Rank returns the number of dimensions without copying the shape.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i without copying the shape.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
 // Numel returns the number of elements.
 func (t *Tensor) Numel() int {
 	n := 1

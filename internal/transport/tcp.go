@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"eccheck/internal/bufpool"
 	"eccheck/internal/obs"
 )
 
@@ -149,13 +150,16 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if payloadLen > maxFrameSize {
 			return
 		}
-		payload := make([]byte, payloadLen)
+		// Pooled: ownership passes to the Recv caller with the mailbox send.
+		payload := bufpool.Get(int(payloadLen))
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			bufpool.Put(payload)
 			return
 		}
 		select {
 		case e.box(mailboxKey{from: from, to: e.rank, tag: string(tag)}) <- payload:
 		case <-e.closed:
+			bufpool.Put(payload)
 			return
 		}
 	}
@@ -218,7 +222,13 @@ func (e *TCPEndpoint) dialRetry(ctx context.Context, to int, addr string) (net.C
 	dials, retries, failures := e.dials, e.dialRetries, e.dialFailures
 	e.mu.Unlock()
 	dials.Inc()
-	deadline := time.Now().Add(dialRetryFor)
+	retryFor := dialRetryFor
+	// An op timeout bounds the whole operation, dial included. Dialing is
+	// the cold path, so plain deadline arithmetic (no pooled timer) is fine.
+	if ot := opTimeout(ctx); ot > 0 && ot < retryFor {
+		retryFor = ot
+	}
+	deadline := time.Now().Add(retryFor)
 	backoff := dialBackoffMin
 	for {
 		c, err := d.DialContext(ctx, "tcp", addr)
@@ -263,7 +273,11 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, tag string, payload []by
 	if err != nil {
 		return err
 	}
-	frame := make([]byte, 0, 12+len(tag)+len(payload))
+	// Framing scratch is pooled; the appends below stay within the
+	// requested capacity, so the buffer is recycled after the write.
+	raw := bufpool.Get(12 + len(tag) + len(payload))
+	defer bufpool.Put(raw)
+	frame := raw[:0]
 	var u [4]byte
 	binary.LittleEndian.PutUint32(u[:], uint32(e.rank))
 	frame = append(frame, u[:]...)
@@ -294,11 +308,15 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, tag string, payload []by
 // Recv blocks until a frame from the peer with the tag arrives.
 func (e *TCPEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, error) {
 	ch := e.box(mailboxKey{from: from, to: e.rank, tag: tag})
+	tm, timeout := opTimer(ctx)
+	defer putOpTimer(tm)
 	select {
 	case payload := <-ch:
 		return payload, nil
 	case <-e.closed:
 		return nil, fmt.Errorf("transport: endpoint closed")
+	case <-timeout:
+		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, context.DeadlineExceeded)
 	case <-ctx.Done():
 		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ctx.Err())
 	}

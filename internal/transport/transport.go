@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"eccheck/internal/bufpool"
 )
 
 // ErrPeerGone marks a send or receive that can never complete because the
@@ -20,15 +23,77 @@ import (
 // errors.Is.
 var ErrPeerGone = errors.New("transport: peer gone")
 
-// Endpoint is one node's attachment to the network.
+// opTimeoutKey carries the per-operation timeout through a context as a
+// plain value. Unlike context.WithTimeout — which allocates a context, a
+// Done channel and a timer on every call — a WithOpTimeout context is
+// built once and reused across every Send/Recv of a round; the endpoints
+// arm a pooled timer per operation instead.
+type opTimeoutKey struct{}
+
+// WithOpTimeout returns a context instructing this package's endpoints to
+// bound each individual Send and Recv by d (measured from the start of the
+// operation, not from this call). The returned context is reusable across
+// any number of operations. Cancellation of ctx still interrupts
+// operations immediately; the timeout is an additional liveness bound.
+func WithOpTimeout(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, opTimeoutKey{}, d)
+}
+
+// opTimeout extracts the per-operation timeout, 0 when absent.
+func opTimeout(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(opTimeoutKey{}).(time.Duration)
+	return d
+}
+
+// timerPool recycles the op-timeout timers so an armed deadline costs no
+// allocation at steady state.
+var timerPool sync.Pool
+
+// opTimer arms a timer for the context's op timeout, or returns nil (and a
+// nil channel, blocking forever in a select) when none is set.
+func opTimer(ctx context.Context) (*time.Timer, <-chan time.Time) {
+	d := opTimeout(ctx)
+	if d <= 0 {
+		return nil, nil
+	}
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t, t.C
+	}
+	t := time.NewTimer(d)
+	return t, t.C
+}
+
+// putOpTimer disarms and recycles a timer from opTimer; nil is a no-op.
+func putOpTimer(t *time.Timer) {
+	if t == nil {
+		return
+	}
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// Endpoint is one node's attachment to the network. Implementations must
+// honor a WithOpTimeout bound on the context: each individual operation
+// fails with context.DeadlineExceeded once the bound elapses.
 type Endpoint interface {
 	// Rank returns this endpoint's node index.
 	Rank() int
 	// Send delivers payload to node `to` under the given tag. It blocks
-	// only on backpressure, not on the receiver posting a Recv first.
+	// only on backpressure, not on the receiver posting a Recv first. The
+	// payload is copied (or fully written) before Send returns, so the
+	// caller may immediately reuse or recycle its buffer.
 	Send(ctx context.Context, to int, tag string, payload []byte) error
 	// Recv returns the next payload sent by node `from` under the tag,
-	// blocking until one arrives or the context is done.
+	// blocking until one arrives or the context is done. The returned
+	// buffer is owned by the caller; it may come from bufpool.Default, so
+	// callers that are done with it may Put it back (and must not if the
+	// data stays live).
 	Recv(ctx context.Context, from int, tag string) ([]byte, error)
 	// Close releases the endpoint's resources.
 	Close() error
@@ -122,20 +187,30 @@ func (e *memEndpoint) Send(ctx context.Context, to int, tag string, payload []by
 		return fmt.Errorf("transport: send to node %d out of range [0, %d)", to, e.net.size)
 	}
 	// Copy so the sender may immediately reuse its buffer, exactly like a
-	// real network write.
-	cp := append([]byte(nil), payload...)
+	// real network write. The copy is pooled; ownership passes to the
+	// receiver with the channel send.
+	cp := bufpool.Get(len(payload))
+	copy(cp, payload)
 	ch, err := e.net.box(mailboxKey{from: e.rank, to: to, tag: tag})
 	if err != nil {
+		bufpool.Put(cp)
 		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, err)
 	}
+	tm, timeout := opTimer(ctx)
+	defer putOpTimer(tm)
 	select {
 	case ch <- cp:
 		return nil
 	case <-e.net.closed:
 		// The receiver died under us (network torn down mid-send): report
 		// it distinguishably so callers do not mistake it for backpressure.
+		bufpool.Put(cp)
 		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, ErrPeerGone)
+	case <-timeout:
+		bufpool.Put(cp)
+		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, context.DeadlineExceeded)
 	case <-ctx.Done():
+		bufpool.Put(cp)
 		return fmt.Errorf("transport: send to %d tag %q: %w", to, tag, ctx.Err())
 	}
 }
@@ -148,11 +223,15 @@ func (e *memEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte, e
 	if err != nil {
 		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, err)
 	}
+	tm, timeout := opTimer(ctx)
+	defer putOpTimer(tm)
 	select {
 	case payload := <-ch:
 		return payload, nil
 	case <-e.net.closed:
 		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ErrPeerGone)
+	case <-timeout:
+		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, context.DeadlineExceeded)
 	case <-ctx.Done():
 		return nil, fmt.Errorf("transport: recv from %d tag %q: %w", from, tag, ctx.Err())
 	}
