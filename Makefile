@@ -27,9 +27,10 @@ test:
 # The concurrency-sensitive packages under the race detector. internal/core
 # runs the full save/load protocol across node goroutines and internal/obs
 # is the lock-free metrics layer they all record into, so both are part of
-# the gate despite the longer runtime.
+# the gate despite the longer runtime. The root package exercises the
+# public SaveAsync/Close lifecycle (snapshot-and-drain, close-during-save).
 race:
-	$(GO) test -race $(TESTFLAGS) ./internal/transport ./internal/cluster ./internal/chaos ./internal/obs ./internal/core ./internal/bufpool ./internal/ecpool
+	$(GO) test -race $(TESTFLAGS) . ./internal/transport ./internal/cluster ./internal/chaos ./internal/obs ./internal/core ./internal/bufpool ./internal/ecpool
 
 # Seeded chaos smoke test: replication head-to-head, a mid-save kill, and
 # a corruption-as-erasure recovery, all deterministic.

@@ -1,0 +1,113 @@
+package eccheck_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"eccheck"
+)
+
+// TestPublicAPISaveAsync drives the snapshot-and-drain path through the
+// public surface: the handle's report partitions stall vs overlap, the
+// committed checkpoint round-trips, and a second handle waits its turn.
+func TestPublicAPISaveAsync(t *testing.T) {
+	sys, dicts := smallSystem(t)
+	ctx := context.Background()
+
+	h, err := sys.SaveAsync(ctx, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || sys.Version() != 1 {
+		t.Errorf("version = %d/%d, want 1", rep.Version, sys.Version())
+	}
+	if rep.StallNs <= 0 || rep.StallNs+rep.OverlapNs != rep.Elapsed {
+		t.Errorf("stall %v + overlap %v != elapsed %v", rep.StallNs, rep.OverlapNs, rep.Elapsed)
+	}
+
+	got, lr, err := sys.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Version != 1 {
+		t.Errorf("loaded version %d", lr.Version)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(got[rank]) {
+			t.Errorf("rank %d state differs after async round-trip", rank)
+		}
+	}
+
+	// The async phase accounting exposes the new "stage" phase name.
+	phases := eccheck.SavePhases()
+	found := false
+	for _, ph := range phases {
+		if ph == "stage" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SavePhases() = %v, want to include \"stage\"", phases)
+	}
+}
+
+// TestPublicAPICloseDuringSave closes a system while a save is in flight;
+// every outcome must be typed — committed before Close, or a lifecycle
+// error — and Close itself must report thrown-away work.
+func TestPublicAPICloseDuringSave(t *testing.T) {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes:       4,
+		GPUsPerNode: 2,
+		TPDegree:    2,
+		PPStages:    4,
+		K:           2,
+		M:           2,
+		BufferSize:  64 << 10,
+		Chaos:       &eccheck.ChaosPlan{Seed: 7, Latency: 3 * time.Millisecond},
+		OpTimeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 42
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	h, err := sys.SaveAsync(ctx, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeErr := sys.Close()
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Close returned while the drain was still running")
+	}
+	if err := h.Err(); err == nil {
+		// The drain won the race and committed: Close has nothing to report.
+		if closeErr != nil {
+			t.Errorf("round committed but Close() = %v", closeErr)
+		}
+	} else {
+		if !errors.Is(err, eccheck.ErrSaveAborted) {
+			t.Errorf("aborted round Err() = %v, want ErrSaveAborted", err)
+		}
+		if !errors.Is(closeErr, eccheck.ErrSaveAborted) {
+			t.Errorf("Close() = %v, want error wrapping ErrSaveAborted", closeErr)
+		}
+	}
+	if _, err := sys.Save(ctx, dicts); !errors.Is(err, eccheck.ErrClosed) {
+		t.Errorf("Save after Close = %v, want ErrClosed", err)
+	}
+}

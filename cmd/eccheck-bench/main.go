@@ -10,6 +10,7 @@
 //	eccheck-bench -list
 //	eccheck-bench -metrics-out metrics.json fig11
 //	eccheck-bench -bench-out BENCH.json
+//	eccheck-bench -stall-out BENCH_STALL.json
 //
 // -metrics-out additionally runs one fully instrumented functional
 // checkpoint round (save, integrity verification, failure, recovery) on a
@@ -94,6 +95,10 @@ func experiments() []experiment {
 			_, err := harness.IncrementalStudy(w)
 			return err
 		})},
+		{"async", "SaveAsync stall vs background drain across model scales (functional layer)", wrap(func(w io.Writer) error {
+			_, err := harness.AsyncStudy(w)
+			return err
+		})},
 	}
 }
 
@@ -155,6 +160,7 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	metricsOut := flag.String("metrics-out", "", "run an instrumented functional round and write its metric snapshot as JSON to this file")
 	benchOut := flag.String("bench-out", "", "measure steady-state save rounds, encode bandwidth and the XOR kernel (throughput, allocs/op, B/op) and write the JSON snapshot to this file")
+	stallOut := flag.String("stall-out", "", "measure sync Save wall time vs SaveAsync blocking time vs the offload-phase floor and write the JSON snapshot to this file")
 	flag.Parse()
 
 	exps := experiments()
@@ -166,7 +172,7 @@ func run() int {
 	}
 
 	selected := flag.Args()
-	if len(selected) == 0 && *metricsOut == "" && *benchOut == "" {
+	if len(selected) == 0 && *metricsOut == "" && *benchOut == "" && *stallOut == "" {
 		for _, e := range exps {
 			selected = append(selected, e.name)
 		}
@@ -207,6 +213,14 @@ func run() int {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "wrote bench snapshot to %s\n", *benchOut)
+		}
+	}
+	if *stallOut != "" {
+		if err := runStallOut(*stallOut); err != nil {
+			fmt.Fprintf(os.Stderr, "stall dump: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote stall snapshot to %s\n", *stallOut)
 		}
 	}
 	if failed {

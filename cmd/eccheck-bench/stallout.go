@@ -1,0 +1,187 @@
+package main
+
+// Stall-time measurement: how long training actually blocks per checkpoint.
+//
+// runStallOut compares, on the same warmed-up in-process cluster, the wall
+// time of the synchronous Save against the blocking portion of SaveAsync
+// (the snapshot stage) and against the slowest node's offload work
+// (serialize + offload phases) — the analytic floor the blocking time
+// should sit on. The committed BENCH_*.json snapshots record the ratio so
+// CI can catch the async path regressing into "blocks for the whole round".
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eccheck"
+)
+
+// stallRound is one paired sync/async measurement.
+type stallRound struct {
+	SyncNs       int64 `json:"sync_ns"`
+	AsyncBlockNs int64 `json:"async_block_ns"`
+	AsyncTotalNs int64 `json:"async_total_ns"`
+	OverlapNs    int64 `json:"overlap_ns"`
+	// OffloadNs is the snapshot-stage floor: per-node serialize+offload
+	// work divided by the effective parallelism (see offloadFloorNs).
+	OffloadNs int64 `json:"offload_ns"`
+}
+
+// stallDump is the machine-readable stall-time snapshot.
+type stallDump struct {
+	Schema       string       `json:"schema"`
+	Env          benchEnv     `json:"env"`
+	Nodes        int          `json:"nodes"`
+	K            int          `json:"k"`
+	M            int          `json:"m"`
+	BufferBytes  int          `json:"buffer_bytes"`
+	PayloadBytes int64        `json:"payload_bytes"`
+	Rounds       []stallRound `json:"rounds"`
+	// Means over the measured rounds.
+	MeanSyncNs       int64 `json:"mean_sync_ns"`
+	MeanAsyncBlockNs int64 `json:"mean_async_block_ns"`
+	MeanOffloadNs    int64 `json:"mean_offload_ns"`
+	// BlockToOffload is mean_async_block / mean_offload: 1.0 means
+	// SaveAsync returns the moment the offload finishes; the acceptance
+	// bound for the async design is |ratio - 1| <= 0.15.
+	BlockToOffload float64 `json:"block_to_offload"`
+	// BlockToSync is mean_async_block / mean_sync: the fraction of a full
+	// round training still stalls for under SaveAsync.
+	BlockToSync float64 `json:"block_to_sync"`
+}
+
+// offloadFloorNs returns the snapshot-stage floor from a save report: the
+// per-node serialize + offload work divided by the effective parallelism.
+// The node snapshots run on one goroutine per node, so with enough cores
+// the floor is (approximately) the slowest node; on fewer cores the
+// goroutines time-share and the floor is the aggregate work. SaveAsync's
+// blocking time cannot beat this floor, and should sit close above it.
+func offloadFloorNs(rep *eccheck.SaveReport) int64 {
+	var sum time.Duration
+	for _, phases := range rep.NodePhases {
+		sum += phases["serialize"] + phases["offload"]
+	}
+	par := runtime.GOMAXPROCS(0)
+	if n := len(rep.NodePhases); par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	return sum.Nanoseconds() / int64(par)
+}
+
+// measureStall runs the paired sync/async rounds and aggregates the dump.
+func measureStall(rounds int) (stallDump, error) {
+	const (
+		nodes, gpus = 4, 2
+		k, m        = 2, 2
+		bufferBytes = 256 << 10
+	)
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: nodes, GPUsPerNode: gpus, TPDegree: 2, PPStages: 4,
+		K: k, M: m, BufferSize: bufferBytes, DisableRemote: true,
+	})
+	if err != nil {
+		return stallDump{}, err
+	}
+	defer sys.Close()
+
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 7
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		return stallDump{}, err
+	}
+	var payload int64
+	for _, sd := range dicts {
+		payload += int64(sd.TensorBytes())
+	}
+	ctx := context.Background()
+	// Warm up pools, mailboxes and metric instruments on both paths.
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		return stallDump{}, err
+	}
+	if h, err := sys.SaveAsync(ctx, dicts); err != nil {
+		return stallDump{}, err
+	} else if _, err := h.Wait(ctx); err != nil {
+		return stallDump{}, err
+	}
+
+	dump := stallDump{
+		Schema: "eccheck-stall/v1",
+		Env: benchEnv{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Nodes:        nodes,
+		K:            k,
+		M:            m,
+		BufferBytes:  bufferBytes,
+		PayloadBytes: payload,
+	}
+	var sumSync, sumBlock, sumOffload int64
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := sys.Save(ctx, dicts); err != nil {
+			return stallDump{}, err
+		}
+		syncNs := time.Since(start).Nanoseconds()
+
+		h, err := sys.SaveAsync(ctx, dicts)
+		if err != nil {
+			return stallDump{}, err
+		}
+		rep, err := h.Wait(ctx)
+		if err != nil {
+			return stallDump{}, err
+		}
+		r := stallRound{
+			SyncNs:       syncNs,
+			AsyncBlockNs: rep.StallNs.Nanoseconds(),
+			AsyncTotalNs: rep.Elapsed.Nanoseconds(),
+			OverlapNs:    rep.OverlapNs.Nanoseconds(),
+			OffloadNs:    offloadFloorNs(rep),
+		}
+		if r.OffloadNs <= 0 {
+			return stallDump{}, fmt.Errorf("round %d recorded no offload phase", i)
+		}
+		dump.Rounds = append(dump.Rounds, r)
+		sumSync += r.SyncNs
+		sumBlock += r.AsyncBlockNs
+		sumOffload += r.OffloadNs
+	}
+	n := int64(rounds)
+	dump.MeanSyncNs = sumSync / n
+	dump.MeanAsyncBlockNs = sumBlock / n
+	dump.MeanOffloadNs = sumOffload / n
+	dump.BlockToOffload = float64(dump.MeanAsyncBlockNs) / float64(dump.MeanOffloadNs)
+	dump.BlockToSync = float64(dump.MeanAsyncBlockNs) / float64(dump.MeanSyncNs)
+	return dump, nil
+}
+
+// runStallOut produces the machine-readable stall-time snapshot.
+func runStallOut(path string) error {
+	dump, err := measureStall(10)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

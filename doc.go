@@ -46,6 +46,25 @@
 // data chunks survive, distributed decode otherwise — and then rebuilds
 // the lost chunks so the full fault-tolerance capacity is restored.
 //
+// # Asynchronous checkpointing
+//
+// SaveAsync splits the round at the paper's stall boundary: it blocks only
+// through step 1 (the snapshot — decompose and DtoH offload into pooled
+// host staging buffers) and returns a SaveHandle while steps 2-5 drain on
+// background goroutines. Training resumes immediately; the previous
+// checkpoint stays committed and loadable until the drain passes the
+// commit barrier, so a crash mid-drain degrades to the old version:
+//
+//	h, err := sys.SaveAsync(ctx, dicts)   // blocks ~offload time only
+//	// ... training continues; sys.Version() still reports the old version
+//	report, err := h.Wait(ctx)            // or select on h.Done()
+//	fmt.Println(report.StallNs, report.OverlapNs)  // stall vs overlapped drain
+//
+// A second save while a drain is in flight waits its turn (SaveAsync) or
+// fails fast with ErrSaveInFlight (Save, SaveIncremental). Close aborts
+// any in-flight drain and reports the thrown-away work by wrapping
+// ErrSaveAborted.
+//
 // # Failure model
 //
 // The robustness layer covers the three failure classes an in-memory
@@ -70,8 +89,8 @@
 // renderable as Prometheus exposition text (Snapshot.WriteText) or JSON
 // (Snapshot.WriteJSON). Each SaveReport and LoadReport additionally breaks
 // its round's wall time into an exclusive phase partition (SaveReport.Phases
-// over SavePhases: offload, serialize, encode, xor, p2p, barrier, promote,
-// persist) whose durations sum to the round's elapsed time. Recording is
+// over SavePhases: offload, serialize, encode, xor, stage, p2p, barrier,
+// promote, persist) whose durations sum to the round's elapsed time. Recording is
 // lock-free atomic arithmetic, so the instrumentation stays on
 // unconditionally.
 //

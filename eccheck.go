@@ -2,6 +2,7 @@ package eccheck
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -191,10 +192,17 @@ func Initialize(cfg Config) (*System, error) {
 // Snapshot.Histogram.
 func (s *System) Metrics() Snapshot { return s.metrics.Snapshot() }
 
-// Close releases the system's resources.
+// Close releases the system's resources. Any in-flight round — a SaveAsync
+// drain, a concurrent Save, a Load — is cancelled and waited for before the
+// network is torn down, so no protocol goroutine outlives the System. When
+// in-flight work had to be thrown away, Close reports it with an error
+// wrapping ErrSaveAborted (the checkpoint state is still consistent: the
+// previous committed version remains loadable). A round that managed to
+// commit before the cancellation landed is not an error.
 func (s *System) Close() error {
-	s.ckpt.Close()
-	return s.net.Close()
+	errCkpt := s.ckpt.Close()
+	errNet := s.net.Close()
+	return errors.Join(errCkpt, errNet)
 }
 
 // Topology returns the training topology.
@@ -204,9 +212,24 @@ func (s *System) Topology() *Topology { return s.topo }
 func (s *System) Version() int { return s.ckpt.Version() }
 
 // Save checkpoints all workers' state dicts (indexed by world rank) into
-// erasure-coded in-memory chunks: the paper's eccheck.save.
+// erasure-coded in-memory chunks: the paper's eccheck.save. It blocks
+// through the whole round. If another save round is already in flight it
+// fails fast with ErrSaveInFlight (use SaveAsync to wait instead).
 func (s *System) Save(ctx context.Context, dicts []*StateDict) (*SaveReport, error) {
 	return s.ckpt.Save(ctx, dicts)
+}
+
+// SaveAsync checkpoints with the snapshot-and-drain split: it blocks only
+// through step 1 (the DtoH offload of every worker's tensor state into host
+// staging buffers) and returns a SaveHandle while encoding, XOR reduction,
+// P2P placement, commit and remote persistence drain on background
+// goroutines. Training may resume — and mutate the live dicts — the moment
+// SaveAsync returns. The previous checkpoint stays committed and loadable
+// until the drain passes the commit barrier; a crash mid-drain degrades
+// recovery to the previous version. If another save round is in flight,
+// SaveAsync waits for its drain to finish before starting.
+func (s *System) SaveAsync(ctx context.Context, dicts []*StateDict) (*SaveHandle, error) {
+	return s.ckpt.SaveAsync(ctx, dicts)
 }
 
 // Load recovers the latest checkpoint from the surviving in-memory chunks,
@@ -219,8 +242,11 @@ func (s *System) Load(ctx context.Context) ([]*StateDict, *LoadReport, error) {
 
 // LoadFromRemote recovers from the remote persistence tier (catastrophic
 // failures beyond M machines). Version 0 selects the newest persisted one.
-func (s *System) LoadFromRemote(version int) ([]*StateDict, error) {
-	return s.ckpt.LoadFromRemote(version)
+// The context bounds the whole restore; each remote fetch additionally
+// honors the system's configured OpTimeout, so a hung remote tier surfaces
+// as a bounded error instead of a frozen recovery.
+func (s *System) LoadFromRemote(ctx context.Context, version int) ([]*StateDict, error) {
+	return s.ckpt.LoadFromRemote(ctx, version)
 }
 
 // FailNode simulates a machine failure: the node's volatile host memory —

@@ -178,7 +178,7 @@ func TestRemoteDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = sys.Close() }()
-	if _, err := sys.LoadFromRemote(0); err == nil {
+	if _, err := sys.LoadFromRemote(context.Background(), 0); err == nil {
 		t.Error("remote disabled: want error")
 	}
 }

@@ -57,7 +57,7 @@ func NewBase1(topo *parallel.Topology, remote *remotestore.Store) (*Base1, error
 func base1Key(version, rank int) string { return fmt.Sprintf("base1/v%d/rank%d", version, rank) }
 
 // Save implements Checkpointer.
-func (b *Base1) Save(_ context.Context, dicts []*statedict.StateDict) error {
+func (b *Base1) Save(ctx context.Context, dicts []*statedict.StateDict) error {
 	if len(dicts) != b.topo.World() {
 		return fmt.Errorf("baseline: base1 got %d dicts, want %d", len(dicts), b.topo.World())
 	}
@@ -67,7 +67,7 @@ func (b *Base1) Save(_ context.Context, dicts []*statedict.StateDict) error {
 		if err != nil {
 			return fmt.Errorf("baseline: base1 rank %d: %w", rank, err)
 		}
-		if _, err := b.remote.Put(0, base1Key(version, rank), blob); err != nil {
+		if _, err := b.remote.Put(ctx, 0, base1Key(version, rank), blob); err != nil {
 			return err
 		}
 	}
@@ -76,13 +76,13 @@ func (b *Base1) Save(_ context.Context, dicts []*statedict.StateDict) error {
 }
 
 // Load implements Checkpointer.
-func (b *Base1) Load(_ context.Context) ([]*statedict.StateDict, error) {
+func (b *Base1) Load(ctx context.Context) ([]*statedict.StateDict, error) {
 	if b.version == 0 {
 		return nil, fmt.Errorf("baseline: base1 has no checkpoint")
 	}
 	out := make([]*statedict.StateDict, b.topo.World())
 	for rank := range out {
-		blob, _, err := b.remote.Get(0, base1Key(b.version, rank))
+		blob, _, err := b.remote.Get(ctx, 0, base1Key(b.version, rank))
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +119,7 @@ func NewBase2(topo *parallel.Topology, remote *remotestore.Store) (*Base2, error
 func base2Key(version, rank int) string { return fmt.Sprintf("base2/v%d/rank%d", version, rank) }
 
 // Save implements Checkpointer.
-func (b *Base2) Save(_ context.Context, dicts []*statedict.StateDict) error {
+func (b *Base2) Save(ctx context.Context, dicts []*statedict.StateDict) error {
 	if len(dicts) != b.topo.World() {
 		return fmt.Errorf("baseline: base2 got %d dicts, want %d", len(dicts), b.topo.World())
 	}
@@ -135,7 +135,7 @@ func (b *Base2) Save(_ context.Context, dicts []*statedict.StateDict) error {
 		if err != nil {
 			return fmt.Errorf("baseline: base2 rank %d: %w", rank, err)
 		}
-		if _, err := b.remote.Put(0, base2Key(version, rank), blob); err != nil {
+		if _, err := b.remote.Put(ctx, 0, base2Key(version, rank), blob); err != nil {
 			return err
 		}
 	}
@@ -144,13 +144,13 @@ func (b *Base2) Save(_ context.Context, dicts []*statedict.StateDict) error {
 }
 
 // Load implements Checkpointer.
-func (b *Base2) Load(_ context.Context) ([]*statedict.StateDict, error) {
+func (b *Base2) Load(ctx context.Context) ([]*statedict.StateDict, error) {
 	if b.version == 0 {
 		return nil, fmt.Errorf("baseline: base2 has no checkpoint")
 	}
 	out := make([]*statedict.StateDict, b.topo.World())
 	for rank := range out {
-		blob, _, err := b.remote.Get(0, base2Key(b.version, rank))
+		blob, _, err := b.remote.Get(ctx, 0, base2Key(b.version, rank))
 		if err != nil {
 			return nil, err
 		}

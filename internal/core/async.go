@@ -1,0 +1,418 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"eccheck/internal/obs"
+	"eccheck/internal/serialize"
+	"eccheck/internal/statedict"
+	"eccheck/internal/transport"
+)
+
+// Asynchronous snapshot-and-drain checkpointing. The paper's central claim
+// is that ECCheck stalls training only for the DtoH offload: once each
+// worker's tensor state is copied into host staging buffers, training
+// resumes while serialization, encoding, XOR reduction, P2P placement,
+// commit and remote persistence drain in the background. SaveAsync is that
+// split made explicit: it blocks through step 1 (the snapshot) and returns
+// a SaveHandle while the rest of the round drains on background
+// goroutines. The previous checkpoint version stays committed and loadable
+// until the drain passes the commit barrier, so a crash mid-drain degrades
+// to the old version exactly like a crash mid-Save.
+
+// SaveHandle tracks one save round from the moment its snapshot stage
+// returned until the background drain commits (or aborts). It is returned
+// by SaveAsync; the synchronous paths use it internally.
+type SaveHandle struct {
+	done chan struct{}
+
+	// cancel aborts the drain; installed before the drain goroutine
+	// starts, used by Close. abortMu orders abort() against installation.
+	abortMu sync.Mutex
+	cancel  context.CancelFunc
+
+	// stall is the blocking portion: the snapshot stage's wall time.
+	stall time.Duration
+
+	mu     sync.Mutex
+	report *SaveReport
+	err    error
+}
+
+func newSaveHandle() *SaveHandle { return &SaveHandle{done: make(chan struct{})} }
+
+// Done returns a channel closed when the round has fully drained —
+// committed or aborted. After Done, Err and the report are final.
+func (h *SaveHandle) Done() <-chan struct{} { return h.done }
+
+// Err returns nil while the drain is still running or if it committed, and
+// the round's error if it aborted. Unlike Wait it never blocks.
+func (h *SaveHandle) Err() error {
+	select {
+	case <-h.done:
+	default:
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Wait blocks until the round has drained and returns its report. The
+// context bounds only the waiting: cancelling it abandons the wait, not
+// the drain. On an aborted round Wait returns the round's error and the
+// previous checkpoint version remains committed and loadable.
+func (h *SaveHandle) Wait(ctx context.Context) (*SaveReport, error) {
+	select {
+	case <-h.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.report, h.err
+}
+
+// Stall returns the blocking portion of the round: the wall time of the
+// snapshot stage SaveAsync blocked for. Available as soon as SaveAsync
+// returns.
+func (h *SaveHandle) Stall() time.Duration { return h.stall }
+
+// abort cancels the round's drain (used by Close). Safe before the drain
+// context exists and after the round finished.
+func (h *SaveHandle) abort() {
+	h.abortMu.Lock()
+	cancel := h.cancel
+	h.abortMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// setCancel installs the drain's cancel func, firing it immediately if
+// abort already ran.
+func (h *SaveHandle) setCancel(cancel context.CancelFunc) {
+	h.abortMu.Lock()
+	h.cancel = cancel
+	h.abortMu.Unlock()
+}
+
+// complete finalizes the handle. Exactly one of report/err is set.
+func (h *SaveHandle) complete(report *SaveReport, err error) {
+	h.mu.Lock()
+	h.report, h.err = report, err
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// saveMode selects the policy differences between Save and SaveAsync.
+type saveMode struct {
+	// waitInflight makes slot acquisition wait for an in-flight round
+	// (SaveAsync) instead of failing with ErrSaveInFlight (Save).
+	waitInflight bool
+	// detach unbinds the drain from the caller's context cancellation:
+	// after SaveAsync returns, cancelling the caller's context must not
+	// kill the background round. Context values (op deadlines, span
+	// parents) are preserved.
+	detach bool
+	// guardHeld marks the save slot as already acquired by the caller
+	// (SaveIncremental's full-save fallback); the round still releases it.
+	guardHeld bool
+}
+
+// SaveAsync checkpoints all workers' state dicts with the snapshot-and-
+// drain split: it blocks only through step 1 — the DtoH offload of every
+// worker's tensor state into host staging buffers — and returns a
+// SaveHandle while serialization, encoding, XOR reduction, P2P placement,
+// commit and remote persistence drain on background goroutines.
+//
+// Training may resume (and mutate the live dicts) the moment SaveAsync
+// returns: the snapshot owns private copies of all tensor bytes. The
+// previous checkpoint version stays committed and loadable until the drain
+// passes the commit barrier; a crash or kill mid-drain aborts the round
+// and degrades recovery to the previous version. If another save round is
+// in flight, SaveAsync waits for its drain to finish before starting
+// (the documented policy; the non-blocking Save/SaveIncremental paths
+// return ErrSaveInFlight instead). Cancelling ctx after SaveAsync returns
+// does not abort the drain — use Close for that — but per-operation
+// deadlines still bound every transport step of the round.
+func (c *Checkpointer) SaveAsync(ctx context.Context, dicts []*statedict.StateDict) (*SaveHandle, error) {
+	return c.startSave(ctx, dicts, saveMode{waitInflight: true, detach: true})
+}
+
+// startSave validates the round, claims the save slot, runs the snapshot
+// stage (blocking) and spawns the drain. It is the shared engine under
+// Save, SaveAsync and SaveIncremental's full-save fallback.
+func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDict, mode saveMode) (*SaveHandle, error) {
+	started := time.Now()
+	world := c.cfg.Topo.World()
+	if len(dicts) != world {
+		return nil, fmt.Errorf("core: got %d state dicts, want world size %d", len(dicts), world)
+	}
+	for rank, sd := range dicts {
+		if sd == nil {
+			return nil, fmt.Errorf("core: nil state dict for rank %d", rank)
+		}
+	}
+	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
+		if !c.clus.Alive(node) {
+			return nil, fmt.Errorf("core: cannot checkpoint with node %d failed", node)
+		}
+	}
+
+	// Agree on the packet size: the aligned maximum tensor payload. In the
+	// real system this is part of the state synchronization that precedes
+	// every checkpoint.
+	packetBytes := 0
+	for _, sd := range dicts {
+		if b := sd.TensorBytes(); b > packetBytes {
+			packetBytes = b
+		}
+	}
+	packetBytes = c.code.ChunkAlign(packetBytes)
+	if packetBytes == 0 {
+		return nil, fmt.Errorf("core: all state dicts are empty")
+	}
+
+	h := newSaveHandle()
+	if mode.guardHeld {
+		// The caller holds the slot; adopt it so this round releases it.
+		// The caller's own handle stays live (it completes after this round
+		// does), so Close waiting on either handle is safe.
+		c.lc.mu.Lock()
+		if c.lc.closed {
+			c.lc.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c.lc.inflight = h
+		c.lc.mu.Unlock()
+	} else if err := c.acquireSave(ctx, mode.waitInflight, h); err != nil {
+		return nil, err
+	}
+	version := int(c.version.Load()) + 1
+
+	ctx, saveSpan := obs.StartSpan(ctx, c.cfg.Metrics, "save")
+
+	// --- Snapshot stage (blocking): step 1 on every node in parallel.
+	// Pure local memory work — decompose, serialize small components, DtoH
+	// packet copy — no network, so a snapshot cannot hang on a peer.
+	snaps := make([]*nodeSnapshot, c.cfg.Topo.Nodes())
+	snapErrc := make(chan error, c.cfg.Topo.Nodes())
+	var snapWG sync.WaitGroup
+	// The per-node section (snapshot through drain) starts here; drainSave
+	// measures synchronization skew against this mark so the phase
+	// breakdown keeps summing to the round's wall time across the
+	// snapshot→drain goroutine handoff.
+	sectionStart := time.Now()
+	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
+		snapWG.Add(1)
+		go func(node int) {
+			defer snapWG.Done()
+			snap, err := c.snapshotNode(node, packetBytes, dicts)
+			if err != nil {
+				snapErrc <- fmt.Errorf("core: node %d snapshot: %w", node, err)
+				return
+			}
+			snaps[node] = snap
+		}(node)
+	}
+	snapWG.Wait()
+	close(snapErrc)
+	if err := <-snapErrc; err != nil {
+		for _, snap := range snaps {
+			if snap != nil {
+				snap.release(c)
+			}
+		}
+		saveSpan.End()
+		c.releaseSave(h)
+		return nil, err
+	}
+	h.stall = time.Since(started)
+
+	// --- Drain stage (background): everything after the offload.
+	drainCtx := ctx
+	if mode.detach {
+		drainCtx = context.WithoutCancel(ctx)
+	}
+	drainCtx, cancel := context.WithCancel(drainCtx)
+	h.setCancel(cancel)
+	go func() {
+		defer saveSpan.End()
+		defer cancel()
+		c.drainSave(drainCtx, h, snaps, version, packetBytes, started, sectionStart, mode)
+	}()
+	return h, nil
+}
+
+// drainSave runs the background portion of a save round: steps 2-3 on
+// every node, the commit barrier, the version bump and step 4 (remote
+// persistence). It always completes the handle and releases the save slot.
+func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*nodeSnapshot, version, packetBytes int, started, sectionStart time.Time, mode saveMode) {
+	fail := func(err error) {
+		c.discardStaged()
+		c.releaseSave(h)
+		h.complete(nil, err)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	nodes := c.cfg.Topo.Nodes()
+	errc := make(chan error, nodes)
+	var wg sync.WaitGroup
+	smallTotal := make([]int, nodes)
+	nodePhases := make([]map[string]time.Duration, nodes)
+	for node := 0; node < nodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			small, phases, err := c.nodeDrain(ctx, snaps[node], version, packetBytes)
+			if err != nil {
+				errc <- fmt.Errorf("core: node %d save: %w", node, err)
+				cancel()
+				return
+			}
+			smallTotal[node] = small
+			nodePhases[node] = phases
+		}(node)
+	}
+	wg.Wait()
+	sectionWall := time.Since(sectionStart)
+	close(errc)
+	if err := <-errc; err != nil {
+		// Abort: drop the staged blobs so host memory holds exactly the
+		// previous committed checkpoint, still fully loadable.
+		if cerr := ctx.Err(); cerr != nil && c.isClosed() {
+			err = fmt.Errorf("%w: %v", ErrSaveAborted, err)
+		}
+		fail(err)
+		return
+	}
+	// Every node finished staging the new version; promote it. The commit
+	// is local host-memory work (no network), ordered so each node's
+	// manifest — the blob that announces the new version — lands last.
+	commitStart := time.Now()
+	if err := c.commitStaged(); err != nil {
+		fail(fmt.Errorf("core: commit v%d: %w", version, err))
+		return
+	}
+	commitTime := time.Since(commitStart)
+	c.version.Store(int64(version))
+
+	for node, phases := range nodePhases {
+		c.observePhases("save", node, phases)
+	}
+	phases := meanPhases(nodePhases)
+	// The mean of the node partitions covers each node's own timeline, but
+	// the round lasts as long as its slowest node. The difference is
+	// synchronization skew — time faster nodes' finished chunks sat waiting
+	// for stragglers before commit — and belongs with the barrier phase, so
+	// the phase breakdown sums to the round's wall time.
+	var meanTotal time.Duration
+	for _, d := range phases {
+		meanTotal += d
+	}
+	if skew := sectionWall - meanTotal; skew > 0 {
+		phases[PhaseBarrier] += skew
+	}
+	phases[PhasePromote] += commitTime
+
+	report := &SaveReport{
+		Version:     version,
+		PacketBytes: packetBytes,
+		SmallBytes:  smallTotal[0],
+		Phases:      phases,
+		NodePhases:  nodePhases,
+	}
+
+	// Step 4: low-frequency remote persistence. The blobs are rebuilt from
+	// the just-committed checkpoint (data chunks + small components in
+	// host memory), never from the live dicts: on an async round training
+	// has resumed and may be mutating them, and a torn serialization must
+	// not reach the durable tier.
+	if c.remote != nil && c.cfg.RemotePersistEvery > 0 && version%c.cfg.RemotePersistEvery == 0 {
+		persistStart := time.Now()
+		pctx := c.opCtx(ctx)
+		if err := c.persistCommitted(pctx, version, packetBytes); err != nil {
+			fail(err)
+			return
+		}
+		report.RemotePersisted = true
+
+		// Garbage-collect persisted versions beyond the retention bound.
+		if c.cfg.RemoteRetain > 0 {
+			expired := version - c.cfg.RemoteRetain*c.cfg.RemotePersistEvery
+			for v := expired; v > 0; v -= c.cfg.RemotePersistEvery {
+				if !c.remote.Has(remoteKey(c.cfg.RemotePrefix, v, 0)) {
+					break
+				}
+				for rank := 0; rank < c.cfg.Topo.World(); rank++ {
+					c.remote.Delete(remoteKey(c.cfg.RemotePrefix, v, rank))
+				}
+			}
+		}
+		phases[PhasePersist] += time.Since(persistStart)
+	}
+	report.Elapsed = time.Since(started)
+	if mode.detach {
+		report.StallNs = h.stall
+		report.OverlapNs = report.Elapsed - report.StallNs
+	} else {
+		// Synchronous round: the caller blocked through the whole thing.
+		report.StallNs = report.Elapsed
+	}
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("save_rounds_total").Inc()
+		reg.Counter("save_small_bytes_total").Add(int64(report.SmallBytes))
+		reg.Histogram("save_round_ns").ObserveDuration(report.Elapsed)
+		reg.Histogram("save_stall_ns").ObserveDuration(report.StallNs)
+		reg.Histogram("save_overlap_ns").ObserveDuration(report.OverlapNs)
+	}
+	c.releaseSave(h)
+	h.complete(report, nil)
+}
+
+// persistCommitted serializes every worker's state from the committed
+// checkpoint in host memory and writes it to the remote tier: the packet
+// comes out of the worker's data chunk segment, the small components off
+// node 0 (every node holds the full broadcast set after a commit).
+func (c *Checkpointer) persistCommitted(ctx context.Context, version, packetBytes int) error {
+	for rank := 0; rank < c.cfg.Topo.World(); rank++ {
+		j := c.plan.DataGroupOf[rank]
+		packet, err := c.fetch(c.plan.DataNodes[j], c.keys.segment[j][c.plan.SegmentOf[rank]])
+		if err != nil {
+			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
+		}
+		sd, err := c.reassembleWorker(0, rank, packet)
+		if err != nil {
+			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
+		}
+		blob, err := serialize.Marshal(sd)
+		if err != nil {
+			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
+		}
+		if _, err := c.remote.Put(ctx, 0, remoteKey(c.cfg.RemotePrefix, version, rank), blob); err != nil {
+			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// isClosed reports whether Close has begun.
+func (c *Checkpointer) isClosed() bool {
+	c.lc.mu.Lock()
+	defer c.lc.mu.Unlock()
+	return c.lc.closed
+}
+
+// opCtx attaches the configured per-op deadline to ctx (for I/O outside
+// the transport endpoints, such as remote-tier puts and gets).
+func (c *Checkpointer) opCtx(ctx context.Context) context.Context {
+	if c.cfg.OpTimeout <= 0 {
+		return ctx
+	}
+	return transport.WithOpTimeout(ctx, c.cfg.OpTimeout)
+}

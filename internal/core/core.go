@@ -25,8 +25,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eccheck/internal/bufpool"
@@ -157,7 +159,127 @@ type Checkpointer struct {
 	// (op, node, phase); nil when metrics are off.
 	phaseHist map[string][]map[string]*obs.Histogram
 
-	version int
+	// version is the latest committed checkpoint version. It advances only
+	// at a save round's commit barrier (possibly on a background drain
+	// goroutine), so it is atomic: Version() is safe to poll while a
+	// SaveAsync drains.
+	version atomic.Int64
+
+	// Lifecycle state: exactly one save round (Save, SaveAsync or
+	// SaveIncremental) may be in flight at a time, and Close must be able
+	// to cancel whatever is running before the transport goes away.
+	lc lifecycle
+}
+
+// Lifecycle errors (test with errors.Is).
+var (
+	// ErrSaveInFlight is returned by the non-blocking save paths (Save,
+	// SaveIncremental) when another save round is already running.
+	// SaveAsync instead waits for the in-flight drain.
+	ErrSaveInFlight = errors.New("core: save already in flight")
+	// ErrClosed is returned by every round started after Close.
+	ErrClosed = errors.New("core: checkpointer closed")
+	// ErrSaveAborted marks a round that Close cancelled mid-flight; Close
+	// returns it (wrapped) so callers know work was thrown away, and the
+	// aborted round's own error chain carries it too.
+	ErrSaveAborted = errors.New("core: round aborted by Close")
+)
+
+// lifecycle serializes save rounds and lets Close drain or cancel
+// everything in flight before resources are released.
+type lifecycle struct {
+	mu       sync.Mutex
+	closed   bool
+	inflight *SaveHandle          // current save round, nil when idle
+	loads    map[uint64]*oneRound // in-flight Load/LoadFromRemote rounds
+	nextLoad uint64
+}
+
+// oneRound is the cancel/done pair Close uses to abort a load round.
+type oneRound struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// acquireSave claims the save slot for handle h. When wait is false an
+// occupied slot fails fast with ErrSaveInFlight (the Save/SaveIncremental
+// policy); when true the call blocks until the in-flight round drains (the
+// SaveAsync policy), honoring ctx.
+func (c *Checkpointer) acquireSave(ctx context.Context, wait bool, h *SaveHandle) error {
+	for {
+		c.lc.mu.Lock()
+		if c.lc.closed {
+			c.lc.mu.Unlock()
+			return ErrClosed
+		}
+		cur := c.lc.inflight
+		if cur == nil {
+			c.lc.inflight = h
+			c.lc.mu.Unlock()
+			return nil
+		}
+		c.lc.mu.Unlock()
+		if !wait {
+			return ErrSaveInFlight
+		}
+		select {
+		case <-cur.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// releaseSave frees the save slot h holds. A round that lost the slot to
+// Close (which nils it out itself) is a no-op.
+func (c *Checkpointer) releaseSave(h *SaveHandle) {
+	c.lc.mu.Lock()
+	if c.lc.inflight == h {
+		c.lc.inflight = nil
+	}
+	c.lc.mu.Unlock()
+}
+
+// waitInflightSave blocks until no save round is draining. Load calls it
+// so a recovery never reads host memory mid-commit; the wait is bounded
+// because every drain is bounded by the per-op deadlines.
+func (c *Checkpointer) waitInflightSave(ctx context.Context) error {
+	for {
+		c.lc.mu.Lock()
+		cur := c.lc.inflight
+		c.lc.mu.Unlock()
+		if cur == nil {
+			return nil
+		}
+		select {
+		case <-cur.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// registerLoad tracks an in-flight load round so Close can cancel it.
+// It returns an unregister func, or ErrClosed after Close.
+func (c *Checkpointer) registerLoad(cancel context.CancelFunc) (func(), error) {
+	c.lc.mu.Lock()
+	defer c.lc.mu.Unlock()
+	if c.lc.closed {
+		return nil, ErrClosed
+	}
+	if c.lc.loads == nil {
+		c.lc.loads = make(map[uint64]*oneRound)
+	}
+	id := c.lc.nextLoad
+	c.lc.nextLoad++
+	r := &oneRound{cancel: cancel, done: make(chan struct{})}
+	c.lc.loads[id] = r
+	return func() {
+		close(r.done)
+		c.lc.mu.Lock()
+		delete(c.lc.loads, id)
+		c.lc.mu.Unlock()
+	}, nil
 }
 
 // keyTable pre-renders every host-memory key a checkpoint round touches.
@@ -292,10 +414,50 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 	}, nil
 }
 
-// Close releases the encoder pool. The network and cluster are owned by the
-// caller.
-func (c *Checkpointer) Close() {
+// Close drains or cancels every in-flight round, then releases the encoder
+// pool. The network and cluster are owned by the caller — but because the
+// caller's next step is typically tearing the transport down, Close first
+// cancels the in-flight save round (if any) and every in-flight load, and
+// waits for them to unwind, so no round is left mid-protocol on a dying
+// network. It returns an error wrapping ErrSaveAborted when it had to
+// throw away in-flight work; a round that managed to commit before the
+// cancellation landed is not an error. Close is idempotent.
+func (c *Checkpointer) Close() error {
+	c.lc.mu.Lock()
+	if c.lc.closed {
+		c.lc.mu.Unlock()
+		return nil
+	}
+	c.lc.closed = true
+	save := c.lc.inflight
+	loads := make([]*oneRound, 0, len(c.lc.loads))
+	for _, r := range c.lc.loads {
+		loads = append(loads, r)
+	}
+	c.lc.mu.Unlock()
+
+	var aborted []string
+	if save != nil {
+		save.abort()
+		<-save.Done()
+		if save.Err() != nil {
+			aborted = append(aborted, "save")
+		}
+	}
+	for _, r := range loads {
+		r.cancel()
+	}
+	for _, r := range loads {
+		<-r.done
+	}
+	if len(loads) > 0 {
+		aborted = append(aborted, "load")
+	}
 	c.pool.Close()
+	if len(aborted) > 0 {
+		return fmt.Errorf("core: close cancelled in-flight %v round(s): %w", aborted, ErrSaveAborted)
+	}
+	return nil
 }
 
 // scalarMulPooled computes dst = coef · src, splitting the region across
@@ -385,9 +547,11 @@ func (c *Checkpointer) Plan() *placement.Plan { return c.plan }
 // Code returns the erasure code in use.
 func (c *Checkpointer) Code() *erasure.Code { return c.code }
 
-// Version returns the version of the most recent successful save (0 before
-// the first).
-func (c *Checkpointer) Version() int { return c.version }
+// Version returns the version of the most recent committed save (0 before
+// the first). It is safe to poll while a SaveAsync round drains in the
+// background: the version advances only once the new checkpoint passes the
+// commit barrier.
+func (c *Checkpointer) Version() int { return int(c.version.Load()) }
 
 // SaveReport summarises one checkpointing round.
 type SaveReport struct {
@@ -399,8 +563,20 @@ type SaveReport struct {
 	SmallBytes int
 	// RemotePersisted reports whether step 4 ran this round.
 	RemotePersisted bool
-	// Elapsed is the wall time of the functional round.
+	// Elapsed is the wall time of the functional round, snapshot through
+	// commit (and remote persistence when it ran).
 	Elapsed time.Duration
+	// StallNs is the wall time the training loop was blocked on this
+	// round: the whole round for the synchronous Save, but only the
+	// snapshot stage (step 1, the DtoH offload into host staging buffers)
+	// for SaveAsync — the paper's claim that ECCheck stalls training only
+	// for the offload, as a measurement.
+	StallNs time.Duration
+	// OverlapNs is the drain wall time that overlapped resumed training:
+	// serialize/encode/XOR/P2P/commit/persist running on background
+	// goroutines after SaveAsync returned. Zero for the synchronous Save.
+	// StallNs + OverlapNs == Elapsed.
+	OverlapNs time.Duration
 	// Phases breaks the round down by pipeline phase (see SavePhases for
 	// the names). Each node goroutine's wall time is partitioned
 	// exclusively into phases; Phases holds the per-phase mean across

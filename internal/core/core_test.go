@@ -308,7 +308,7 @@ func TestTooManyFailuresFallsBackToRemote(t *testing.T) {
 	if _, _, err := rig.ckpt.Load(ctx); err == nil {
 		t.Fatal("3 concurrent failures with m=2 must not be recoverable in-memory")
 	}
-	got, err := rig.ckpt.LoadFromRemote(0)
+	got, err := rig.ckpt.LoadFromRemote(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +468,7 @@ func TestSaveOverTCPTransport(t *testing.T) {
 
 func TestLoadFromRemoteValidation(t *testing.T) {
 	rig := newRig(t, 4, 2, 2, 2)
-	if _, err := rig.ckpt.LoadFromRemote(0); err == nil {
+	if _, err := rig.ckpt.LoadFromRemote(context.Background(), 0); err == nil {
 		t.Error("no persisted checkpoint: want error")
 	}
 	topo, err := parallel.NewTopology(4, 1, 1, 4)
@@ -489,7 +489,7 @@ func TestLoadFromRemoteValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer noRemote.Close()
-	if _, err := noRemote.LoadFromRemote(0); err == nil {
+	if _, err := noRemote.LoadFromRemote(context.Background(), 0); err == nil {
 		t.Error("no remote store: want error")
 	}
 }

@@ -47,6 +47,8 @@ type IncrementalReport struct {
 // SaveIncremental checkpoints by updating the previous coded checkpoint
 // with per-buffer deltas. It requires Config.IncrementalCache; when no
 // usable previous state exists it transparently performs a full Save.
+// Like Save it refuses to run concurrently with another save round:
+// ErrSaveInFlight when one is already draining.
 func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.StateDict) (*IncrementalReport, error) {
 	started := time.Now()
 	if !c.cfg.IncrementalCache {
@@ -56,6 +58,21 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 	if len(dicts) != world {
 		return nil, fmt.Errorf("core: got %d state dicts, want world size %d", len(dicts), world)
 	}
+
+	// Claim the save slot before touching shared checkpoint state; the
+	// handle exists so Close can cancel this round too.
+	h := newSaveHandle()
+	if err := c.acquireSave(ctx, false, h); err != nil {
+		return nil, err
+	}
+	rep, err := c.saveIncrementalLocked(ctx, h, started, dicts)
+	c.releaseSave(h)
+	h.complete(nil, err)
+	return rep, err
+}
+
+// saveIncrementalLocked is SaveIncremental holding the save slot via h.
+func (c *Checkpointer) saveIncrementalLocked(ctx context.Context, h *SaveHandle, started time.Time, dicts []*statedict.StateDict) (*IncrementalReport, error) {
 	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
 		if !c.clus.Alive(node) {
 			return nil, fmt.Errorf("core: cannot checkpoint with node %d failed", node)
@@ -64,7 +81,7 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 
 	// Usability check: a previous save at the same packet size, with every
 	// worker's cache present.
-	usable := c.version > 0
+	usable := c.version.Load() > 0
 	packetBytes := 0
 	for _, sd := range dicts {
 		if b := sd.TensorBytes(); b > packetBytes {
@@ -80,7 +97,7 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 				break
 			}
 			v, p, _, err := parseManifest(blob)
-			if err != nil || v != c.version || p != packetBytes {
+			if err != nil || int64(v) != c.version.Load() || p != packetBytes {
 				usable = false
 				break
 			}
@@ -94,16 +111,24 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 		}
 	}
 	if !usable {
-		rep, err := c.Save(ctx, dicts)
+		// Full-save fallback: this round already holds the save slot, so it
+		// hands it to startSave rather than going through Save (which would
+		// see the slot occupied and fail with ErrSaveInFlight).
+		fh, err := c.startSave(ctx, dicts, saveMode{guardHeld: true})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := fh.Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &IncrementalReport{Version: rep.Version, Full: true, Elapsed: time.Since(started)}, nil
 	}
 
-	version := c.version + 1
+	version := int(c.version.Load()) + 1
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	h.setCancel(cancel)
 
 	changed := make([]int, c.cfg.Topo.Nodes())
 	total := make([]int, c.cfg.Topo.Nodes())
@@ -125,9 +150,12 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 	wg.Wait()
 	close(errc)
 	if err := <-errc; err != nil {
+		if ctx.Err() != nil && c.isClosed() {
+			err = fmt.Errorf("%w: %v", ErrSaveAborted, err)
+		}
 		return nil, err
 	}
-	c.version = version
+	c.version.Store(int64(version))
 
 	rep := &IncrementalReport{Version: version, Elapsed: time.Since(started)}
 	for node := range changed {

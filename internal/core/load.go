@@ -48,8 +48,23 @@ type recoverySpec struct {
 // machines with cluster.Replace first). It returns every worker's
 // reconstructed state dict, rebuilds the missing chunks so full fault
 // tolerance is restored, and reports which workflow ran.
+//
+// Load first waits for any in-flight save drain (started by SaveAsync) to
+// settle, so it always observes a quiescent staging area: either the drain
+// committed its version (Load returns it) or aborted (Load returns the
+// previous one). Close interrupts a running Load.
 func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadReport, error) {
 	started := time.Now()
+	if err := c.waitInflightSave(ctx); err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	unregister, err := c.registerLoad(cancel)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer unregister()
 	ctx, loadSpan := obs.StartSpan(ctx, c.cfg.Metrics, "load")
 	defer loadSpan.End()
 	topo := c.cfg.Topo
@@ -200,9 +215,6 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	}
 	scanTime := time.Since(started)
 
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
 	dicts := make([]*statedict.StateDict, topo.World())
 	var dictsMu sync.Mutex
 	errc := make(chan error, n)
@@ -229,9 +241,12 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	wg.Wait()
 	close(errc)
 	if err := <-errc; err != nil {
+		if ctx.Err() != nil && c.isClosed() {
+			err = fmt.Errorf("%w: %w", ErrSaveAborted, err)
+		}
 		return nil, nil, err
 	}
-	c.version = latest
+	c.version.Store(int64(latest))
 
 	for node, phases := range nodePhases {
 		c.observePhases("load", node, phases)
@@ -548,12 +563,24 @@ func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte) (*statedi
 // LoadFromRemote recovers every worker's state dict from the remote
 // persistent store (the catastrophic-failure path). version 0 loads the
 // most recent persisted version at or below the checkpointer's counter.
-func (c *Checkpointer) LoadFromRemote(version int) ([]*statedict.StateDict, error) {
+// The context bounds the whole recovery: each remote fetch honors both
+// cancellation and the checkpointer's configured OpTimeout (via
+// transport.WithOpTimeout), so a hung remote tier surfaces as a bounded
+// error instead of a frozen restore. Close interrupts an in-flight call.
+func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) ([]*statedict.StateDict, error) {
 	if c.remote == nil {
 		return nil, fmt.Errorf("core: no remote store configured")
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	unregister, err := c.registerLoad(cancel)
+	if err != nil {
+		return nil, err
+	}
+	defer unregister()
+	ctx = c.opCtx(ctx)
 	if version == 0 {
-		for v := c.version; v >= 1; v-- {
+		for v := int(c.version.Load()); v >= 1; v-- {
 			if c.remote.Has(remoteKey(c.cfg.RemotePrefix, v, 0)) {
 				version = v
 				break
@@ -566,8 +593,11 @@ func (c *Checkpointer) LoadFromRemote(version int) ([]*statedict.StateDict, erro
 	world := c.cfg.Topo.World()
 	out := make([]*statedict.StateDict, world)
 	for rank := 0; rank < world; rank++ {
-		blob, _, err := c.remote.Get(0, remoteKey(c.cfg.RemotePrefix, version, rank))
+		blob, _, err := c.remote.Get(ctx, 0, remoteKey(c.cfg.RemotePrefix, version, rank))
 		if err != nil {
+			if ctx.Err() != nil && c.isClosed() {
+				err = fmt.Errorf("%w: %w", ErrSaveAborted, err)
+			}
 			return nil, fmt.Errorf("core: remote load rank %d: %w", rank, err)
 		}
 		sd, err := serialize.Unmarshal(blob)

@@ -14,9 +14,16 @@ const (
 	// PhaseSerialize is small-component serialization (the state-dict
 	// decomposition into metadata + tensor keys).
 	PhaseSerialize = "serialize"
-	// PhaseOffload is the DtoH packet copy (and local chunk staging
-	// memory work) — the only phase training stalls on.
+	// PhaseOffload is the DtoH packet copy — the only phase (together
+	// with PhaseSerialize) training stalls on; SaveAsync returns once it
+	// completes.
 	PhaseOffload = "offload"
+	// PhaseStage is drain-side local chunk staging memory work (segment
+	// allocation and same-node data-packet copies). Before the
+	// snapshot/drain split it was charged to PhaseOffload; keeping it
+	// separate makes PhaseOffload an honest measure of the blocking
+	// stage.
+	PhaseStage = "stage"
 	// PhaseEncode is Cauchy scalar-multiplication of packets.
 	PhaseEncode = "encode"
 	// PhaseXOR is XOR reduction of encoded contributions.
@@ -38,7 +45,7 @@ const (
 // persisting rounds.
 func SavePhases() []string {
 	return []string{PhaseOffload, PhaseSerialize, PhaseEncode, PhaseXOR,
-		PhaseP2P, PhaseBarrier, PhasePromote, PhasePersist}
+		PhaseStage, PhaseP2P, PhaseBarrier, PhasePromote, PhasePersist}
 }
 
 // Phase names of the recovery (Load) round.

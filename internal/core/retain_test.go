@@ -67,7 +67,7 @@ func TestRemoteRetentionGC(t *testing.T) {
 	}
 
 	// The retained newest version still restores.
-	got, err := ckpt.LoadFromRemote(0)
+	got, err := ckpt.LoadFromRemote(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,8 +9,6 @@ import (
 	"time"
 
 	"eccheck/internal/gf"
-	"eccheck/internal/obs"
-	"eccheck/internal/serialize"
 	"eccheck/internal/statedict"
 )
 
@@ -28,143 +26,83 @@ func tagDataP2P(chunk, seg int) string         { return fmt.Sprintf("pd/%d/%d", 
 // success every node's host memory holds exactly its data or parity chunk
 // plus the broadcast small components. The report carries a per-phase
 // breakdown of the round (see SaveReport.Phases).
+//
+// Save is synchronous: it blocks through the whole round (its report's
+// StallNs equals Elapsed). SaveAsync blocks only through the snapshot
+// stage. If another save round is already in flight Save fails fast with
+// ErrSaveInFlight rather than racing it for the pooled buffers and the
+// checkpoint state.
 func (c *Checkpointer) Save(ctx context.Context, dicts []*statedict.StateDict) (*SaveReport, error) {
-	started := time.Now()
-	ctx, saveSpan := obs.StartSpan(ctx, c.cfg.Metrics, "save")
-	defer saveSpan.End()
-	world := c.cfg.Topo.World()
-	if len(dicts) != world {
-		return nil, fmt.Errorf("core: got %d state dicts, want world size %d", len(dicts), world)
-	}
-	for rank, sd := range dicts {
-		if sd == nil {
-			return nil, fmt.Errorf("core: nil state dict for rank %d", rank)
-		}
-	}
-	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
-		if !c.clus.Alive(node) {
-			return nil, fmt.Errorf("core: cannot checkpoint with node %d failed", node)
-		}
-	}
-
-	// Agree on the packet size: the aligned maximum tensor payload. In the
-	// real system this is part of the state synchronization that precedes
-	// every checkpoint.
-	packetBytes := 0
-	for _, sd := range dicts {
-		if b := sd.TensorBytes(); b > packetBytes {
-			packetBytes = b
-		}
-	}
-	packetBytes = c.code.ChunkAlign(packetBytes)
-	if packetBytes == 0 {
-		return nil, fmt.Errorf("core: all state dicts are empty")
-	}
-	version := c.version + 1
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	errc := make(chan error, c.cfg.Topo.Nodes())
-	var wg sync.WaitGroup
-	smallTotal := make([]int, c.cfg.Topo.Nodes())
-	nodePhases := make([]map[string]time.Duration, c.cfg.Topo.Nodes())
-	sectionStart := time.Now()
-	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
-		wg.Add(1)
-		go func(node int) {
-			defer wg.Done()
-			small, phases, err := c.nodeSave(ctx, node, version, packetBytes, dicts)
-			if err != nil {
-				errc <- fmt.Errorf("core: node %d save: %w", node, err)
-				cancel()
-				return
-			}
-			smallTotal[node] = small
-			nodePhases[node] = phases
-		}(node)
-	}
-	wg.Wait()
-	sectionWall := time.Since(sectionStart)
-	close(errc)
-	if err := <-errc; err != nil {
-		// Abort: drop the staged blobs so host memory holds exactly the
-		// previous committed checkpoint, still fully loadable.
-		c.discardStaged()
+	h, err := c.startSave(ctx, dicts, saveMode{})
+	if err != nil {
 		return nil, err
 	}
-	// Every node finished staging the new version; promote it. The commit
-	// is local host-memory work (no network), ordered so each node's
-	// manifest — the blob that announces the new version — lands last.
-	commitStart := time.Now()
-	if err := c.commitStaged(); err != nil {
-		c.discardStaged()
-		return nil, fmt.Errorf("core: commit v%d: %w", version, err)
-	}
-	commitTime := time.Since(commitStart)
-	c.version = version
+	return h.Wait(ctx)
+}
 
-	for node, phases := range nodePhases {
-		c.observePhases("save", node, phases)
-	}
-	phases := meanPhases(nodePhases)
-	// The mean of the node partitions covers each node's own timeline, but
-	// the round lasts as long as its slowest node. The difference is
-	// synchronization skew — time faster nodes' finished chunks sat waiting
-	// for stragglers before commit — and belongs with the barrier phase, so
-	// the phase breakdown sums to the round's wall time.
-	var meanTotal time.Duration
-	for _, d := range phases {
-		meanTotal += d
-	}
-	if skew := sectionWall - meanTotal; skew > 0 {
-		phases[PhaseBarrier] += skew
-	}
-	phases[PhasePromote] += commitTime
+// nodeSnapshot is one node's step-1 state: every local worker's tensor
+// payload copied into exclusively owned host staging buffers, plus the
+// serialized small components. Once all snapshots exist, training may
+// resume — nothing in the drain reads the live dicts.
+type nodeSnapshot struct {
+	node    int
+	packets map[int][]byte    // rank -> pooled packet
+	smalls  map[int][2][]byte // rank -> {metaBlob, keysBlob} (pooled)
+	// phases is the snapshot stage's wall time, charged to serialize and
+	// offload; nodeDrain folds it into the node's full-round partition.
+	phases map[string]time.Duration
+	// end is when the snapshot's phase clock stopped. nodeDrain backdates
+	// its own clock to it so the snapshot→drain goroutine handoff is
+	// charged to the first drain phase instead of vanishing from the
+	// node's partition (SaveReport.Phases must sum to ≈ Elapsed).
+	end time.Time
+}
 
-	report := &SaveReport{
-		Version:     version,
-		PacketBytes: packetBytes,
-		SmallBytes:  smallTotal[0],
-		Phases:      phases,
-		NodePhases:  nodePhases,
+// release returns every pooled buffer the snapshot owns (error paths
+// before a drain adopted it).
+func (s *nodeSnapshot) release(c *Checkpointer) {
+	for _, pkt := range s.packets {
+		c.buf.Put(pkt)
 	}
+	for _, blobs := range s.smalls {
+		c.buf.Put(blobs[0])
+		c.buf.Put(blobs[1])
+	}
+}
 
-	// Step 4: low-frequency remote persistence.
-	if c.remote != nil && c.cfg.RemotePersistEvery > 0 && version%c.cfg.RemotePersistEvery == 0 {
-		persistStart := time.Now()
-		for rank, sd := range dicts {
-			blob, err := serialize.Marshal(sd)
-			if err != nil {
-				return nil, fmt.Errorf("core: remote persist rank %d: %w", rank, err)
-			}
-			if _, err := c.remote.Put(0, remoteKey(c.cfg.RemotePrefix, version, rank), blob); err != nil {
-				return nil, fmt.Errorf("core: remote persist rank %d: %w", rank, err)
-			}
+// snapshotNode runs one node's snapshot stage: decompose the local dicts
+// and offload their tensor data into contiguous packets (the DtoH copy —
+// the only work the training loop stalls on). Pure local memory work, no
+// network.
+func (c *Checkpointer) snapshotNode(node, packetBytes int, dicts []*statedict.StateDict) (*nodeSnapshot, error) {
+	g := c.cfg.Topo.GPUsPerNode()
+	pc := newPhaseClock(PhaseSerialize)
+	snap := &nodeSnapshot{
+		node:    node,
+		packets: make(map[int][]byte, g),
+		smalls:  make(map[int][2][]byte, g),
+	}
+	for w := node * g; w < (node+1)*g; w++ {
+		pc.Switch(PhaseSerialize)
+		dec, err := dicts[w].DecomposeWith(c.buf)
+		if err != nil {
+			snap.release(c)
+			return nil, fmt.Errorf("rank %d decompose: %w", w, err)
 		}
-		report.RemotePersisted = true
-
-		// Garbage-collect persisted versions beyond the retention bound.
-		if c.cfg.RemoteRetain > 0 {
-			expired := version - c.cfg.RemoteRetain*c.cfg.RemotePersistEvery
-			for v := expired; v > 0; v -= c.cfg.RemotePersistEvery {
-				if !c.remote.Has(remoteKey(c.cfg.RemotePrefix, v, 0)) {
-					break
-				}
-				for rank := range dicts {
-					c.remote.Delete(remoteKey(c.cfg.RemotePrefix, v, rank))
-				}
-			}
+		pc.Switch(PhaseOffload)
+		pkt, err := c.buildPacketPooled(dec, packetBytes)
+		if err != nil {
+			c.buf.Put(dec.MetaBlob)
+			c.buf.Put(dec.KeysBlob)
+			snap.release(c)
+			return nil, fmt.Errorf("rank %d: %w", w, err)
 		}
-		phases[PhasePersist] += time.Since(persistStart)
+		snap.packets[w] = pkt
+		snap.smalls[w] = [2][]byte{dec.MetaBlob, dec.KeysBlob}
 	}
-	report.Elapsed = time.Since(started)
-	if reg := c.cfg.Metrics; reg != nil {
-		reg.Counter("save_rounds_total").Inc()
-		reg.Counter("save_small_bytes_total").Add(int64(report.SmallBytes))
-		reg.Histogram("save_round_ns").ObserveDuration(report.Elapsed)
-	}
-	return report, nil
+	snap.phases = pc.Stop()
+	snap.end = time.Now()
+	return snap, nil
 }
 
 // buildPacket packs a worker's decomposed tensor data into one contiguous,
@@ -246,25 +184,33 @@ type reduceState struct {
 	remaining int
 }
 
-// nodeSave runs one node's side of the checkpointing round. It returns the
-// broadcast small-component volume it observed and the node's phase
-// partition: the goroutine's wall time charged exclusively to the phases of
-// SavePhases, with receiver-side XOR work re-attributed from "barrier" to
-// "xor" (it overlaps the main goroutine's waits).
+// nodeDrain runs one node's side of the checkpointing round after the
+// snapshot stage: broadcast of the small components, the pipelined
+// encode/XOR/P2P placement, and the staging writes. It returns the
+// broadcast small-component volume it observed and the node's full-round
+// phase partition (snapshot phases folded in), with receiver-side XOR work
+// re-attributed from "barrier" to "xor" (it overlaps the main goroutine's
+// waits).
 //
 // Every blob is written under a staged key; the caller promotes the staging
 // area only after all nodes finish, so an aborted round never damages the
 // committed checkpoint. Every Send/Recv carries the configured deadline, so
 // a peer that crashes mid-round turns into a bounded error, not a hang.
-func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes int, dicts []*statedict.StateDict) (int, map[string]time.Duration, error) {
+func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, version, packetBytes int) (int, map[string]time.Duration, error) {
 	topo := c.cfg.Topo
 	plan := c.plan
+	node := snap.node
 	g := topo.GPUsPerNode()
 	world := topo.World()
 	span := world / c.cfg.K
 	bufSize := c.cfg.BufferSize
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
-	pc := newPhaseClock(PhaseSerialize)
+	packets := snap.packets
+	smalls := snap.smalls
+	pc := newPhaseClock(PhaseP2P)
+	if !snap.end.IsZero() {
+		pc.mark = snap.end // charge the goroutine handoff to the drain
+	}
 
 	ep, err := c.endpoint(node)
 	if err != nil {
@@ -276,14 +222,10 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		return c.store(node, c.keys.stagedOf[key], blob)
 	}
 
-	// --- Step 1: decompose local dicts and offload tensor data into
-	// contiguous packets (the DtoH copy; training resumes after this). ---
 	localWorkers := make([]int, 0, g)
 	for w := node * g; w < (node+1)*g; w++ {
 		localWorkers = append(localWorkers, w)
 	}
-	packets := make(map[int][]byte, g)   // rank -> packet (pooled)
-	smalls := make(map[int][2][]byte, g) // rank -> {metaBlob, keysBlob} (pooled)
 	// Packets stay referenced until the pipeline drains; recycle them on
 	// every exit. Safe on error paths too: by then the send queue has
 	// drained, and receiver goroutines never read packets.
@@ -292,23 +234,8 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 			c.buf.Put(pkt)
 		}
 	}()
-	for _, w := range localWorkers {
-		pc.Switch(PhaseSerialize)
-		dec, err := dicts[w].DecomposeWith(c.buf)
-		if err != nil {
-			return 0, nil, fmt.Errorf("rank %d decompose: %w", w, err)
-		}
-		pc.Switch(PhaseOffload)
-		pkt, err := c.buildPacketPooled(dec, packetBytes)
-		if err != nil {
-			return 0, nil, fmt.Errorf("rank %d: %w", w, err)
-		}
-		packets[w] = pkt
-		smalls[w] = [2][]byte{dec.MetaBlob, dec.KeysBlob}
-	}
 
 	// --- Step 2: broadcast the small components; store everything. ---
-	pc.Switch(PhaseP2P)
 	for _, w := range localWorkers {
 		blobs := smalls[w]
 		metaTag, keysTag := c.keys.smallMetaTag[w], c.keys.smallKeysTag[w]
@@ -364,10 +291,11 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	for _, w := range localWorkers {
 		c.buf.Put(smalls[w][0])
 		c.buf.Put(smalls[w][1])
+		delete(snap.smalls, w)
 	}
 
 	// --- Step 3: pipelined encode, XOR reduction, P2P placement. ---
-	pc.Switch(PhaseOffload)
+	pc.Switch(PhaseStage)
 	myChunk := plan.ChunkOfNode[node]
 	// Pooled without zeroing: every byte of every segment is overwritten
 	// before staging — buffer ranges tile the packet exactly, and each range
@@ -610,7 +538,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 		payload []byte
 		// pooled marks payloads owned by the queue (encoded contributions):
 		// recycled after the send. Data-packet payloads alias the worker
-		// packets and are recycled by nodeSave instead.
+		// packets and are recycled by nodeDrain instead.
 		pooled bool
 	}
 	sendQueue := make(chan outMsg, DefaultEncodingBuffers)
@@ -690,7 +618,7 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 				dstNode := plan.DataNodes[j]
 				if dstNode == node {
 					if myChunk == j {
-						pc.Switch(PhaseOffload)
+						pc.Switch(PhaseStage)
 						copy(chunkSegs[seg][lo:hi], packets[w][lo:hi])
 					}
 					continue
@@ -753,6 +681,11 @@ func (c *Checkpointer) nodeSave(ctx context.Context, node, version, packetBytes 
 	}
 	phases := pc.Stop()
 	shiftPhase(phases, PhaseBarrier, PhaseXOR, time.Duration(recvXorNs.Load()))
+	// Fold the snapshot stage's serialize/offload time in, so the node's
+	// partition covers the full round.
+	for ph, d := range snap.phases {
+		phases[ph] += d
+	}
 	return smallBytes, phases, nil
 }
 

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/core"
+	"eccheck/internal/model"
+	"eccheck/internal/parallel"
+	"eccheck/internal/transport"
+)
+
+// AsyncRow is one model-scale point of the snapshot-and-drain study: how
+// long training stalls under the synchronous Save versus SaveAsync, and
+// how closely the async blocking time tracks the offload stage (step 1) —
+// the paper's claim that ECCheck stalls training only for the DtoH copy.
+type AsyncRow struct {
+	// Scale is the model build scale (tensor down-scaling divisor).
+	Scale int
+	// PayloadBytes is the total tensor payload across all ranks.
+	PayloadBytes int64
+	// Sync is the wall time of a fully synchronous Save round.
+	Sync time.Duration
+	// Block is the time SaveAsync blocked the caller (snapshot stage).
+	Block time.Duration
+	// Drain is the background portion of the async round (OverlapNs).
+	Drain time.Duration
+	// Offload is the snapshot-stage floor: per-node serialize + offload
+	// work divided by the effective parallelism (min of GOMAXPROCS and
+	// node count). Block cannot beat this floor.
+	Offload time.Duration
+}
+
+// AsyncStudy measures (on the functional layer, real bytes) the
+// snapshot-and-drain split across model scales: the synchronous Save wall
+// time, the SaveAsync blocking time, the overlapped drain, and the
+// per-node offload floor the blocking time should track.
+func AsyncStudy(w io.Writer) ([]AsyncRow, error) {
+	var rows []AsyncRow
+	for _, scale := range []int{64, 32, 16} {
+		row, err := asyncRound(scale)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	if w != nil {
+		if err := fprintf(w, "SaveAsync stall vs drain across model scales (functional layer)\n%-6s %12s %12s %12s %12s %12s %8s\n",
+			"scale", "payload", "sync save", "async block", "drain", "offload", "stall%"); err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if err := fprintf(w, "1/%-4d %10.1fMB %12v %12v %12v %12v %7.0f%%\n",
+				r.Scale, float64(r.PayloadBytes)/1e6,
+				r.Sync.Round(time.Microsecond), r.Block.Round(time.Microsecond),
+				r.Drain.Round(time.Microsecond), r.Offload.Round(time.Microsecond),
+				100*float64(r.Block)/float64(r.Sync)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// asyncRound runs one warmed-up sync round and one async round at the
+// given model scale and returns the measured row.
+func asyncRound(scale int) (AsyncRow, error) {
+	topo, err := parallel.NewTopology(4, 2, 2, 4)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	net, err := transport.NewMemory(4)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	defer func() { _ = net.Close() }()
+	clus, err := cluster.New(4, 2)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	ckpt, err := core.New(core.Config{
+		Topo:       topo,
+		K:          2,
+		M:          2,
+		BufferSize: 256 << 10,
+	}, net, clus, nil)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	defer ckpt.Close()
+
+	opt := model.NewBuildOptions()
+	opt.Scale = scale
+	opt.Seed = 77
+	dicts, err := model.BuildClusterStateDicts(model.GPT2_345M(), topo, opt)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	var payload int64
+	for _, sd := range dicts {
+		payload += int64(sd.TensorBytes())
+	}
+	ctx := context.Background()
+	// Warm up buffer pools and mailboxes so both measured rounds see the
+	// same steady state.
+	if _, err := ckpt.Save(ctx, dicts); err != nil {
+		return AsyncRow{}, err
+	}
+
+	start := time.Now()
+	if _, err := ckpt.Save(ctx, dicts); err != nil {
+		return AsyncRow{}, err
+	}
+	syncElapsed := time.Since(start)
+
+	h, err := ckpt.SaveAsync(ctx, dicts)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	rep, err := h.Wait(ctx)
+	if err != nil {
+		return AsyncRow{}, err
+	}
+	offload := snapshotFloor(rep)
+	if offload <= 0 {
+		return AsyncRow{}, fmt.Errorf("harness: async round recorded no offload phase")
+	}
+	return AsyncRow{
+		Scale:        scale,
+		PayloadBytes: payload,
+		Sync:         syncElapsed,
+		Block:        rep.StallNs,
+		Drain:        rep.OverlapNs,
+		Offload:      offload,
+	}, nil
+}
+
+// snapshotFloor returns the snapshot-stage floor for a save report: the
+// per-node serialize + offload work divided by the effective parallelism
+// (node snapshots run one goroutine per node, so with fewer cores than
+// nodes they time-share and the wall-time floor is the aggregate work).
+func snapshotFloor(rep *core.SaveReport) time.Duration {
+	var sum time.Duration
+	for _, phases := range rep.NodePhases {
+		sum += phases[core.PhaseSerialize] + phases[core.PhaseOffload]
+	}
+	par := runtime.GOMAXPROCS(0)
+	if n := len(rep.NodePhases); par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	return sum / time.Duration(par)
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsyncStudyShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := AsyncStudy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Block <= 0 || r.Drain <= 0 || r.Offload <= 0 {
+			t.Errorf("scale 1/%d: non-positive timing %+v", r.Scale, r)
+		}
+		// The async blocking time cannot cover the whole synchronous round
+		// — the drain is real background work. Timing assertions stay loose
+		// (half the sync round) so a loaded CI machine doesn't flake.
+		if r.Block >= r.Sync/2 {
+			t.Errorf("scale 1/%d: async block %v not clearly below sync %v", r.Scale, r.Block, r.Sync)
+		}
+	}
+	// Payload grows as the down-scaling divisor shrinks.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PayloadBytes <= rows[i-1].PayloadBytes {
+			t.Errorf("payload not growing: %d then %d", rows[i-1].PayloadBytes, rows[i].PayloadBytes)
+		}
+	}
+	if !strings.Contains(buf.String(), "SaveAsync stall") {
+		t.Error("rendered output missing header")
+	}
+}

@@ -11,12 +11,14 @@
 package remotestore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"eccheck/internal/obs"
 	"eccheck/internal/simnet"
+	"eccheck/internal/transport"
 )
 
 // Store is a durable object store behind a shared uplink.
@@ -25,6 +27,11 @@ type Store struct {
 	rate    float64 // aggregate bytes/second
 	objects map[string][]byte
 	uplink  *simnet.Resource
+	// stall makes every operation block for the given real-time duration
+	// before touching the store — the fault-injection hook for a hung or
+	// degraded remote tier. Operations still honor context cancellation
+	// and the transport.WithOpTimeout bound while stalled.
+	stall time.Duration
 
 	// Operation counters and modeled-transfer histogram; nil (no-op)
 	// until SetMetrics installs a registry.
@@ -70,9 +77,57 @@ func New(aggregateRate float64) (*Store, error) {
 // Rate returns the aggregate bandwidth in bytes/second.
 func (s *Store) Rate() float64 { return s.rate }
 
+// SetStall makes every subsequent Put/Get block for d of real time before
+// executing, modeling a hung or badly degraded remote tier. Stalled
+// operations still respect context cancellation and any
+// transport.WithOpTimeout bound on the context, so callers with deadline
+// discipline see a bounded error instead of a hang. Zero clears the fault.
+func (s *Store) SetStall(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stall = d
+}
+
+// await blocks through the configured stall, honoring the context and the
+// per-operation deadline the transports use. It must be called without
+// s.mu held: a stalled operation must not freeze the whole store.
+func (s *Store) await(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	stall := s.stall
+	s.mu.Unlock()
+	if stall <= 0 {
+		return nil
+	}
+	var deadline <-chan time.Time
+	if d := transport.OpTimeout(ctx); d > 0 && d < stall {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		deadline = t.C
+	}
+	wait := time.NewTimer(stall)
+	defer wait.Stop()
+	select {
+	case <-wait.C:
+		return nil
+	case <-deadline:
+		return context.DeadlineExceeded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Put durably stores the object and returns the span the transfer occupies
-// on the uplink, given the virtual instant the writer became ready.
-func (s *Store) Put(ready time.Duration, key string, data []byte) (simnet.Span, error) {
+// on the uplink, given the virtual instant the writer became ready. The
+// context bounds the operation against a hung tier (see SetStall); honor
+// transport.WithOpTimeout for the same deadline discipline as the
+// transports.
+func (s *Store) Put(ctx context.Context, ready time.Duration, key string, data []byte) (simnet.Span, error) {
+	if err := s.await(ctx); err != nil {
+		return simnet.Span{}, fmt.Errorf("remotestore: put %q: %w", key, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	span, err := s.uplink.Exec(ready, int64(len(data)))
@@ -87,7 +142,11 @@ func (s *Store) Put(ready time.Duration, key string, data []byte) (simnet.Span, 
 }
 
 // Get returns the object and the span its download occupies on the uplink.
-func (s *Store) Get(ready time.Duration, key string) ([]byte, simnet.Span, error) {
+// The context bounds the operation like Put's does.
+func (s *Store) Get(ctx context.Context, ready time.Duration, key string) ([]byte, simnet.Span, error) {
+	if err := s.await(ctx); err != nil {
+		return nil, simnet.Span{}, fmt.Errorf("remotestore: get %q: %w", key, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	data, ok := s.objects[key]

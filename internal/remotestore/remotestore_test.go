@@ -2,8 +2,12 @@ package remotestore
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
+
+	"eccheck/internal/transport"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -21,7 +25,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := []byte("model-states")
-	span, err := s.Put(0, "ckpt/42", data)
+	span, err := s.Put(context.Background(), 0, "ckpt/42", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +33,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if span.Len() != wantDur {
 		t.Errorf("put span %v, want %v", span.Len(), wantDur)
 	}
-	got, gspan, err := s.Get(span.End, "ckpt/42")
+	got, gspan, err := s.Get(context.Background(), span.End, "ckpt/42")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +43,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if gspan.Start < span.End {
 		t.Errorf("get started at %v before put finished at %v", gspan.Start, span.End)
 	}
-	if _, _, err := s.Get(0, "missing"); err == nil {
+	if _, _, err := s.Get(context.Background(), 0, "missing"); err == nil {
 		t.Error("missing object: want error")
 	}
 }
@@ -52,11 +56,11 @@ func TestUplinkSerializesTransfers(t *testing.T) {
 	// Two 100-byte puts both ready at t=0: the shared uplink serializes
 	// them — this is exactly why remote-storage checkpointing does not
 	// scale with GPU count (Fig. 14).
-	s1, err := s.Put(0, "a", make([]byte, 100))
+	s1, err := s.Put(context.Background(), 0, "a", make([]byte, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := s.Put(0, "b", make([]byte, 100))
+	s2, err := s.Put(context.Background(), 0, "b", make([]byte, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +77,10 @@ func TestObjectsPersistAndAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Put(0, "x", make([]byte, 10)); err != nil {
+	if _, err := s.Put(context.Background(), 0, "x", make([]byte, 10)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Put(0, "y", make([]byte, 20)); err != nil {
+	if _, err := s.Put(context.Background(), 0, "y", make([]byte, 20)); err != nil {
 		t.Fatal(err)
 	}
 	if !s.Has("x") || s.Has("z") {
@@ -102,7 +106,7 @@ func TestObjectsPersistAndAccounting(t *testing.T) {
 	if !s.Has("y") {
 		t.Error("ResetClock destroyed objects")
 	}
-	span, err := s.Put(0, "post-reset", make([]byte, 1))
+	span, err := s.Put(context.Background(), 0, "post-reset", make([]byte, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +121,11 @@ func TestPutCopiesData(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := []byte{1, 2, 3}
-	if _, err := s.Put(0, "k", data); err != nil {
+	if _, err := s.Put(context.Background(), 0, "k", data); err != nil {
 		t.Fatal(err)
 	}
 	data[0] = 9
-	got, _, err := s.Get(0, "k")
+	got, _, err := s.Get(context.Background(), 0, "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +133,53 @@ func TestPutCopiesData(t *testing.T) {
 		t.Error("store aliased caller data")
 	}
 	got[1] = 9
-	got2, _, err := s.Get(0, "k")
+	got2, _, err := s.Get(context.Background(), 0, "k")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got2[1] != 2 {
 		t.Error("get aliased stored data")
+	}
+}
+
+// TestStallHonorsOpTimeout models a hung remote tier: operations against a
+// stalled store must come back as bounded deadline errors when the context
+// carries a transport.WithOpTimeout bound, and respect plain cancellation.
+func TestStallHonorsOpTimeout(t *testing.T) {
+	s, err := New(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(context.Background(), 0, "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	s.SetStall(30 * time.Second)
+	ctx := transport.WithOpTimeout(context.Background(), 50*time.Millisecond)
+	start := time.Now()
+	if _, _, err := s.Get(ctx, 0, "k"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled get: err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled get took %v despite a 50ms op bound", elapsed)
+	}
+	if _, err := s.Put(ctx, 0, "k2", []byte("y")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled put: err = %v, want DeadlineExceeded", err)
+	}
+
+	// Plain cancellation interrupts the stall too.
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := s.Get(cctx, 0, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled get: err = %v, want Canceled", err)
+	}
+
+	// Clearing the fault restores normal service.
+	s.SetStall(0)
+	if _, _, err := s.Get(context.Background(), 0, "k"); err != nil {
+		t.Fatalf("get after clearing stall: %v", err)
 	}
 }

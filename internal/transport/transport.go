@@ -45,6 +45,12 @@ func opTimeout(ctx context.Context) time.Duration {
 	return d
 }
 
+// OpTimeout returns the per-operation bound a WithOpTimeout call attached
+// to the context, or 0 when none is set. Other I/O layers (the remote
+// persistence tier) use it to honor the same deadline discipline as the
+// transports without re-deriving configuration.
+func OpTimeout(ctx context.Context) time.Duration { return opTimeout(ctx) }
+
 // timerPool recycles the op-timeout timers so an armed deadline costs no
 // allocation at steady state.
 var timerPool sync.Pool

@@ -133,9 +133,29 @@ type MetricLabel = obs.Label
 // snap.Histogram("save_phase_ns", Label("phase", "encode"), Label("node", "0")).
 var Label = obs.L
 
+// SaveHandle tracks an asynchronous save round from the moment SaveAsync
+// returned (snapshot complete, training may resume) until its background
+// drain commits or aborts. Wait blocks for the report; Done/Err poll
+// without blocking; Stall reports the blocking portion.
+type SaveHandle = core.SaveHandle
+
+// Lifecycle errors (test with errors.Is).
+var (
+	// ErrSaveInFlight is returned by Save and SaveIncremental when another
+	// save round is already running; SaveAsync waits instead.
+	ErrSaveInFlight = core.ErrSaveInFlight
+	// ErrClosed is returned by rounds started after Close.
+	ErrClosed = core.ErrClosed
+	// ErrSaveAborted marks work that Close cancelled mid-flight; Close
+	// returns it (wrapped) and the aborted round's error chain carries it.
+	ErrSaveAborted = core.ErrSaveAborted
+)
+
 // SavePhases lists the save-round phase names in pipeline order: offload,
-// serialize, encode, xor, p2p, barrier, promote, persist. Use it to render
-// SaveReport.Phases as a stable-order table.
+// serialize, encode, xor, stage, p2p, barrier, promote, persist. Use it to
+// render SaveReport.Phases as a stable-order table. "offload" (plus
+// "serialize") is the blocking portion SaveAsync stalls training for;
+// "stage" is drain-side local chunk staging memory work.
 func SavePhases() []string { return core.SavePhases() }
 
 // LoadPhases lists the recovery phase names in protocol order: scan,
