@@ -30,9 +30,13 @@ type SaveHandle struct {
 	done chan struct{}
 
 	// cancel aborts the drain; installed before the drain goroutine
-	// starts, used by Close. abortMu orders abort() against installation.
+	// starts, used by Close. abortMu orders abort() against installation:
+	// aborted records an abort that arrived before the cancel func existed
+	// (Close racing the blocking snapshot stage), so setCancel fires it
+	// the moment the drain context is created instead of losing it.
 	abortMu sync.Mutex
 	cancel  context.CancelFunc
+	aborted bool
 
 	// stall is the blocking portion: the snapshot stage's wall time.
 	stall time.Duration
@@ -85,6 +89,7 @@ func (h *SaveHandle) Stall() time.Duration { return h.stall }
 // context exists and after the round finished.
 func (h *SaveHandle) abort() {
 	h.abortMu.Lock()
+	h.aborted = true
 	cancel := h.cancel
 	h.abortMu.Unlock()
 	if cancel != nil {
@@ -97,7 +102,11 @@ func (h *SaveHandle) abort() {
 func (h *SaveHandle) setCancel(cancel context.CancelFunc) {
 	h.abortMu.Lock()
 	h.cancel = cancel
+	aborted := h.aborted
 	h.abortMu.Unlock()
+	if aborted {
+		cancel()
+	}
 }
 
 // complete finalizes the handle. Exactly one of report/err is set.
@@ -228,7 +237,12 @@ func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDi
 			}
 		}
 		saveSpan.End()
+		// Finalize the handle as well as the slot (matching drainSave's fail
+		// path): anything that already captured h as the in-flight round —
+		// Close, a queued SaveAsync, a Load waiting for the drain — is
+		// blocked on Done() and must see the round end.
 		c.releaseSave(h)
+		h.complete(nil, err)
 		return nil, err
 	}
 	h.stall = time.Since(started)

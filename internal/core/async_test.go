@@ -3,12 +3,14 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"eccheck/internal/chaos"
 	"eccheck/internal/statedict"
+	"eccheck/internal/tensor"
 )
 
 // slowPlan adds link latency to every send, stretching the drain (which is
@@ -393,4 +395,149 @@ func TestChaosKillDuringDrain(t *testing.T) {
 	}
 	scribblePool(t)
 	dictsEqual(t, rig.dicts, got)
+}
+
+// ballast widens the snapshot window: a multi-megabyte tensor on a node-0
+// worker makes that node's snapshot (decompose + packet copy) take long
+// enough for the test to act while the save slot is held.
+func ballast(t *testing.T, rig *testRig) {
+	t.Helper()
+	big, err := tensor.New(tensor.Float32, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.FillPattern(42)
+	if err := rig.dicts[0].SetTensor("ballast", big); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// captureInflight spins until it observes the in-flight save handle — the
+// same capture Close, a queued SaveAsync or a waiting Load performs. stop
+// aborts the spin (the round ended before the slot was observed).
+func captureInflight(c *Checkpointer, stop <-chan error) (*SaveHandle, error, bool) {
+	for {
+		c.lc.mu.Lock()
+		h := c.lc.inflight
+		c.lc.mu.Unlock()
+		if h != nil {
+			return h, nil, true
+		}
+		select {
+		case err := <-stop:
+			return nil, err, false
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestSaveAsyncSnapshotFailureReleasesWaiters is the regression test for
+// the snapshot-failure deadlock: a round whose snapshot stage fails must
+// finalize its handle as well as the save slot, or any goroutine that
+// captured the handle as the in-flight round (Close, a queued SaveAsync, a
+// Load waiting for the drain) blocks on Done() forever.
+func TestSaveAsyncSnapshotFailureReleasesWaiters(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	ctx := context.Background()
+
+	// Node 0 snapshots slowly (ballast) while a node-1 worker's snapshot
+	// fails fast: a zero statedict.Value has no encodable kind, so its
+	// decompose errors. The slot stays held until the slow snapshot ends,
+	// leaving a wide window to capture the doomed handle.
+	ballast(t, rig)
+	rig.dicts[2].SetMeta("poison", statedict.Value{})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := rig.ckpt.SaveAsync(ctx, rig.dicts)
+		errc <- err
+	}()
+	h, saveErr, captured := captureInflight(rig.ckpt, errc)
+	if !captured {
+		// The round failed before the slot was ever observable; the window
+		// shrank to nothing on this run, but the error still must be typed.
+		if saveErr == nil {
+			t.Fatal("poisoned snapshot must fail SaveAsync")
+		}
+		return
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("poisoned snapshot must fail SaveAsync")
+	}
+	select {
+	case <-h.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("failed snapshot never completed its handle; captured waiters would deadlock")
+	}
+	if err := h.Err(); err == nil {
+		t.Error("failed round's handle must carry its error")
+	}
+	// The slot is free again: a clean round must go through.
+	rig.dicts[2].SetMeta("poison", statedict.Int(0))
+	if _, err := rig.ckpt.Save(ctx, rig.dicts); err != nil {
+		t.Fatalf("save after failed snapshot: %v", err)
+	}
+}
+
+// TestCloseDuringSnapshotCancelsDrain closes the checkpointer while the
+// round is still in its blocking snapshot stage — before the drain context
+// (and its cancel func) exists. The abort must not be lost: setCancel must
+// fire the cancellation the moment the drain context is created, so the
+// drain aborts instead of running the full protocol on a dying network.
+func TestCloseDuringSnapshotCancelsDrain(t *testing.T) {
+	rig, _ := newChaosRig(t, 4, 2, 2, 2, slowPlan(5*time.Millisecond))
+	ctx := context.Background()
+	ballast(t, rig)
+
+	errc := make(chan error, 1)
+	go func() {
+		h, err := rig.ckpt.SaveAsync(ctx, rig.dicts)
+		if err != nil {
+			errc <- err
+			return
+		}
+		_, err = h.Wait(ctx)
+		errc <- err
+	}()
+	h, saveErr, captured := captureInflight(rig.ckpt, errc)
+	if !captured {
+		t.Fatalf("round ended before the slot was observable: %v", saveErr)
+	}
+	closeErr := rig.ckpt.Close()
+	if !errors.Is(closeErr, ErrSaveAborted) {
+		t.Errorf("Close() = %v, want error wrapping ErrSaveAborted", closeErr)
+	}
+	if err := h.Err(); !errors.Is(err, ErrSaveAborted) {
+		t.Errorf("aborted round's Err() = %v, want ErrSaveAborted", err)
+	}
+	if err := <-errc; err == nil {
+		t.Error("Wait on the aborted round returned nil error")
+	}
+	if got := rig.ckpt.Version(); got != 0 {
+		t.Errorf("Version() = %d after abort-during-snapshot, want 0", got)
+	}
+}
+
+// TestCloseCleanLoadNotReportedAborted pins Close's contract that a round
+// finishing before the cancellation lands is not an error: a load round
+// Close captured but that ends cleanly must not surface as aborted work.
+func TestCloseCleanLoadNotReportedAborted(t *testing.T) {
+	rig := newRig(t, 4, 2, 2, 2)
+	_, cancel := context.WithCancel(context.Background())
+	unregister, err := rig.ckpt.registerLoad(cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeErrc := make(chan error, 1)
+	go func() { closeErrc <- rig.ckpt.Close() }()
+	// Once closed is set, Close holds the round and is waiting on its done
+	// channel; finish the round cleanly.
+	for !rig.ckpt.isClosed() {
+		runtime.Gosched()
+	}
+	unregister(nil)
+	if err := <-closeErrc; err != nil {
+		t.Errorf("Close() = %v after a cleanly finished load, want nil", err)
+	}
 }

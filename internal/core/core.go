@@ -195,10 +195,14 @@ type lifecycle struct {
 	nextLoad uint64
 }
 
-// oneRound is the cancel/done pair Close uses to abort a load round.
+// oneRound is the cancel/done pair Close uses to abort a load round. err
+// records the round's final outcome (written before done closes), so Close
+// can tell a genuinely aborted load from one that finished before the
+// cancellation landed.
 type oneRound struct {
 	cancel context.CancelFunc
 	done   chan struct{}
+	err    error
 }
 
 // acquireSave claims the save slot for handle h. When wait is false an
@@ -260,8 +264,9 @@ func (c *Checkpointer) waitInflightSave(ctx context.Context) error {
 }
 
 // registerLoad tracks an in-flight load round so Close can cancel it.
-// It returns an unregister func, or ErrClosed after Close.
-func (c *Checkpointer) registerLoad(cancel context.CancelFunc) (func(), error) {
+// It returns an unregister func taking the round's final error, or
+// ErrClosed after Close.
+func (c *Checkpointer) registerLoad(cancel context.CancelFunc) (func(error), error) {
 	c.lc.mu.Lock()
 	defer c.lc.mu.Unlock()
 	if c.lc.closed {
@@ -274,7 +279,8 @@ func (c *Checkpointer) registerLoad(cancel context.CancelFunc) (func(), error) {
 	c.lc.nextLoad++
 	r := &oneRound{cancel: cancel, done: make(chan struct{})}
 	c.lc.loads[id] = r
-	return func() {
+	return func(err error) {
+		r.err = err
 		close(r.done)
 		c.lc.mu.Lock()
 		delete(c.lc.loads, id)
@@ -447,10 +453,17 @@ func (c *Checkpointer) Close() error {
 	for _, r := range loads {
 		r.cancel()
 	}
+	// Like the save path above, only report loads that actually ended in an
+	// error: a round that finished before the cancellation landed is not
+	// thrown-away work.
+	loadAborted := false
 	for _, r := range loads {
 		<-r.done
+		if r.err != nil {
+			loadAborted = true
+		}
 	}
-	if len(loads) > 0 {
+	if loadAborted {
 		aborted = append(aborted, "load")
 	}
 	c.pool.Close()

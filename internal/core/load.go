@@ -53,7 +53,7 @@ type recoverySpec struct {
 // settle, so it always observes a quiescent staging area: either the drain
 // committed its version (Load returns it) or aborted (Load returns the
 // previous one). Close interrupts a running Load.
-func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadReport, error) {
+func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *LoadReport, retErr error) {
 	started := time.Now()
 	if err := c.waitInflightSave(ctx); err != nil {
 		return nil, nil, err
@@ -64,7 +64,7 @@ func (c *Checkpointer) Load(ctx context.Context) ([]*statedict.StateDict, *LoadR
 	if err != nil {
 		return nil, nil, err
 	}
-	defer unregister()
+	defer func() { unregister(retErr) }()
 	ctx, loadSpan := obs.StartSpan(ctx, c.cfg.Metrics, "load")
 	defer loadSpan.End()
 	topo := c.cfg.Topo
@@ -567,7 +567,7 @@ func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte) (*statedi
 // cancellation and the checkpointer's configured OpTimeout (via
 // transport.WithOpTimeout), so a hung remote tier surfaces as a bounded
 // error instead of a frozen restore. Close interrupts an in-flight call.
-func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) ([]*statedict.StateDict, error) {
+func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) (_ []*statedict.StateDict, retErr error) {
 	if c.remote == nil {
 		return nil, fmt.Errorf("core: no remote store configured")
 	}
@@ -577,7 +577,7 @@ func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) ([]*stat
 	if err != nil {
 		return nil, err
 	}
-	defer unregister()
+	defer func() { unregister(retErr) }()
 	ctx = c.opCtx(ctx)
 	if version == 0 {
 		for v := int(c.version.Load()); v >= 1; v-- {
