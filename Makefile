@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke doclint metrics-demo
+.PHONY: check fmt vet build test race smoke doclint allocgate metrics-demo trace-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
-check: fmt vet build test race smoke doclint
+check: fmt vet build test race smoke doclint allocgate
 
 # Formatting is part of the gate: fail loudly with the offending files
 # rather than letting gofmt drift accumulate.
@@ -42,8 +42,22 @@ smoke:
 doclint:
 	$(GO) run ./cmd/doclint .
 
+# Allocation gate: the flight recorder must be free when disabled. Every
+# emitter on a nil recorder and the phase clock's per-buffer Switch on
+# the save hot path must be 0 allocs/op — these tests fail otherwise.
+allocgate:
+	$(GO) test -run 'TestDisabledRecorderZeroAlloc' -count=1 ./internal/obs/flight
+	$(GO) test -run 'TestPhaseClockZeroAllocWithoutRecorder' -count=1 ./internal/core
+
 # One checkpoint-and-recover round with the per-phase breakdown and the
 # full metric registry printed: the quickest way to see the observability
 # surface in action.
 metrics-demo:
 	$(GO) run ./cmd/eccheck-sim -iters 5 -ckpt-every 5 -fail-at 5 -metrics
+
+# A chaos-free simulated run with the flight recorder on, exported as
+# eccheck.trace.json — drop the file on ui.perfetto.dev (or
+# chrome://tracing) to browse the per-node, per-phase timeline with P2P
+# flow arrows.
+trace-demo:
+	$(GO) run ./cmd/eccheck-sim -iters 10 -ckpt-every 5 -fail-at 7 -trace-out eccheck.trace.json

@@ -32,6 +32,7 @@ import (
 
 	"eccheck"
 	"eccheck/internal/harness"
+	"eccheck/internal/obs"
 )
 
 type experiment struct {
@@ -161,7 +162,18 @@ func run() int {
 	metricsOut := flag.String("metrics-out", "", "run an instrumented functional round and write its metric snapshot as JSON to this file")
 	benchOut := flag.String("bench-out", "", "measure steady-state save rounds, encode bandwidth and the XOR kernel (throughput, allocs/op, B/op) and write the JSON snapshot to this file")
 	stallOut := flag.String("stall-out", "", "measure sync Save wall time vs SaveAsync blocking time vs the offload-phase floor and write the JSON snapshot to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof on this address while experiments run (experiments build their own systems, so /metrics and /trace are empty here; use eccheck-sim -debug-addr for those)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof\n", dbg.Addr())
+	}
 
 	exps := experiments()
 	if *list {

@@ -15,7 +15,12 @@
 //
 //	eccheck-sim [-nodes 4] [-gpus 2] [-k 2] [-m 2] [-iters 30]
 //	            [-ckpt-every 5] [-fail-at 12,23] [-scale 32] [-seed 1]
-//	            [-metrics]
+//	            [-metrics] [-trace-out run.trace.json] [-debug-addr :6060]
+//
+// -trace-out records every protocol event in the flight recorder and
+// writes the run's timeline as Chrome trace_event JSON on exit — open it
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. -debug-addr serves
+// /metrics, /trace and /debug/pprof live while the simulation runs.
 package main
 
 import (
@@ -64,6 +69,8 @@ func run() int {
 		scale     = flag.Int("scale", 32, "model down-scale factor (1 = full size)")
 		seed      = flag.Int64("seed", 1, "random seed for failure injection")
 		metrics   = flag.Bool("metrics", false, "dump the full metric registry (Prometheus text format) on exit")
+		traceOut  = flag.String("trace-out", "", "write the run's flight-recorder timeline as Chrome trace JSON to this file on exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -79,14 +86,21 @@ func run() int {
 		}
 	}
 
+	flightEvents := 0
+	if *traceOut != "" || *debugAddr != "" {
+		// Large enough to hold a full default run (rounds × phase spans ×
+		// per-peer transfers) without the ring wrapping.
+		flightEvents = 1 << 16
+	}
 	sys, err := eccheck.Initialize(eccheck.Config{
-		Nodes:       *nodes,
-		GPUsPerNode: *gpus,
-		TPDegree:    *gpus,
-		PPStages:    *nodes,
-		K:           *k,
-		M:           *m,
-		BufferSize:  256 << 10,
+		Nodes:        *nodes,
+		GPUsPerNode:  *gpus,
+		TPDegree:     *gpus,
+		PPStages:     *nodes,
+		K:            *k,
+		M:            *m,
+		BufferSize:   256 << 10,
+		FlightEvents: flightEvents,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,6 +111,32 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}()
+
+	if *debugAddr != "" {
+		dbg, err := sys.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server: http://%s (/metrics /trace /debug/pprof)\n", dbg.Addr())
+	}
+	if *traceOut != "" {
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := sys.WriteTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("trace written to %s (%d events) — open in ui.perfetto.dev\n",
+				*traceOut, sys.FlightRecorder().Len())
+		}()
+	}
 
 	fmt.Printf("cluster: %d nodes x %d GPUs, k=%d data nodes %v, m=%d parity nodes %v\n",
 		*nodes, *gpus, *k, sys.DataNodes(), *m, sys.ParityNodes())

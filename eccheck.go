@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"eccheck/internal/chaos"
 	"eccheck/internal/cluster"
 	"eccheck/internal/core"
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/remotestore"
 	"eccheck/internal/transport"
 )
@@ -67,6 +69,14 @@ type Config struct {
 	// crashing mid-save surfaces as a bounded error instead of a hang.
 	// 0 selects the default (60s); negative disables deadlines.
 	OpTimeout time.Duration
+	// FlightEvents, when positive, enables the flight recorder: a bounded
+	// in-memory ring of the last FlightEvents protocol events (round
+	// begin/end, phase spans, per-peer transfers, chaos injections,
+	// corruption recoveries). Failed rounds attach their event tail to the
+	// report as a postmortem; export the timeline with System.WriteTrace
+	// or serve it live with System.ServeDebug. 0 (the default) disables
+	// recording at zero cost on the save hot path.
+	FlightEvents int
 }
 
 // System is a running ECCheck deployment: the engine plus the cluster,
@@ -79,6 +89,7 @@ type System struct {
 	remote   *remotestore.Store
 	topo     *Topology
 	metrics  *obs.Registry
+	flight   *flight.Recorder // non-nil when Config.FlightEvents > 0
 }
 
 // SaveReport summarises one checkpoint round.
@@ -129,6 +140,15 @@ func Initialize(cfg Config) (*System, error) {
 		chaosNet.SetMetrics(reg)
 		net = chaosNet
 	}
+	var rec *flight.Recorder
+	if cfg.FlightEvents > 0 {
+		rec = flight.New(cfg.FlightEvents)
+		// The flight wrapper times every send/recv at the wire. It sits
+		// outside chaos so injected latency is part of each span, and
+		// forwards the recorder down to the chaos layer (FlightSetter) so
+		// kill/drop/error verdicts land in the same timeline.
+		net = transport.WithFlight(net, rec)
+	}
 	// Outermost wrapper counts every protocol send/recv per (node, peer);
 	// under chaos it observes what the protocol attempted, while the chaos
 	// counters record what the fault plan did to it.
@@ -153,6 +173,7 @@ func Initialize(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("eccheck: %w", err)
 		}
 		remote.SetMetrics(reg)
+		remote.SetFlight(rec)
 	}
 
 	persistEvery := cfg.RemotePersistEvery
@@ -169,6 +190,7 @@ func Initialize(cfg Config) (*System, error) {
 		IncrementalCache:   cfg.Incremental,
 		OpTimeout:          cfg.OpTimeout,
 		Metrics:            reg,
+		Flight:             rec,
 	}, net, clus, remote)
 	if err != nil {
 		_ = net.Close()
@@ -180,7 +202,7 @@ func Initialize(cfg Config) (*System, error) {
 		// is destroyed in the same instant.
 		chaosNet.SetOnKill(func(node int) { _ = clus.Fail(node) })
 	}
-	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote, topo: topo, metrics: reg}, nil
+	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote, topo: topo, metrics: reg, flight: rec}, nil
 }
 
 // Metrics returns a point-in-time snapshot of every counter and histogram
@@ -191,6 +213,33 @@ func Initialize(cfg Config) (*System, error) {
 // Snapshot.WriteJSON, or query single series with Snapshot.Counter and
 // Snapshot.Histogram.
 func (s *System) Metrics() Snapshot { return s.metrics.Snapshot() }
+
+// FlightRecorder returns the event timeline ring, or nil when
+// Config.FlightEvents was 0. Snapshot/Drain it directly, or use
+// WriteTrace / ServeDebug for the rendered forms.
+func (s *System) FlightRecorder() *FlightRecorder { return s.flight }
+
+// WriteTrace renders the flight recorder's current contents as Chrome
+// trace_event JSON — load the output in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each node is a process, each phase/event lane a
+// thread track, and P2P transfers carry flow arrows from sender to
+// receiver. The ring is not drained: repeated calls re-export the same
+// window. Fails when the recorder is disabled.
+func (s *System) WriteTrace(w io.Writer) error {
+	if s.flight == nil {
+		return fmt.Errorf("eccheck: flight recorder not enabled (set Config.FlightEvents)")
+	}
+	return flight.WriteTrace(w, s.flight.Snapshot())
+}
+
+// ServeDebug starts a debug HTTP server on addr (e.g. "localhost:6060")
+// exposing /metrics (Prometheus exposition), /metrics.json, /trace (the
+// flight recorder as Chrome trace JSON; drains the ring unless ?keep=1)
+// and /debug/pprof/*. Close the returned server to stop it; it does not
+// stop with System.Close.
+func (s *System) ServeDebug(addr string) (*DebugServer, error) {
+	return obs.ServeDebug(addr, s.metrics, s.flight)
+}
 
 // Close releases the system's resources. Any in-flight round — a SaveAsync
 // drain, a concurrent Save, a Load — is cancelled and waited for before the

@@ -108,13 +108,17 @@ func run() error {
 
 // chaosDemo crashes a node in the middle of a save round: the round fails
 // with a bounded error, no staged state leaks, and after replacing the
-// machine the previous checkpoint loads byte-exact.
+// machine the previous checkpoint loads byte-exact. The flight recorder
+// is on, so the failed round comes back with a postmortem — the last
+// events before the abort, printed below the way an operator would read
+// them after a real crash.
 func chaosDemo(ctx context.Context, topo *eccheck.Topology, dicts []*eccheck.StateDict) error {
 	sys, err := eccheck.Initialize(eccheck.Config{
 		Nodes: 4, GPUsPerNode: 1, TPDegree: 1, PPStages: 4,
 		K: 2, M: 2, DisableRemote: true, BufferSize: 512 << 10,
-		Chaos:     &eccheck.ChaosPlan{Seed: 7},
-		OpTimeout: 5 * time.Second,
+		Chaos:        &eccheck.ChaosPlan{Seed: 7},
+		OpTimeout:    5 * time.Second,
+		FlightEvents: 1024,
 	})
 	if err != nil {
 		return err
@@ -129,13 +133,17 @@ func chaosDemo(ctx context.Context, topo *eccheck.Topology, dicts []*eccheck.Sta
 	if err := sys.ScheduleNodeKill(victim, 3); err != nil {
 		return err
 	}
-	_, err = sys.Save(ctx, dicts)
+	failedReport, err := sys.Save(ctx, dicts)
 	if err == nil {
 		return fmt.Errorf("save v2 should have failed: node %d was killed mid-round", victim)
 	}
 
 	fmt.Printf("\ncrash mid-save (chaos, node %d killed after 3 sends):\n", victim)
 	fmt.Printf("  save v2 failed as expected: %v\n", err)
+	if failedReport != nil && len(failedReport.Postmortem) > 0 {
+		fmt.Printf("  postmortem (last %d events before the abort):\n", len(failedReport.Postmortem))
+		printPostmortem(failedReport.Postmortem)
+	}
 	if v := sys.Version(); v != 1 {
 		return fmt.Errorf("version advanced to %d on a failed save", v)
 	}
@@ -159,6 +167,34 @@ func chaosDemo(ctx context.Context, topo *eccheck.Topology, dicts []*eccheck.Sta
 	fmt.Printf("  replaced node %d, recovered v%d via %s workflow, byte-exact (%d sends observed, kills %v)\n",
 		victim, report.Version, report.Workflow, stats.Sends, stats.Killed)
 	return nil
+}
+
+// printPostmortem renders a failed round's event tail as an operator-
+// readable timeline: one line per event, offsets relative to the
+// recorder epoch, errors spelled out on the line that carried them.
+func printPostmortem(events []eccheck.FlightEvent) {
+	for _, e := range events {
+		line := fmt.Sprintf("    %10s  %-11s", e.TS.Round(10*time.Microsecond), e.Type)
+		if e.Node >= 0 {
+			line += fmt.Sprintf(" node=%d", e.Node)
+		}
+		if e.Op != "" {
+			line += " " + e.Op
+		}
+		if e.Phase != "" {
+			line += " " + e.Phase
+		}
+		if e.Tag != "" {
+			line += " tag=" + e.Tag
+		}
+		if e.Bytes > 0 {
+			line += fmt.Sprintf(" %dB", e.Bytes)
+		}
+		if e.Err != "" {
+			line += " err=" + e.Err
+		}
+		fmt.Println(line)
+	}
 }
 
 // corruptionDemo flips a bit inside a stored chunk: the blob checksum

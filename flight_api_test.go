@@ -1,0 +1,174 @@
+package eccheck_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"eccheck"
+)
+
+// flightSystem wires a chaos-enabled system with the flight recorder on.
+func flightSystem(t *testing.T) (*eccheck.System, []*eccheck.StateDict) {
+	t.Helper()
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes:        4,
+		GPUsPerNode:  2,
+		TPDegree:     2,
+		PPStages:     4,
+		K:            2,
+		M:            2,
+		BufferSize:   64 << 10,
+		Chaos:        &eccheck.ChaosPlan{Seed: 7},
+		OpTimeout:    2 * time.Second,
+		FlightEvents: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 42
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, dicts
+}
+
+// TestFlightRecorderEndToEnd drives the public surface: a save round
+// lands round/phase/transfer events in the recorder, WriteTrace renders
+// them as parseable Chrome trace JSON, and a chaos-killed round attaches
+// a postmortem tail to the report returned through the root API.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	sys, dicts := flightSystem(t)
+	ctx := context.Background()
+
+	rec := sys.FlightRecorder()
+	if rec == nil {
+		t.Fatal("FlightRecorder() = nil with FlightEvents set")
+	}
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		t.Fatalf("save v1: %v", err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("save round recorded no events")
+	}
+
+	var buf bytes.Buffer
+	if err := sys.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// The protocol shipped bytes between peers, so the trace must carry
+	// at least one flow start/finish pair.
+	flows := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		if ph, _ := e["ph"].(string); ph == "s" || ph == "f" {
+			flows[ph]++
+		}
+	}
+	if flows["s"] == 0 || flows["s"] != flows["f"] {
+		t.Errorf("flow events unpaired: %d starts, %d finishes", flows["s"], flows["f"])
+	}
+
+	// Kill a node mid-drain: the error comes back with a postmortem.
+	if err := sys.ScheduleNodeKill(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SaveAsync(ctx, dicts)
+	if err != nil {
+		t.Fatalf("SaveAsync: %v", err)
+	}
+	report, err := h.Wait(ctx)
+	if err == nil {
+		t.Fatal("killed round should fail")
+	}
+	if report == nil || len(report.Postmortem) == 0 {
+		t.Fatalf("killed round's report carries no postmortem (report=%v)", report)
+	}
+	last := report.Postmortem[len(report.Postmortem)-1]
+	if last.Err == "" {
+		t.Errorf("postmortem's terminal event has no error: %+v", last)
+	}
+	// The tail itself renders as a trace too (the WriteFlightTrace path).
+	buf.Reset()
+	if err := eccheck.WriteFlightTrace(&buf, report.Postmortem); err != nil {
+		t.Fatalf("WriteFlightTrace on the postmortem: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("postmortem trace is not valid JSON: %v", err)
+	}
+}
+
+// TestFlightDisabledByDefault pins the default-off contract: no
+// FlightEvents means no recorder and WriteTrace refuses.
+func TestFlightDisabledByDefault(t *testing.T) {
+	sys, dicts := smallSystem(t)
+	if _, err := sys.Save(context.Background(), dicts); err != nil {
+		t.Fatal(err)
+	}
+	if rec := sys.FlightRecorder(); rec != nil {
+		t.Fatalf("FlightRecorder() = %v without FlightEvents, want nil", rec)
+	}
+	if err := sys.WriteTrace(io.Discard); err == nil {
+		t.Fatal("WriteTrace must fail when the recorder is disabled")
+	}
+}
+
+// TestServeDebugFromSystem starts the debug server through the root API
+// and round-trips /metrics and /trace.
+func TestServeDebugFromSystem(t *testing.T) {
+	sys, dicts := flightSystem(t)
+	if _, err := sys.Save(context.Background(), dicts); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if !bytes.Contains(get("/metrics"), []byte("save_rounds_total")) {
+		t.Error("/metrics missing save_rounds_total")
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/trace?keep=1"), &tf); err != nil {
+		t.Fatalf("/trace is not valid trace JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("/trace has no events after a save round")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"unsafe"
 
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 )
 
 const (
@@ -50,6 +51,9 @@ type Pool struct {
 	puts     *obs.Counter
 	rejects  *obs.Counter
 	recycled *obs.Counter
+
+	// Flight recorder for discard events; nil (no-op) until SetFlight.
+	rec *flight.Recorder
 }
 
 // Default is the process-wide pool shared by the checkpoint engine, the
@@ -80,6 +84,13 @@ func (p *Pool) SetMetrics(reg *obs.Registry) {
 	p.rejects = reg.Counter("bufpool_put_rejects_total")
 	p.recycled = reg.Counter("bufpool_recycled_bytes_total")
 }
+
+// SetFlight installs a flight recorder that receives one event per
+// rejected Put — a discarded buffer is recycled memory lost, so a burst
+// of discards on the timeline flags an ownership bug or a foreign
+// buffer leaking into the hot path. A nil recorder disables emission.
+// Like SetMetrics, call before the pool sees concurrent traffic.
+func (p *Pool) SetFlight(rec *flight.Recorder) { p.rec = rec }
 
 // classIndex returns the size-class index for a buffer of n bytes, or -1
 // when n is outside the pooled range (0 or above the largest class).
@@ -134,6 +145,7 @@ func (p *Pool) Put(buf []byte) {
 	ci := classIndex(c)
 	if ci < 0 || classSize(ci) != c {
 		p.rejects.Inc()
+		p.rec.PoolDiscard(int64(c))
 		return
 	}
 	p.puts.Inc()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/transport"
 )
 
@@ -95,6 +96,10 @@ type Network struct {
 	mErrored *obs.Counter
 	mKilled  *obs.Counter
 	mReg     *obs.Registry
+
+	// Flight recorder for per-injection events; nil (no-op) until
+	// SetFlight.
+	rec *flight.Recorder
 }
 
 // Wrap builds a fault-injecting view of inner under the given plan.
@@ -146,6 +151,17 @@ func (n *Network) SetMetrics(reg *obs.Registry) {
 	n.mErrored = reg.Counter("chaos_errored_total")
 	n.mKilled = reg.Counter("chaos_killed_total")
 	n.mReg = reg
+}
+
+// SetFlight installs a flight recorder that receives one event per
+// injected fault (kill, drop, error) with the victim, peer and wire tag
+// it hit. It implements transport.FlightSetter, so wrapping a chaos
+// network with transport.WithFlight wires this up automatically. A nil
+// recorder disables emission.
+func (n *Network) SetFlight(rec *flight.Recorder) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rec = rec
 }
 
 // SetOnKill installs a hook fired exactly once per killed node, outside the
@@ -242,10 +258,11 @@ const (
 )
 
 // judgeSend advances the node's send counter, applies the kill schedule and
-// rolls the probabilistic faults. The returned delay applies only to
-// delivered sends. The kill hook (if any) is returned for the caller to
-// fire outside the lock.
-func (n *Network) judgeSend(node int) (verdict sendVerdict, delay time.Duration, killHook func()) {
+// rolls the probabilistic faults. to and tag identify the send for the
+// flight-recorder event an injected fault emits. The returned delay
+// applies only to delivered sends. The kill hook (if any) is returned
+// for the caller to fire outside the lock.
+func (n *Network) judgeSend(node, to int, tag string) (verdict sendVerdict, delay time.Duration, killHook func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.killed[node] {
@@ -261,6 +278,7 @@ func (n *Network) judgeSend(node int) (verdict sendVerdict, delay time.Duration,
 		if reg := n.mReg; reg != nil {
 			reg.Counter("chaos_kills_total", obs.L("node", strconv.Itoa(node))).Inc()
 		}
+		n.rec.Chaos("kill", node, to, tag)
 		if fn := n.onKill; fn != nil {
 			killHook = func() { fn(node) }
 		}
@@ -269,11 +287,13 @@ func (n *Network) judgeSend(node int) (verdict sendVerdict, delay time.Duration,
 	if n.plan.DropProb > 0 && n.rng.Float64() < n.plan.DropProb {
 		n.stats.Dropped++
 		n.mDropped.Inc()
+		n.rec.Chaos("drop", node, to, tag)
 		return verdictDrop, 0, nil
 	}
 	if n.plan.ErrProb > 0 && n.rng.Float64() < n.plan.ErrProb {
 		n.stats.Errored++
 		n.mErrored.Inc()
+		n.rec.Chaos("error", node, to, tag)
 		return verdictError, 0, nil
 	}
 	delay = n.plan.Latency
@@ -291,7 +311,7 @@ type chaosEndpoint struct {
 func (e *chaosEndpoint) Rank() int { return e.ep.Rank() }
 
 func (e *chaosEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
-	verdict, delay, killHook := e.net.judgeSend(e.ep.Rank())
+	verdict, delay, killHook := e.net.judgeSend(e.ep.Rank(), to, tag)
 	if killHook != nil {
 		killHook()
 	}
@@ -325,6 +345,7 @@ func (e *chaosEndpoint) Recv(ctx context.Context, from int, tag string) ([]byte,
 func (e *chaosEndpoint) Close() error { return e.ep.Close() }
 
 var (
-	_ transport.Network  = (*Network)(nil)
-	_ transport.Endpoint = (*chaosEndpoint)(nil)
+	_ transport.Network      = (*Network)(nil)
+	_ transport.Endpoint     = (*chaosEndpoint)(nil)
+	_ transport.FlightSetter = (*Network)(nil)
 )

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/serialize"
 	"eccheck/internal/statedict"
 	"eccheck/internal/transport"
@@ -68,7 +69,9 @@ func (h *SaveHandle) Err() error {
 // Wait blocks until the round has drained and returns its report. The
 // context bounds only the waiting: cancelling it abandons the wait, not
 // the drain. On an aborted round Wait returns the round's error and the
-// previous checkpoint version remains committed and loadable.
+// previous checkpoint version remains committed and loadable; the
+// returned report (when non-nil alongside the error) carries only
+// diagnostics — timing and the flight-recorder postmortem tail.
 func (h *SaveHandle) Wait(ctx context.Context) (*SaveReport, error) {
 	select {
 	case <-h.done:
@@ -109,7 +112,10 @@ func (h *SaveHandle) setCancel(cancel context.CancelFunc) {
 	}
 }
 
-// complete finalizes the handle. Exactly one of report/err is set.
+// complete finalizes the handle. On success report is set and err is
+// nil; on failure err is set and report may carry diagnostics (timing
+// fields and the flight-recorder postmortem tail) — never a committed
+// version.
 func (h *SaveHandle) complete(report *SaveReport, err error) {
 	h.mu.Lock()
 	h.report, h.err = report, err
@@ -204,6 +210,10 @@ func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDi
 	version := int(c.version.Load()) + 1
 
 	ctx, saveSpan := obs.StartSpan(ctx, c.cfg.Metrics, "save")
+	// Everything the round emits after this cursor belongs to it; a
+	// failed round attaches that tail to its report as the postmortem.
+	pmStart := c.cfg.Flight.Cursor()
+	c.cfg.Flight.RoundBegin("save", version)
 
 	// --- Snapshot stage (blocking): step 1 on every node in parallel.
 	// Pure local memory work — decompose, serialize small components, DtoH
@@ -220,7 +230,7 @@ func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDi
 		snapWG.Add(1)
 		go func(node int) {
 			defer snapWG.Done()
-			snap, err := c.snapshotNode(node, packetBytes, dicts)
+			snap, err := c.snapshotNode(node, version, packetBytes, dicts)
 			if err != nil {
 				snapErrc <- fmt.Errorf("core: node %d snapshot: %w", node, err)
 				return
@@ -242,7 +252,7 @@ func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDi
 		// Close, a queued SaveAsync, a Load waiting for the drain — is
 		// blocked on Done() and must see the round end.
 		c.releaseSave(h)
-		h.complete(nil, err)
+		h.complete(c.failedSaveReport(version, packetBytes, started, h, mode, err, pmStart), err)
 		return nil, err
 	}
 	h.stall = time.Since(started)
@@ -257,19 +267,46 @@ func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDi
 	go func() {
 		defer saveSpan.End()
 		defer cancel()
-		c.drainSave(drainCtx, h, snaps, version, packetBytes, started, sectionStart, mode)
+		c.drainSave(drainCtx, h, snaps, version, packetBytes, started, sectionStart, mode, pmStart)
 	}()
 	return h, nil
+}
+
+// failedSaveReport assembles the diagnostic report attached to a save
+// round that ended in error: timing that preserves the
+// StallNs+OverlapNs == Elapsed invariant even for a round aborted
+// mid-drain, plus the round's flight-recorder event tail (the
+// postmortem). The round's terminal event is emitted first so the tail
+// includes it. The error itself travels separately (SaveHandle.Err).
+func (c *Checkpointer) failedSaveReport(version, packetBytes int, started time.Time, h *SaveHandle, mode saveMode, err error, pmStart uint64) *SaveReport {
+	c.cfg.Flight.RoundEnd("save", version, err)
+	report := &SaveReport{
+		Version:     version,
+		PacketBytes: packetBytes,
+		Elapsed:     time.Since(started),
+	}
+	if mode.detach && h.stall > 0 {
+		// The caller unblocked after the snapshot; everything since — the
+		// partial drain included — overlapped resumed training.
+		report.StallNs = h.stall
+		report.OverlapNs = report.Elapsed - report.StallNs
+	} else {
+		// Synchronous round, or the round died before the snapshot stage
+		// finished: the caller was blocked the whole time.
+		report.StallNs = report.Elapsed
+	}
+	report.Postmortem = c.cfg.Flight.TailSince(pmStart, flight.DefaultPostmortemEvents)
+	return report
 }
 
 // drainSave runs the background portion of a save round: steps 2-3 on
 // every node, the commit barrier, the version bump and step 4 (remote
 // persistence). It always completes the handle and releases the save slot.
-func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*nodeSnapshot, version, packetBytes int, started, sectionStart time.Time, mode saveMode) {
+func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*nodeSnapshot, version, packetBytes int, started, sectionStart time.Time, mode saveMode, pmStart uint64) {
 	fail := func(err error) {
 		c.discardStaged()
 		c.releaseSave(h)
-		h.complete(nil, err)
+		h.complete(c.failedSaveReport(version, packetBytes, started, h, mode, err, pmStart), err)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -315,6 +352,8 @@ func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*no
 	}
 	commitTime := time.Since(commitStart)
 	c.version.Store(int64(version))
+	// The commit barrier is cluster-wide work (node -1 on the timeline).
+	c.cfg.Flight.Phase("save", -1, version, PhasePromote, commitStart, commitTime)
 
 	for node, phases := range nodePhases {
 		c.observePhases("save", node, phases)
@@ -368,7 +407,9 @@ func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*no
 				}
 			}
 		}
-		phases[PhasePersist] += time.Since(persistStart)
+		persistTime := time.Since(persistStart)
+		phases[PhasePersist] += persistTime
+		c.cfg.Flight.Phase("save", -1, version, PhasePersist, persistStart, persistTime)
 	}
 	report.Elapsed = time.Since(started)
 	if mode.detach {
@@ -385,6 +426,7 @@ func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*no
 		reg.Histogram("save_stall_ns").ObserveDuration(report.StallNs)
 		reg.Histogram("save_overlap_ns").ObserveDuration(report.OverlapNs)
 	}
+	c.cfg.Flight.RoundEnd("save", version, nil)
 	c.releaseSave(h)
 	h.complete(report, nil)
 }

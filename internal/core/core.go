@@ -36,6 +36,7 @@ import (
 	"eccheck/internal/ecpool"
 	"eccheck/internal/erasure"
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/parallel"
 	"eccheck/internal/placement"
 	"eccheck/internal/remotestore"
@@ -94,6 +95,11 @@ type Config struct {
 	// (save_phase_ns, load_phase_ns, save_rounds_total, ...). Nil disables
 	// instrumentation at zero cost.
 	Metrics *obs.Registry
+	// Flight receives the engine's event timeline: round begin/end,
+	// per-node phase spans, the commit barrier, corruption-as-erasure
+	// hits. Failed rounds attach their event tail to the report as a
+	// postmortem. Nil disables event emission at zero cost.
+	Flight *flight.Recorder
 	// CodeOptions tune the Cauchy Reed-Solomon code.
 	CodeOptions []erasure.Option
 }
@@ -406,6 +412,9 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 	if cfg.Metrics != nil {
 		bufpool.Default.SetMetrics(cfg.Metrics)
 	}
+	if cfg.Flight != nil {
+		bufpool.Default.SetFlight(cfg.Flight)
+	}
 	return &Checkpointer{
 		cfg:       cfg,
 		plan:      plan,
@@ -599,6 +608,11 @@ type SaveReport struct {
 	Phases map[string]time.Duration
 	// NodePhases holds each node's own phase partition, indexed by node.
 	NodePhases []map[string]time.Duration
+	// Postmortem is the flight-recorder event tail for a round that
+	// ended in error (abort, kill, snapshot failure), capped at
+	// flight.DefaultPostmortemEvents. Nil on success or when no flight
+	// recorder is configured.
+	Postmortem []flight.Event
 }
 
 // LoadReport summarises a recovery.
@@ -621,6 +635,11 @@ type LoadReport struct {
 	// Phases breaks the recovery down by phase (see LoadPhases): the
 	// coordinator's scan plus the per-phase mean across node goroutines.
 	Phases map[string]time.Duration
+	// Postmortem is the flight-recorder event tail for a recovery that
+	// failed or had to decode around erasures (missing or corrupt
+	// chunks), capped at flight.DefaultPostmortemEvents. Nil on a clean
+	// recovery or when no flight recorder is configured.
+	Postmortem []flight.Event
 }
 
 // Host-memory key layout.

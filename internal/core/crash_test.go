@@ -17,8 +17,9 @@ import (
 // newChaosRig wires a rig whose transport is wrapped in the fault
 // injector, with a short per-op deadline so a killed peer surfaces as a
 // bounded error. Kills destroy the victim's host memory, like a real
-// machine crash.
-func newChaosRig(t *testing.T, nodes, gpus, k, m int, plan chaos.Plan) (*testRig, *chaos.Network) {
+// machine crash. Optional opts mutate the Config before construction
+// (e.g. to attach a flight recorder).
+func newChaosRig(t *testing.T, nodes, gpus, k, m int, plan chaos.Plan, opts ...func(*Config)) (*testRig, *chaos.Network) {
 	t.Helper()
 	topo, err := parallel.NewTopology(nodes, gpus, gpus, nodes)
 	if err != nil {
@@ -41,14 +42,18 @@ func newChaosRig(t *testing.T, nodes, gpus, k, m int, plan chaos.Plan) (*testRig
 	if err != nil {
 		t.Fatal(err)
 	}
-	ckpt, err := New(Config{
+	cfg := Config{
 		Topo:               topo,
 		K:                  k,
 		M:                  m,
 		BufferSize:         64 << 10,
 		RemotePersistEvery: 0,
 		OpTimeout:          2 * time.Second,
-	}, net, clus, remote)
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ckpt, err := New(cfg, net, clus, remote)
 	if err != nil {
 		t.Fatal(err)
 	}

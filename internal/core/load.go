@@ -11,6 +11,7 @@ import (
 	"eccheck/internal/cluster"
 	"eccheck/internal/gf"
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/serialize"
 	"eccheck/internal/statedict"
 )
@@ -53,7 +54,7 @@ type recoverySpec struct {
 // settle, so it always observes a quiescent staging area: either the drain
 // committed its version (Load returns it) or aborted (Load returns the
 // previous one). Close interrupts a running Load.
-func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *LoadReport, retErr error) {
+func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDict, report *LoadReport, retErr error) {
 	started := time.Now()
 	if err := c.waitInflightSave(ctx); err != nil {
 		return nil, nil, err
@@ -67,6 +68,27 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 	defer func() { unregister(retErr) }()
 	ctx, loadSpan := obs.StartSpan(ctx, c.cfg.Metrics, "load")
 	defer loadSpan.End()
+	// Everything the round emits after this cursor belongs to it. The
+	// recovered version is only known after the scan; roundVersion tracks
+	// it for the terminal event and the postmortem report.
+	pmStart := c.cfg.Flight.Cursor()
+	roundVersion := 0
+	c.cfg.Flight.RoundBegin("load", 0)
+	defer func() {
+		if retErr == nil {
+			return
+		}
+		// Failed recovery: emit the terminal event first so the postmortem
+		// tail includes it, then attach the tail to a diagnostic report.
+		c.cfg.Flight.RoundEnd("load", roundVersion, retErr)
+		if tail := c.cfg.Flight.TailSince(pmStart, flight.DefaultPostmortemEvents); len(tail) > 0 {
+			report = &LoadReport{
+				Version:    roundVersion,
+				Elapsed:    time.Since(started),
+				Postmortem: tail,
+			}
+		}
+	}()
 	topo := c.cfg.Topo
 	n := topo.Nodes()
 	for node := 0; node < n; node++ {
@@ -93,10 +115,13 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 	}
 	states := make([]nodeState, n)
 	corruptBlobs := 0
-	checksumMiss := func(st *nodeState, err error) {
+	checksumMiss := func(st *nodeState, node int, key string, err error) {
 		if errors.Is(err, cluster.ErrChecksum) {
 			corruptBlobs++
 			st.corrupt = true
+			// Corruption handled as an erasure is exactly the event an
+			// operator wants on the timeline: which node, which blob.
+			c.cfg.Flight.Corruption(node, key)
 		}
 	}
 	latest := 0
@@ -104,7 +129,7 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 		st := &states[node]
 		blob, err := c.fetch(node, keyManifest())
 		if err != nil {
-			checksumMiss(st, err)
+			checksumMiss(st, node, keyManifest(), err)
 			continue // no usable manifest: the node's checkpoint is lost
 		}
 		v, p, b, err := parseManifest(blob)
@@ -118,7 +143,7 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 		for s := 0; s < span; s++ {
 			if _, err := c.fetch(node, keySegment(chunk, s)); err != nil {
 				st.chunkOK = false
-				checksumMiss(st, err)
+				checksumMiss(st, node, keySegment(chunk, s), err)
 				break
 			}
 		}
@@ -126,12 +151,12 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 		for rank := 0; rank < world && st.smallsOK; rank++ {
 			if _, err := c.fetch(node, keySmallMeta(rank)); err != nil {
 				st.smallsOK = false
-				checksumMiss(st, err)
+				checksumMiss(st, node, keySmallMeta(rank), err)
 				break
 			}
 			if _, err := c.fetch(node, keySmallKeys(rank)); err != nil {
 				st.smallsOK = false
-				checksumMiss(st, err)
+				checksumMiss(st, node, keySmallKeys(rank), err)
 			}
 		}
 		if st.manifestOK && st.chunkOK && v > latest {
@@ -213,7 +238,9 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 	if spec.smallSource == -1 {
 		return nil, nil, fmt.Errorf("core: no node holds intact small components; recover from remote storage")
 	}
+	roundVersion = latest
 	scanTime := time.Since(started)
+	c.cfg.Flight.Phase("load", -1, latest, PhaseScan, started, scanTime)
 
 	dicts := make([]*statedict.StateDict, topo.World())
 	var dictsMu sync.Mutex
@@ -259,7 +286,7 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 		reg.Counter("load_corrupt_blobs_total").Add(int64(corruptBlobs))
 	}
 
-	return dicts, &LoadReport{
+	report = &LoadReport{
 		Version:         latest,
 		Workflow:        workflow,
 		MissingChunks:   missingChunks,
@@ -267,7 +294,15 @@ func (c *Checkpointer) Load(ctx context.Context) (_ []*statedict.StateDict, _ *L
 		CorruptBlobs:    corruptBlobs,
 		Elapsed:         time.Since(started),
 		Phases:          phases,
-	}, nil
+	}
+	c.cfg.Flight.RoundEnd("load", latest, nil)
+	if len(missingChunks) > 0 {
+		// A recovery that decoded around erasures succeeded, but something
+		// was lost or corrupt: attach the event tail so the degradation is
+		// diagnosable from the report alone.
+		report.Postmortem = c.cfg.Flight.TailSince(pmStart, flight.DefaultPostmortemEvents)
+	}
+	return dicts, report, nil
 }
 
 // nodeLoad runs one node's side of recovery and returns its local workers'
@@ -285,6 +320,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	packetBytes := spec.packetBytes
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
 	pc := newPhaseClock(PhaseFetch)
+	pc.emitTo(c.cfg.Flight, "load", node, spec.version)
 
 	ep, err := c.endpoint(node)
 	if err != nil {

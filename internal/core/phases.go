@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 )
 
 // Phase names of the save round. Each node goroutine's wall time is
@@ -68,6 +69,14 @@ func LoadPhases() []string {
 	return []string{PhaseScan, PhaseFetch, PhaseRebuild, PhaseSmallSync, PhaseRedistribute}
 }
 
+// phaseEventMin is the shortest closed phase interval worth a flight
+// event. The pipelined save switches phases once per buffer, so without
+// a floor a single round would flood the ring with micro-spans; 20µs
+// keeps the spans an operator actually reads (offload, encode runs,
+// barrier waits) while coalescing per-buffer noise into the phase
+// histograms, which see every interval regardless.
+const phaseEventMin = 20 * time.Microsecond
+
 // phaseClock partitions one goroutine's timeline exclusively into named
 // phases: at any instant exactly one phase is charged, so the phase
 // durations sum to the clock's total span. It is not safe for concurrent
@@ -76,6 +85,12 @@ type phaseClock struct {
 	phases map[string]time.Duration
 	cur    string
 	mark   time.Time
+
+	// Flight emission context (see emitTo); rec nil means no emission.
+	rec   *flight.Recorder
+	op    string
+	node  int
+	round int
 }
 
 // newPhaseClock starts a clock charging the given phase.
@@ -87,6 +102,12 @@ func newPhaseClock(phase string) *phaseClock {
 	}
 }
 
+// emitTo makes every closed phase interval of at least phaseEventMin
+// also land in the flight recorder as a span for (op, node, round).
+func (p *phaseClock) emitTo(rec *flight.Recorder, op string, node, round int) {
+	p.rec, p.op, p.node, p.round = rec, op, node, round
+}
+
 // Switch charges the time since the last boundary to the current phase and
 // starts charging the given one.
 func (p *phaseClock) Switch(phase string) {
@@ -94,7 +115,11 @@ func (p *phaseClock) Switch(phase string) {
 		return
 	}
 	now := time.Now()
-	p.phases[p.cur] += now.Sub(p.mark)
+	d := now.Sub(p.mark)
+	p.phases[p.cur] += d
+	if p.rec != nil && d >= phaseEventMin {
+		p.rec.Phase(p.op, p.node, p.round, p.cur, p.mark, d)
+	}
 	p.cur, p.mark = phase, now
 }
 
@@ -103,7 +128,11 @@ func (p *phaseClock) Switch(phase string) {
 func (p *phaseClock) Stop() map[string]time.Duration {
 	if p.cur != "" {
 		now := time.Now()
-		p.phases[p.cur] += now.Sub(p.mark)
+		d := now.Sub(p.mark)
+		p.phases[p.cur] += d
+		if p.rec != nil && d >= phaseEventMin {
+			p.rec.Phase(p.op, p.node, p.round, p.cur, p.mark, d)
+		}
 		p.cur, p.mark = "", now
 	}
 	return p.phases

@@ -74,9 +74,10 @@ func (s *nodeSnapshot) release(c *Checkpointer) {
 // and offload their tensor data into contiguous packets (the DtoH copy —
 // the only work the training loop stalls on). Pure local memory work, no
 // network.
-func (c *Checkpointer) snapshotNode(node, packetBytes int, dicts []*statedict.StateDict) (*nodeSnapshot, error) {
+func (c *Checkpointer) snapshotNode(node, version, packetBytes int, dicts []*statedict.StateDict) (*nodeSnapshot, error) {
 	g := c.cfg.Topo.GPUsPerNode()
 	pc := newPhaseClock(PhaseSerialize)
+	pc.emitTo(c.cfg.Flight, "save", node, version)
 	snap := &nodeSnapshot{
 		node:    node,
 		packets: make(map[int][]byte, g),
@@ -208,6 +209,7 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	packets := snap.packets
 	smalls := snap.smalls
 	pc := newPhaseClock(PhaseP2P)
+	pc.emitTo(c.cfg.Flight, "save", node, version)
 	if !snap.end.IsZero() {
 		pc.mark = snap.end // charge the goroutine handoff to the drain
 	}

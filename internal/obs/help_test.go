@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHelpLines checks that every family in the rendered exposition is
+// introduced by a # HELP line immediately followed by its # TYPE line.
+func TestHelpLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	sawHelp := false
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			sawHelp = true
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			name := fields[2]
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Fatalf("HELP for %s not followed by its TYPE line: %q", name, lines[i+1])
+			}
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP "+name+" ") {
+				t.Fatalf("TYPE for %s not preceded by its HELP line", name)
+			}
+		}
+	}
+	if !sawHelp {
+		t.Fatal("no HELP lines rendered")
+	}
+}
+
+func TestHelpFallback(t *testing.T) {
+	cases := map[string]string{
+		"custom_ns":          "nanoseconds",
+		"custom_bytes_total": "Byte counter",
+		"custom_total":       "Counter",
+		"oddball":            "Metric",
+	}
+	for name, want := range cases {
+		if got := helpFor(name); !strings.Contains(got, want) {
+			t.Fatalf("helpFor(%q) = %q, want substring %q", name, got, want)
+		}
+	}
+	if helpFor("save_rounds_total") != metricHelp["save_rounds_total"] {
+		t.Fatal("known metric should use curated help text")
+	}
+}
+
+func TestEscapeHelp(t *testing.T) {
+	if got := escapeHelp("plain text"); got != "plain text" {
+		t.Fatalf("escapeHelp mangled plain text: %q", got)
+	}
+	if got := escapeHelp("back\\slash\nnewline"); got != `back\\slash\nnewline` {
+		t.Fatalf("escapeHelp = %q", got)
+	}
+}

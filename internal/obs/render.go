@@ -147,8 +147,9 @@ func labelString(labels []Label, extraKey, extraVal string) string {
 	return out + "}"
 }
 
-// WriteText renders the snapshot in Prometheus exposition style: counters
-// as `# TYPE <name> counter` families, histograms as summaries (quantile
+// WriteText renders the snapshot in Prometheus exposition style: each
+// family gets `# HELP` and `# TYPE` header lines, counters render as
+// counter families, histograms as summaries (quantile
 // series plus _sum and _count), extended with _min and _max series. The
 // output is deterministic for a given snapshot, so it is diffable and
 // golden-testable.
@@ -156,7 +157,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	lastType := ""
 	for _, c := range s.Counters {
 		if c.Name != lastType {
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.Name); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.Name, escapeHelp(helpFor(c.Name)), c.Name); err != nil {
 				return err
 			}
 			lastType = c.Name
@@ -168,7 +169,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	lastType = ""
 	for _, h := range s.Histograms {
 		if h.Name != lastType {
-			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", h.Name); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", h.Name, escapeHelp(helpFor(h.Name)), h.Name); err != nil {
 				return err
 			}
 			lastType = h.Name

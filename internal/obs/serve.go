@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"eccheck/internal/obs/flight"
+)
+
+// DebugServer is a live diagnostics endpoint started by ServeDebug. It
+// serves until Close.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the address the server is listening on (useful with a
+// ":0" bind).
+func (d *DebugServer) Addr() string {
+	if d == nil || d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the server and releases its listener.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// ServeDebug starts a stdlib HTTP debug server on addr exposing
+//
+//   - /metrics       — the registry's Prometheus exposition text
+//   - /metrics.json  — the same snapshot as JSON
+//   - /trace         — drains the flight recorder as Chrome trace_event
+//     JSON (open in Perfetto); ?keep=1 snapshots without draining
+//   - /debug/pprof/* — the standard runtime profiles
+//
+// reg and rec may each be nil; their endpoints then serve empty
+// documents. The server runs on its own mux and goroutine until Close.
+func ServeDebug(addr string, reg *Registry, rec *flight.Recorder) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var ev []flight.Event
+		if r.URL.Query().Get("keep") != "" {
+			ev = rec.Snapshot()
+		} else {
+			ev = rec.Drain()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="eccheck.trace.json"`)
+		_ = flight.WriteTrace(w, ev)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}

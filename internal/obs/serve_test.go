@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"eccheck/internal/obs/flight"
+)
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("save_rounds_total").Add(2)
+	rec := flight.New(64)
+	rec.RoundBegin("save", 1)
+	rec.Phase("save", 0, 1, "encode", time.Now(), time.Millisecond)
+	rec.RoundEnd("save", 1, nil)
+
+	srv, err := ServeDebug("127.0.0.1:0", reg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	metrics := getBody(t, base+"/metrics")
+	if !strings.Contains(metrics, "# HELP save_rounds_total") ||
+		!strings.Contains(metrics, "save_rounds_total 2") {
+		t.Fatalf("/metrics missing expected series:\n%s", metrics)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(getBody(t, base+"/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if v, ok := snap.Counter("save_rounds_total"); !ok || v != 2 {
+		t.Fatalf("/metrics.json counter = %d/%v, want 2", v, ok)
+	}
+
+	// keep=1 snapshots without consuming; the plain endpoint drains.
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, base+"/trace?keep=1")), &trace); err != nil {
+		t.Fatalf("/trace?keep=1 not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("/trace?keep=1 returned no events")
+	}
+	if err := json.Unmarshal([]byte(getBody(t, base+"/trace")), &trace); err != nil {
+		t.Fatalf("/trace not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("/trace should still see the retained events")
+	}
+	if got := rec.Len(); got != 0 {
+		t.Fatalf("recorder should be drained after /trace, Len = %d", got)
+	}
+
+	if body := getBody(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+func TestServeDebugNilSources(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if body := getBody(t, base+"/metrics"); body != "" {
+		t.Fatalf("nil registry /metrics should be empty, got %q", body)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal([]byte(getBody(t, base+"/trace")), &trace); err != nil {
+		t.Fatalf("nil recorder /trace must still be valid JSON: %v", err)
+	}
+	var nilSrv *DebugServer
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil DebugServer must be inert")
+	}
+}

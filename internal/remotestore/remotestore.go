@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/simnet"
 	"eccheck/internal/transport"
 )
@@ -40,6 +41,10 @@ type Store struct {
 	mPutBytes   *obs.Counter
 	mGetBytes   *obs.Counter
 	mTransferNs *obs.Histogram
+
+	// Flight recorder for per-operation events; nil (no-op) until
+	// SetFlight.
+	rec *flight.Recorder
 }
 
 // SetMetrics installs remote-tier instrumentation: remote_puts_total,
@@ -58,6 +63,17 @@ func (s *Store) SetMetrics(reg *obs.Registry) {
 	s.mPutBytes = reg.Counter("remote_put_bytes_total")
 	s.mGetBytes = reg.Counter("remote_get_bytes_total")
 	s.mTransferNs = reg.Histogram("remote_transfer_ns")
+}
+
+// SetFlight installs a flight recorder that receives one event per put
+// and get (wall-clock timed, keyed by object name) plus a virtual-time
+// link-busy span per transfer on the shared uplink. A nil recorder
+// disables emission.
+func (s *Store) SetFlight(rec *flight.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+	s.uplink.SetFlight(rec)
 }
 
 // New constructs a store with the given aggregate bandwidth in
@@ -125,6 +141,7 @@ func (s *Store) await(ctx context.Context) error {
 // transport.WithOpTimeout for the same deadline discipline as the
 // transports.
 func (s *Store) Put(ctx context.Context, ready time.Duration, key string, data []byte) (simnet.Span, error) {
+	start := time.Now()
 	if err := s.await(ctx); err != nil {
 		return simnet.Span{}, fmt.Errorf("remotestore: put %q: %w", key, err)
 	}
@@ -138,12 +155,14 @@ func (s *Store) Put(ctx context.Context, ready time.Duration, key string, data [
 	s.mPuts.Inc()
 	s.mPutBytes.Add(int64(len(data)))
 	s.mTransferNs.ObserveDuration(span.End - span.Start)
+	s.rec.Remote("put", key, int64(len(data)), start, time.Since(start))
 	return span, nil
 }
 
 // Get returns the object and the span its download occupies on the uplink.
 // The context bounds the operation like Put's does.
 func (s *Store) Get(ctx context.Context, ready time.Duration, key string) ([]byte, simnet.Span, error) {
+	start := time.Now()
 	if err := s.await(ctx); err != nil {
 		return nil, simnet.Span{}, fmt.Errorf("remotestore: get %q: %w", key, err)
 	}
@@ -160,6 +179,7 @@ func (s *Store) Get(ctx context.Context, ready time.Duration, key string) ([]byt
 	s.mGets.Inc()
 	s.mGetBytes.Add(int64(len(data)))
 	s.mTransferNs.ObserveDuration(span.End - span.Start)
+	s.rec.Remote("get", key, int64(len(data)), start, time.Since(start))
 	return append([]byte(nil), data...), span, nil
 }
 

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"eccheck/internal/obs/flight"
 )
 
 // Span is a half-open interval of virtual time.
@@ -46,6 +48,7 @@ type Resource struct {
 	rate     float64
 	nextFree time.Duration
 	busyLog  []Span
+	rec      *flight.Recorder
 }
 
 // NewResource constructs a resource with the given service rate.
@@ -65,6 +68,12 @@ func (r *Resource) Rate() float64 { return r.rate }
 // NextFree returns the earliest instant a new job could start.
 func (r *Resource) NextFree() time.Duration { return r.nextFree }
 
+// SetFlight installs a flight recorder that receives one link-busy
+// event per executed job, stamped in virtual time. A nil recorder
+// disables emission. Like the rest of Resource, not safe for concurrent
+// use with Exec.
+func (r *Resource) SetFlight(rec *flight.Recorder) { r.rec = rec }
+
 // Exec enqueues a job of the given size that becomes ready at the given
 // instant, and returns its start and completion instants. Jobs are served
 // FIFO in call order.
@@ -81,6 +90,7 @@ func (r *Resource) Exec(ready time.Duration, bytes int64) (Span, error) {
 	r.nextFree = end
 	if d > 0 {
 		r.busyLog = append(r.busyLog, Span{Start: start, End: end})
+		r.rec.LinkBusy(r.name, start, d, bytes)
 	}
 	return Span{Start: start, End: end}, nil
 }

@@ -1,11 +1,14 @@
 package eccheck
 
 import (
+	"io"
+
 	"eccheck/internal/chaos"
 	"eccheck/internal/core"
 	"eccheck/internal/erasure"
 	"eccheck/internal/model"
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/flight"
 	"eccheck/internal/parallel"
 	"eccheck/internal/statedict"
 	"eccheck/internal/tensor"
@@ -132,6 +135,32 @@ type MetricLabel = obs.Label
 // Label constructs a MetricLabel for Snapshot lookups, e.g.
 // snap.Histogram("save_phase_ns", Label("phase", "encode"), Label("node", "0")).
 var Label = obs.L
+
+// FlightRecorder is the bounded in-memory ring of protocol events a
+// System records when Config.FlightEvents is positive: round begin/end,
+// phase spans, per-peer transfers with byte counts, chaos injections and
+// corruption-as-erasure recoveries. Obtain it with System.FlightRecorder.
+type FlightRecorder = flight.Recorder
+
+// FlightEvent is one recorded timeline event. Failed rounds carry their
+// last events as SaveReport.Postmortem / LoadReport.Postmortem.
+type FlightEvent = flight.Event
+
+// FlightEventType discriminates FlightEvent kinds (round, phase, send,
+// recv, chaos, corruption, ...).
+type FlightEventType = flight.EventType
+
+// WriteFlightTrace renders recorded events as Chrome trace_event JSON
+// (the format Perfetto and chrome://tracing load). System.WriteTrace is
+// the common entry point; this function renders an explicit event slice,
+// e.g. a report's postmortem tail.
+func WriteFlightTrace(w io.Writer, events []FlightEvent) error {
+	return flight.WriteTrace(w, events)
+}
+
+// DebugServer is the live debug HTTP server started by System.ServeDebug,
+// exposing /metrics, /trace and /debug/pprof.
+type DebugServer = obs.DebugServer
 
 // SaveHandle tracks an asynchronous save round from the moment SaveAsync
 // returned (snapshot complete, training may resume) until its background
