@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke doclint allocgate metrics-demo trace-demo
+.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak metrics-demo trace-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
 check: fmt vet build test race smoke doclint allocgate
@@ -45,9 +45,18 @@ doclint:
 # Allocation gate: the flight recorder must be free when disabled. Every
 # emitter on a nil recorder and the phase clock's per-buffer Switch on
 # the save hot path must be 0 allocs/op — these tests fail otherwise.
+# Membership-quiescent state queries (Alive/Draining/State/Generation)
+# sit on the same hot path and are gated too.
 allocgate:
 	$(GO) test -run 'TestDisabledRecorderZeroAlloc' -count=1 ./internal/obs/flight
 	$(GO) test -run 'TestPhaseClockZeroAllocWithoutRecorder' -count=1 ./internal/core
+	$(GO) test -run 'TestMembershipStateZeroAlloc' -count=1 ./internal/cluster
+
+# Randomized elastic-membership churn (preempt/drain/rejoin racing saves
+# and loads) under the race detector. Seeded and bounded; TESTFLAGS=-short
+# shrinks the round count for the PR gate.
+chaos-soak:
+	$(GO) test -race -run 'TestChaosSoakMembershipChurn' -count=1 $(TESTFLAGS) .
 
 # One checkpoint-and-recover round with the per-phase breakdown and the
 # full metric registry printed: the quickest way to see the observability

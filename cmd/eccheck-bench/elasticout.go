@@ -1,0 +1,87 @@
+package main
+
+// Elastic-membership measurement: full re-encode vs delta-parity repair.
+//
+// runElasticOut runs the harness's ElasticStudy — lose one data node
+// between checkpoints under small-delta churn, once as a plain crash
+// (reseat, erasure rebuild, full re-encode) and once as a drained
+// preemption (custody transfer, verbatim restore, delta-parity update) —
+// and writes the per-step byte and wall-time breakdown as JSON. The dump
+// is the committed BENCH_*.json evidence for the elastic-membership
+// claim: the drained path rebuilds zero chunks and moves a small
+// fraction of the crash path's bytes.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+
+	"eccheck/internal/harness"
+)
+
+// elasticPathDump is one strategy's measured breakdown.
+type elasticPathDump struct {
+	Name            string  `json:"name"`
+	LeaveBytes      int64   `json:"leave_bytes"`
+	RepairBytes     int64   `json:"repair_bytes"`
+	RecoveryBytes   int64   `json:"recovery_bytes"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	TotalBytes      int64   `json:"total_bytes"`
+	RebuiltChunks   int     `json:"rebuilt_chunks"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// elasticDump is the machine-readable snapshot.
+type elasticDump struct {
+	Schema     string          `json:"schema"`
+	Env        benchEnv        `json:"env"`
+	Full       elasticPathDump `json:"crash_full"`
+	Delta      elasticPathDump `json:"drain_delta"`
+	BytesRatio float64         `json:"bytes_ratio"`
+}
+
+func dumpElasticPath(p harness.ElasticPath) elasticPathDump {
+	return elasticPathDump{
+		Name:            p.Name,
+		LeaveBytes:      p.LeaveBytes,
+		RepairBytes:     p.RepairBytes,
+		RecoveryBytes:   p.RecoveryBytes,
+		CheckpointBytes: p.CheckpointBytes,
+		TotalBytes:      p.TotalBytes(),
+		RebuiltChunks:   p.RebuiltChunks,
+		WallMS:          float64(p.Wall.Microseconds()) / 1e3,
+	}
+}
+
+// runElasticOut produces the elastic-membership snapshot.
+func runElasticOut(path string) error {
+	res, err := harness.ElasticStudy(io.Discard)
+	if err != nil {
+		return err
+	}
+	dump := elasticDump{
+		Schema: "eccheck-elastic/v1",
+		Env: benchEnv{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Full:       dumpElasticPath(res.Full),
+		Delta:      dumpElasticPath(res.Delta),
+		BytesRatio: res.BytesRatio,
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -11,6 +11,7 @@
 //	eccheck-bench -metrics-out metrics.json fig11
 //	eccheck-bench -bench-out BENCH.json
 //	eccheck-bench -stall-out BENCH_STALL.json
+//	eccheck-bench -elastic-out BENCH_5.json
 //
 // -metrics-out additionally runs one fully instrumented functional
 // checkpoint round (save, integrity verification, failure, recovery) on a
@@ -100,6 +101,10 @@ func experiments() []experiment {
 			_, err := harness.AsyncStudy(w)
 			return err
 		})},
+		{"elastic", "membership churn: crash+full re-encode vs drain+delta parity (functional layer)", wrap(func(w io.Writer) error {
+			_, err := harness.ElasticStudy(w)
+			return err
+		})},
 	}
 }
 
@@ -162,6 +167,7 @@ func run() int {
 	metricsOut := flag.String("metrics-out", "", "run an instrumented functional round and write its metric snapshot as JSON to this file")
 	benchOut := flag.String("bench-out", "", "measure steady-state save rounds, encode bandwidth and the XOR kernel (throughput, allocs/op, B/op) and write the JSON snapshot to this file")
 	stallOut := flag.String("stall-out", "", "measure sync Save wall time vs SaveAsync blocking time vs the offload-phase floor and write the JSON snapshot to this file")
+	elasticOut := flag.String("elastic-out", "", "measure the membership-churn byte and wall-time breakdown (crash+full re-encode vs drain+delta parity) and write the JSON snapshot to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof on this address while experiments run (experiments build their own systems, so /metrics and /trace are empty here; use eccheck-sim -debug-addr for those)")
 	flag.Parse()
 
@@ -184,7 +190,7 @@ func run() int {
 	}
 
 	selected := flag.Args()
-	if len(selected) == 0 && *metricsOut == "" && *benchOut == "" && *stallOut == "" {
+	if len(selected) == 0 && *metricsOut == "" && *benchOut == "" && *stallOut == "" && *elasticOut == "" {
 		for _, e := range exps {
 			selected = append(selected, e.name)
 		}
@@ -233,6 +239,14 @@ func run() int {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "wrote stall snapshot to %s\n", *stallOut)
+		}
+	}
+	if *elasticOut != "" {
+		if err := runElasticOut(*elasticOut); err != nil {
+			fmt.Fprintf(os.Stderr, "elastic dump: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote elastic snapshot to %s\n", *elasticOut)
 		}
 	}
 	if failed {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"eccheck/internal/chaos"
@@ -90,6 +91,11 @@ type System struct {
 	topo     *Topology
 	metrics  *obs.Registry
 	flight   *flight.Recorder // non-nil when Config.FlightEvents > 0
+
+	// killTimers arms the preemption deadlines of non-chaos systems (under
+	// chaos the chaos network owns the deadline). Guarded by timerMu.
+	timerMu    sync.Mutex
+	killTimers map[int]*time.Timer
 }
 
 // SaveReport summarises one checkpoint round.
@@ -202,7 +208,8 @@ func Initialize(cfg Config) (*System, error) {
 		// is destroyed in the same instant.
 		chaosNet.SetOnKill(func(node int) { _ = clus.Fail(node) })
 	}
-	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote, topo: topo, metrics: reg, flight: rec}, nil
+	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote,
+		topo: topo, metrics: reg, flight: rec, killTimers: make(map[int]*time.Timer)}, nil
 }
 
 // Metrics returns a point-in-time snapshot of every counter and histogram
@@ -249,6 +256,12 @@ func (s *System) ServeDebug(addr string) (*DebugServer, error) {
 // previous committed version remains loadable). A round that managed to
 // commit before the cancellation landed is not an error.
 func (s *System) Close() error {
+	s.timerMu.Lock()
+	for node, t := range s.killTimers {
+		t.Stop()
+		delete(s.killTimers, node)
+	}
+	s.timerMu.Unlock()
 	errCkpt := s.ckpt.Close()
 	errNet := s.net.Close()
 	return errors.Join(errCkpt, errNet)
@@ -305,14 +318,23 @@ func (s *System) FailNode(node int) error { return s.clus.Fail(node) }
 // ReplaceNode brings a failed machine back as a fresh, empty node. Under
 // chaos, the replacement also gets a working transport again (a chaos kill
 // only destroyed the old machine).
+//
+// The replacement is fenced behind the save slot: if a SaveAsync drain is
+// in flight, ReplaceNode waits for it to finish (commit or abort) before
+// swapping the slot. Without the fence a drain that started while the
+// node was dead could observe the replacement halfway through its round —
+// stage on the fresh node but commit against a manifest it never staged.
+// The fence makes membership changes and save rounds strictly serial.
 func (s *System) ReplaceNode(node int) error {
-	if err := s.clus.Replace(node); err != nil {
-		return err
-	}
-	if s.chaosNet != nil {
-		return s.chaosNet.Revive(node)
-	}
-	return nil
+	return s.ckpt.WithSaveFence(context.Background(), func() error {
+		if err := s.clus.Replace(node); err != nil {
+			return err
+		}
+		if s.chaosNet != nil {
+			return s.chaosNet.Revive(node)
+		}
+		return nil
+	})
 }
 
 // AliveNodes lists the currently healthy machines.
@@ -333,9 +355,20 @@ func (s *System) ParityNodes() []int {
 	return append([]int(nil), s.ckpt.Plan().ParityNodes...)
 }
 
-// FaultTolerance returns the number of concurrent machine failures the
-// system survives (m).
-func (s *System) FaultTolerance() int { return s.ckpt.Code().M() }
+// FaultTolerance returns the number of additional concurrent machine
+// failures the system survives right now: the code's parity count m minus
+// the slots currently unable to serve their chunk (dead machines, and
+// fresh joiners whose chunk has not been restored or rebuilt yet). A
+// healthy cluster reports m; a completed drain+AddNode cycle returns to m
+// immediately, while a crash leave stays below m until the next Load
+// rebuilds the lost chunk.
+func (s *System) FaultTolerance() int {
+	ft := s.ckpt.Code().M() - s.ckpt.DegradedSlots()
+	if ft < 0 {
+		ft = 0
+	}
+	return ft
+}
 
 // IncrementalReport summarises a delta checkpoint round.
 type IncrementalReport = core.IncrementalReport
@@ -384,4 +417,137 @@ func (s *System) ChaosStats() (ChaosStats, error) {
 // the erasure code.
 func (s *System) CorruptChunk(node int) error {
 	return s.ckpt.CorruptChunkByte(node)
+}
+
+// killNode makes the preemption deadline land: under chaos the chaos
+// network kills the node (destroying its host memory via the OnKill
+// hook), otherwise the cluster slot fails directly. Idempotent.
+func (s *System) killNode(node int) {
+	s.stopKillTimer(node)
+	if s.chaosNet != nil {
+		_ = s.chaosNet.KillNow(node)
+		return
+	}
+	_ = s.clus.Fail(node)
+}
+
+// stopKillTimer disarms a non-chaos preemption deadline, if one is armed.
+func (s *System) stopKillTimer(node int) {
+	s.timerMu.Lock()
+	if t, ok := s.killTimers[node]; ok {
+		t.Stop()
+		delete(s.killTimers, node)
+	}
+	s.timerMu.Unlock()
+}
+
+// finishLeave folds a drain outcome into the (report, error) contract
+// shared by PreemptNode and RemoveNode: the doomed node is killed no
+// matter what (the deadline is the platform's, not ours), and a drain
+// that lost its race comes back as a degraded report rather than an
+// error — the cluster is still recoverable through the erasure code.
+// Only lifecycle errors (system closed, caller's context cancelled
+// before its deadline) surface as errors.
+func (s *System) finishLeave(node int, rep *DrainReport, err error) (*DrainReport, error) {
+	s.killNode(node)
+	if err == nil {
+		return rep, nil
+	}
+	if errors.Is(err, ErrClosed) {
+		return nil, err
+	}
+	if rep == nil {
+		rep = &DrainReport{Node: node, Custodian: -1, Reason: err.Error()}
+	}
+	return rep, nil
+}
+
+// PreemptNode delivers a spot-style preemption notice for node: the node
+// has `notice` time left, drains its committed checkpoint blobs to a live
+// custodian (see RemoveNode), and is killed when the deadline lands —
+// whether or not the drain finished. With sufficient notice the returned
+// report has Completed true and the slot's state survives; when the
+// notice expires mid-drain the report explains the degradation (with a
+// flight-recorder postmortem when enabled) and recovery falls back to the
+// erasure rebuild, exactly as if the node had crashed. A zero or negative
+// notice kills immediately. Under chaos the chaos network owns the
+// deadline (SchedulePreemption), so a plan-scheduled notice and an
+// explicit PreemptNode agree on when the kill lands.
+func (s *System) PreemptNode(ctx context.Context, node int, notice time.Duration) (*DrainReport, error) {
+	if notice <= 0 {
+		s.killNode(node)
+		return &DrainReport{Node: node, Custodian: -1, Reason: "no notice"}, nil
+	}
+	if err := s.clus.BeginDrain(node); err != nil {
+		return nil, err
+	}
+	var deadline time.Time
+	if s.chaosNet != nil {
+		d, err := s.chaosNet.SchedulePreemption(node, notice)
+		if err != nil {
+			_ = s.clus.EndDrain(node)
+			return nil, err
+		}
+		deadline = d
+	} else {
+		deadline = time.Now().Add(notice)
+		s.timerMu.Lock()
+		if t, ok := s.killTimers[node]; ok {
+			t.Stop()
+		}
+		s.killTimers[node] = time.AfterFunc(notice, func() { _ = s.clus.Fail(node) })
+		s.timerMu.Unlock()
+	}
+	dctx, cancel := context.WithDeadline(ctx, deadline)
+	rep, err := s.ckpt.DrainNode(dctx, node)
+	cancel()
+	return s.finishLeave(node, rep, err)
+}
+
+// RemoveNode takes node out of the cluster gracefully: the node enters
+// the Draining state, ships its committed checkpoint blobs to a live
+// custodian (chosen in ring order), and is then killed. Unlike
+// PreemptNode there is no deadline — the drain gets as long as the
+// context allows. After a completed drain the next AddNode on the slot
+// restores the blobs verbatim and the following Load performs ZERO
+// erasure rebuilds.
+func (s *System) RemoveNode(ctx context.Context, node int) (*DrainReport, error) {
+	if err := s.clus.BeginDrain(node); err != nil {
+		return nil, err
+	}
+	rep, err := s.ckpt.DrainNode(ctx, node)
+	return s.finishLeave(node, rep, err)
+}
+
+// AddNode refills a vacated (dead) slot with a fresh machine and repairs
+// its share of the checkpoint. If the slot left through a completed drain
+// (RemoveNode, or PreemptNode with enough notice), the custodian hands
+// every blob back and full FaultTolerance returns immediately with zero
+// rebuilds. If the slot crashed holding a data chunk, placement is
+// recompiled around the empty machine (the joiner is demoted to parity
+// duty), intact chunks migrate to their new homes, and only the lost
+// chunk is left for the next Load to re-encode. The replacement itself is
+// fenced behind the save slot like ReplaceNode.
+func (s *System) AddNode(ctx context.Context, node int) (*JoinReport, error) {
+	s.stopKillTimer(node)
+	if err := s.ReplaceNode(node); err != nil {
+		return nil, err
+	}
+	return s.ckpt.RepairNode(ctx, node)
+}
+
+// OnPreemptionNotice registers fn to run when a chaos-plan preemption
+// notice fires (ChaosPreemption entries in the plan, or an explicit
+// PreemptNode under chaos): the node has until deadline before the kill
+// lands. Requires Config.Chaos. The callback runs on a transport
+// goroutine in the middle of a protocol operation — do not call System
+// methods from it; hand the event to your training loop (e.g. over a
+// channel) and react between rounds, the way a real trainer handles a
+// spot two-minute warning.
+func (s *System) OnPreemptionNotice(fn func(node int, deadline time.Time)) error {
+	if s.chaosNet == nil {
+		return fmt.Errorf("eccheck: chaos not enabled (set Config.Chaos)")
+	}
+	s.chaosNet.SetOnNotice(fn)
+	return nil
 }

@@ -46,6 +46,23 @@ type Kill struct {
 	AfterSends int
 }
 
+// Preemption schedules a spot-style preemption of a node: after its
+// AfterSends-th send a notice fires (observable via SetOnNotice and as a
+// "notice" flight event), and Notice later the kill lands exactly like a
+// scheduled Kill — unless the node surrenders early with KillNow after
+// draining its responsibilities. This is the two-minute-warning fault
+// model of preemptible cloud capacity.
+type Preemption struct {
+	// Node is the victim's index.
+	Node int
+	// AfterSends is how many sends the node completes before the notice
+	// fires. 0 fires the notice on the first send attempt.
+	AfterSends int
+	// Notice is the warning window between notice and kill; it must be
+	// positive (a zero-notice preemption is just a Kill).
+	Notice time.Duration
+}
+
 // Plan describes the faults to inject. The zero value injects nothing.
 type Plan struct {
 	// Seed seeds the deterministic random source.
@@ -62,6 +79,8 @@ type Plan struct {
 	ErrProb float64
 	// Kills are the scheduled node deaths.
 	Kills []Kill
+	// Preemptions are the scheduled notice-then-kill node deaths.
+	Preemptions []Preemption
 }
 
 // Stats counts the faults a Network has injected so far.
@@ -74,6 +93,8 @@ type Stats struct {
 	Errored int
 	// Killed lists the nodes the schedule has killed, in kill order.
 	Killed []int
+	// Notices is how many preemption notices have fired.
+	Notices int
 }
 
 // Network wraps a transport.Network and injects the plan's faults into
@@ -89,6 +110,16 @@ type Network struct {
 	killed []bool
 	stats  Stats
 	onKill func(node int)
+
+	// Preemption state: per-node notice send threshold (-1 = none), the
+	// warning window, whether the notice has fired, its kill deadline, and
+	// the timer that lands the kill when the node does not surrender early.
+	preemptAt  []int
+	noticeDur  []time.Duration
+	noticed    []bool
+	deadlines  map[int]time.Time
+	killTimers map[int]*time.Timer
+	onNotice   func(node int, deadline time.Time)
 
 	// Injected-fault counters by kind; nil (no-op) until SetMetrics.
 	mSends   *obs.Counter
@@ -112,15 +143,21 @@ func Wrap(inner transport.Network, plan Plan) (*Network, error) {
 			plan.DropProb, plan.ErrProb)
 	}
 	n := &Network{
-		inner:  inner,
-		plan:   plan,
-		rng:    rand.New(rand.NewSource(plan.Seed)),
-		sends:  make([]int, inner.Size()),
-		killAt: make([]int, inner.Size()),
-		killed: make([]bool, inner.Size()),
+		inner:      inner,
+		plan:       plan,
+		rng:        rand.New(rand.NewSource(plan.Seed)),
+		sends:      make([]int, inner.Size()),
+		killAt:     make([]int, inner.Size()),
+		killed:     make([]bool, inner.Size()),
+		preemptAt:  make([]int, inner.Size()),
+		noticeDur:  make([]time.Duration, inner.Size()),
+		noticed:    make([]bool, inner.Size()),
+		deadlines:  make(map[int]time.Time),
+		killTimers: make(map[int]*time.Timer),
 	}
 	for i := range n.killAt {
 		n.killAt[i] = -1
+		n.preemptAt[i] = -1
 	}
 	for _, k := range plan.Kills {
 		if k.Node < 0 || k.Node >= inner.Size() {
@@ -130,6 +167,19 @@ func Wrap(inner transport.Network, plan Plan) (*Network, error) {
 			return nil, fmt.Errorf("chaos: negative kill threshold %d", k.AfterSends)
 		}
 		n.killAt[k.Node] = k.AfterSends
+	}
+	for _, p := range plan.Preemptions {
+		if p.Node < 0 || p.Node >= inner.Size() {
+			return nil, fmt.Errorf("chaos: preemption node %d out of range [0, %d)", p.Node, inner.Size())
+		}
+		if p.AfterSends < 0 {
+			return nil, fmt.Errorf("chaos: negative preemption threshold %d", p.AfterSends)
+		}
+		if p.Notice <= 0 {
+			return nil, fmt.Errorf("chaos: preemption notice must be positive, got %v (schedule a Kill for zero notice)", p.Notice)
+		}
+		n.preemptAt[p.Node] = p.AfterSends
+		n.noticeDur[p.Node] = p.Notice
 	}
 	return n, nil
 }
@@ -192,6 +242,107 @@ func (n *Network) ScheduleKill(node, afterSends int) error {
 	return nil
 }
 
+// SetOnNotice installs a hook fired once per preemption notice, outside
+// the network's locks on the goroutine that triggered it (a sender for
+// plan-scheduled preemptions). Deployments use it to start draining the
+// doomed node before the deadline. It is not fired for notices the caller
+// itself requested via SchedulePreemption.
+func (n *Network) SetOnNotice(fn func(node int, deadline time.Time)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onNotice = fn
+}
+
+// SchedulePreemption delivers a preemption notice to a node right now and
+// arms the kill to land after the notice window, returning the deadline.
+// If a notice is already pending for the node (for example a
+// plan-scheduled preemption fired first), the existing deadline is
+// returned unchanged — the platform sets the deadline, not the caller.
+// The caller is the notice's audience, so SetOnNotice is not fired.
+func (n *Network) SchedulePreemption(node int, notice time.Duration) (time.Time, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node < 0 || node >= len(n.killed) {
+		return time.Time{}, fmt.Errorf("chaos: preemption node %d out of range [0, %d)", node, len(n.killed))
+	}
+	if n.killed[node] {
+		return time.Time{}, fmt.Errorf("chaos: node %d already killed", node)
+	}
+	if notice <= 0 {
+		return time.Time{}, fmt.Errorf("chaos: preemption notice must be positive, got %v", notice)
+	}
+	if n.noticed[node] {
+		return n.deadlines[node], nil
+	}
+	return n.noticeLocked(node, -1, "schedule", notice), nil
+}
+
+// noticeLocked records a fired notice and arms the deadline kill; the
+// caller holds n.mu. Returns the kill deadline.
+func (n *Network) noticeLocked(node, to int, tag string, notice time.Duration) time.Time {
+	n.noticed[node] = true
+	n.stats.Notices++
+	deadline := time.Now().Add(notice)
+	n.deadlines[node] = deadline
+	n.rec.Chaos("notice", node, to, tag)
+	if t := n.killTimers[node]; t != nil {
+		t.Stop()
+	}
+	n.killTimers[node] = time.AfterFunc(notice, func() { n.killNow(node) })
+	return deadline
+}
+
+// KillNow kills a node immediately, firing the OnKill hook. A drained
+// node surrenders early through this instead of wasting the rest of its
+// notice window; it also models a zero-notice preemption. Killing an
+// already-dead node is a no-op.
+func (n *Network) KillNow(node int) error {
+	if node < 0 || node >= n.inner.Size() {
+		return fmt.Errorf("chaos: kill node %d out of range [0, %d)", node, n.inner.Size())
+	}
+	n.killNow(node)
+	return nil
+}
+
+// killNow marks the node killed (if it is not already), mirroring the
+// bookkeeping of a send-threshold kill, and fires the OnKill hook outside
+// the lock. It runs on deadline-timer goroutines and from KillNow.
+func (n *Network) killNow(node int) {
+	n.mu.Lock()
+	if node < 0 || node >= len(n.killed) || n.killed[node] {
+		n.mu.Unlock()
+		return
+	}
+	hook := n.markKilledLocked(node, -1, "preempt")
+	n.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// markKilledLocked flips a node to killed and performs all kill
+// bookkeeping (stats, metrics, flight event, timer cleanup); the caller
+// holds n.mu. The returned OnKill hook, if any, must be fired after the
+// lock is released.
+func (n *Network) markKilledLocked(node, to int, tag string) func() {
+	n.killed[node] = true
+	n.stats.Killed = append(n.stats.Killed, node)
+	n.mKilled.Inc()
+	if reg := n.mReg; reg != nil {
+		reg.Counter("chaos_kills_total", obs.L("node", strconv.Itoa(node))).Inc()
+	}
+	n.rec.Chaos("kill", node, to, tag)
+	if t := n.killTimers[node]; t != nil {
+		t.Stop()
+		delete(n.killTimers, node)
+	}
+	delete(n.deadlines, node)
+	if fn := n.onKill; fn != nil {
+		return func() { fn(node) }
+	}
+	return nil
+}
+
 // Revive clears a node's killed state and any pending kill schedule: the
 // failed machine has been swapped for a fresh one, whose transport works
 // again. Pair it with cluster.Replace. Reviving a live node is a no-op.
@@ -203,7 +354,25 @@ func (n *Network) Revive(node int) error {
 	}
 	n.killed[node] = false
 	n.killAt[node] = -1
+	// Clear any preemption aimed at the old machine: a stale deadline
+	// timer or send threshold must never kill the fresh replacement.
+	n.preemptAt[node] = -1
+	n.noticed[node] = false
+	delete(n.deadlines, node)
+	if t := n.killTimers[node]; t != nil {
+		t.Stop()
+		delete(n.killTimers, node)
+	}
 	return nil
+}
+
+// NoticeDeadline returns the pending preemption deadline for a node, or
+// false when no notice is outstanding.
+func (n *Network) NoticeDeadline(node int) (time.Time, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d, ok := n.deadlines[node]
+	return d, ok
 }
 
 // Killed reports whether the schedule has killed the node.
@@ -235,8 +404,17 @@ func (n *Network) Stats() Stats {
 // Size returns the inner network's node count.
 func (n *Network) Size() int { return n.inner.Size() }
 
-// Close shuts down the inner network.
-func (n *Network) Close() error { return n.inner.Close() }
+// Close stops all pending preemption timers and shuts down the inner
+// network.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	for node, t := range n.killTimers {
+		t.Stop()
+		delete(n.killTimers, node)
+	}
+	n.mu.Unlock()
+	return n.inner.Close()
+}
 
 // Endpoint returns node i's fault-injecting endpoint.
 func (n *Network) Endpoint(node int) (transport.Endpoint, error) {
@@ -257,12 +435,13 @@ const (
 	verdictKilled
 )
 
-// judgeSend advances the node's send counter, applies the kill schedule and
-// rolls the probabilistic faults. to and tag identify the send for the
-// flight-recorder event an injected fault emits. The returned delay
-// applies only to delivered sends. The kill hook (if any) is returned
-// for the caller to fire outside the lock.
-func (n *Network) judgeSend(node, to int, tag string) (verdict sendVerdict, delay time.Duration, killHook func()) {
+// judgeSend advances the node's send counter, applies the kill and
+// preemption schedules and rolls the probabilistic faults. to and tag
+// identify the send for the flight-recorder event an injected fault
+// emits. The returned delay applies only to delivered sends. The hook (a
+// kill's OnKill or a notice's OnNotice, if any) is returned for the
+// caller to fire outside the lock.
+func (n *Network) judgeSend(node, to int, tag string) (verdict sendVerdict, delay time.Duration, hook func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.killed[node] {
@@ -272,35 +451,34 @@ func (n *Network) judgeSend(node, to int, tag string) (verdict sendVerdict, dela
 	n.sends[node]++
 	n.mSends.Inc()
 	if at := n.killAt[node]; at >= 0 && n.sends[node] > at {
-		n.killed[node] = true
-		n.stats.Killed = append(n.stats.Killed, node)
-		n.mKilled.Inc()
-		if reg := n.mReg; reg != nil {
-			reg.Counter("chaos_kills_total", obs.L("node", strconv.Itoa(node))).Inc()
+		hook = n.markKilledLocked(node, to, tag)
+		return verdictKilled, 0, hook
+	}
+	if at := n.preemptAt[node]; at >= 0 && !n.noticed[node] && n.sends[node] > at {
+		// The notice fires but the send itself proceeds normally: a node
+		// under notice keeps working until the deadline.
+		deadline := n.noticeLocked(node, to, tag, n.noticeDur[node])
+		if fn := n.onNotice; fn != nil {
+			hook = func() { fn(node, deadline) }
 		}
-		n.rec.Chaos("kill", node, to, tag)
-		if fn := n.onKill; fn != nil {
-			killHook = func() { fn(node) }
-		}
-		return verdictKilled, 0, killHook
 	}
 	if n.plan.DropProb > 0 && n.rng.Float64() < n.plan.DropProb {
 		n.stats.Dropped++
 		n.mDropped.Inc()
 		n.rec.Chaos("drop", node, to, tag)
-		return verdictDrop, 0, nil
+		return verdictDrop, 0, hook
 	}
 	if n.plan.ErrProb > 0 && n.rng.Float64() < n.plan.ErrProb {
 		n.stats.Errored++
 		n.mErrored.Inc()
 		n.rec.Chaos("error", node, to, tag)
-		return verdictError, 0, nil
+		return verdictError, 0, hook
 	}
 	delay = n.plan.Latency
 	if n.plan.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.plan.Jitter)))
 	}
-	return verdictDeliver, delay, nil
+	return verdictDeliver, delay, hook
 }
 
 type chaosEndpoint struct {
@@ -311,9 +489,9 @@ type chaosEndpoint struct {
 func (e *chaosEndpoint) Rank() int { return e.ep.Rank() }
 
 func (e *chaosEndpoint) Send(ctx context.Context, to int, tag string, payload []byte) error {
-	verdict, delay, killHook := e.net.judgeSend(e.ep.Rank(), to, tag)
-	if killHook != nil {
-		killHook()
+	verdict, delay, hook := e.net.judgeSend(e.ep.Rank(), to, tag)
+	if hook != nil {
+		hook()
 	}
 	switch verdict {
 	case verdictKilled:

@@ -73,7 +73,7 @@ func (c *Cluster) Delete(node int, key string) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return fmt.Errorf("cluster: node %d is failed", node)
 	}
 	delete(c.hostMem[node], key)
@@ -98,7 +98,7 @@ func (c *Cluster) Corrupt(node int, key string, offset int) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return fmt.Errorf("cluster: node %d is failed", node)
 	}
 	blob, ok := c.hostMem[node][key]

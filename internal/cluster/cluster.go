@@ -1,9 +1,12 @@
 // Package cluster models the machines of a distributed training job for the
 // functional layer: each node exposes volatile host memory (a keyed blob
 // store standing in for the CPU RAM that in-memory checkpoints occupy) and
-// a failure switch. Failing a node clears its host memory — the defining
-// property of in-memory checkpointing that erasure coding exists to
-// survive — and replacing a node brings it back empty.
+// a membership state machine. Failing a node clears its host memory — the
+// defining property of in-memory checkpointing that erasure coding exists
+// to survive — and replacing a node brings it back empty. A node under a
+// preemption notice passes through a Draining state first: its memory and
+// transport still work, so it can hand its checkpoint responsibilities to
+// a successor before the kill lands.
 package cluster
 
 import (
@@ -11,9 +14,41 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"eccheck/internal/obs"
 )
+
+// NodeState is one machine's membership state: Alive → Draining → Gone,
+// with Replace returning a Gone slot to Alive as a fresh machine.
+type NodeState uint8
+
+// Membership states.
+const (
+	// StateAlive is a healthy member: memory and transport work.
+	StateAlive NodeState = iota
+	// StateDraining is a member under a preemption notice: memory and
+	// transport still work (Alive reports true), but the node is handing
+	// its responsibilities off and will be Gone shortly.
+	StateDraining
+	// StateGone is a dead slot: memory destroyed, every operation fails
+	// until Replace brings a fresh machine in.
+	StateGone
+)
+
+// String returns the state name.
+func (s NodeState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateDraining:
+		return "draining"
+	case StateGone:
+		return "gone"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
 
 // Cluster is a set of nodes with volatile host memory. It is safe for
 // concurrent use.
@@ -22,10 +57,13 @@ type Cluster struct {
 	nodes   int
 	workers int // per node
 	hostMem []map[string][]byte
-	failed  []bool
+	state   []NodeState
 	// epochs counts how many times each node has been replaced, letting
 	// tests assert a node restarted empty.
 	epochs []int
+	// gen counts membership transitions (drain, fail, replace), so pollers
+	// can detect topology change without scanning every node's state.
+	gen atomic.Uint64
 
 	// Per-node host-memory traffic counters, indexed by node; nil slices
 	// (and the nil Counters inside) are no-ops until SetMetrics.
@@ -70,7 +108,7 @@ func New(nodes, workersPerNode int) (*Cluster, error) {
 		nodes:   nodes,
 		workers: workersPerNode,
 		hostMem: make([]map[string][]byte, nodes),
-		failed:  make([]bool, nodes),
+		state:   make([]NodeState, nodes),
 		epochs:  make([]int, nodes),
 	}
 	for i := range c.hostMem {
@@ -100,7 +138,7 @@ func (c *Cluster) Store(node int, key string, blob []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return fmt.Errorf("cluster: node %d is failed", node)
 	}
 	// Reuse the existing allocation when the key is overwritten in place
@@ -129,7 +167,7 @@ func (c *Cluster) Move(node int, srcKey, dstKey string) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return fmt.Errorf("cluster: node %d is failed", node)
 	}
 	blob, ok := c.hostMem[node][srcKey]
@@ -148,7 +186,7 @@ func (c *Cluster) Load(node int, key string) ([]byte, error) {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return nil, fmt.Errorf("cluster: node %d is failed", node)
 	}
 	blob, ok := c.hostMem[node][key]
@@ -169,7 +207,7 @@ func (c *Cluster) Has(node int, key string) bool {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return false
 	}
 	_, ok := c.hostMem[node][key]
@@ -183,7 +221,7 @@ func (c *Cluster) Keys(node int) []string {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return nil
 	}
 	out := make([]string, 0, len(c.hostMem[node]))
@@ -209,18 +247,58 @@ func (c *Cluster) MemoryBytes(node int) int {
 	return total
 }
 
-// Fail marks a node failed and destroys its host memory.
+// Fail marks a node failed and destroys its host memory. Both Alive and
+// Draining nodes can fail — a kill landing mid-drain is exactly the
+// notice-expired race the drain protocol degrades from.
 func (c *Cluster) Fail(node int) error {
 	if err := c.checkNode(node); err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed[node] {
+	if c.state[node] == StateGone {
 		return fmt.Errorf("cluster: node %d already failed", node)
 	}
-	c.failed[node] = true
+	c.state[node] = StateGone
 	c.hostMem[node] = make(map[string][]byte) // memory is volatile
+	c.gen.Add(1)
+	return nil
+}
+
+// BeginDrain moves an Alive node to Draining: the node keeps serving its
+// memory and transport, but is expected to be Gone soon (a preemption
+// notice arrived). Draining a node that is already draining or gone is an
+// error.
+func (c *Cluster) BeginDrain(node int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state[node] {
+	case StateDraining:
+		return fmt.Errorf("cluster: node %d is already draining", node)
+	case StateGone:
+		return fmt.Errorf("cluster: node %d is failed", node)
+	}
+	c.state[node] = StateDraining
+	c.gen.Add(1)
+	return nil
+}
+
+// EndDrain returns a Draining node to Alive (the preemption was
+// cancelled). Ending a drain on a node that is not draining is an error.
+func (c *Cluster) EndDrain(node int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state[node] != StateDraining {
+		return fmt.Errorf("cluster: node %d is not draining (state %s)", node, c.state[node])
+	}
+	c.state[node] = StateAlive
+	c.gen.Add(1)
 	return nil
 }
 
@@ -231,32 +309,60 @@ func (c *Cluster) Replace(node int) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.failed[node] {
+	if c.state[node] != StateGone {
 		return fmt.Errorf("cluster: node %d is not failed", node)
 	}
-	c.failed[node] = false
+	c.state[node] = StateAlive
 	c.hostMem[node] = make(map[string][]byte)
 	c.epochs[node]++
+	c.gen.Add(1)
 	return nil
 }
 
-// Alive reports whether the node is up.
+// Alive reports whether the node is up. Draining nodes are still alive:
+// their memory and transport keep working until the kill lands.
 func (c *Cluster) Alive(node int) bool {
 	if err := c.checkNode(node); err != nil {
 		return false
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return !c.failed[node]
+	return c.state[node] != StateGone
 }
+
+// Draining reports whether the node is in the Draining state.
+func (c *Cluster) Draining(node int) bool {
+	if err := c.checkNode(node); err != nil {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state[node] == StateDraining
+}
+
+// State returns the node's membership state (StateGone for out-of-range
+// indices, which by construction have no machine).
+func (c *Cluster) State(node int) NodeState {
+	if err := c.checkNode(node); err != nil {
+		return StateGone
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state[node]
+}
+
+// Generation returns the membership generation: a counter bumped on every
+// BeginDrain/EndDrain/Fail/Replace. Pollers compare generations to detect
+// topology change without scanning node states.
+func (c *Cluster) Generation() uint64 { return c.gen.Load() }
 
 // AliveNodes returns the indices of all live nodes, ascending.
 func (c *Cluster) AliveNodes() []int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]int, 0, c.nodes)
-	for i, f := range c.failed {
-		if !f {
+	for i, s := range c.state {
+		if s != StateGone {
 			out = append(out, i)
 		}
 	}
@@ -268,8 +374,8 @@ func (c *Cluster) FailedNodes() []int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []int
-	for i, f := range c.failed {
-		if f {
+	for i, s := range c.state {
+		if s == StateGone {
 			out = append(out, i)
 		}
 	}

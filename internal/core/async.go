@@ -303,8 +303,11 @@ func (c *Checkpointer) failedSaveReport(version, packetBytes int, started time.T
 // every node, the commit barrier, the version bump and step 4 (remote
 // persistence). It always completes the handle and releases the save slot.
 func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*nodeSnapshot, version, packetBytes int, started, sectionStart time.Time, mode saveMode, pmStart uint64) {
+	// The layout cannot change while the save slot is held, so one load
+	// covers the whole drain.
+	lay := c.layout()
 	fail := func(err error) {
-		c.discardStaged()
+		c.discardStaged(&lay.keys)
 		c.releaseSave(h)
 		h.complete(c.failedSaveReport(version, packetBytes, started, h, mode, err, pmStart), err)
 	}
@@ -346,7 +349,7 @@ func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*no
 	// is local host-memory work (no network), ordered so each node's
 	// manifest — the blob that announces the new version — lands last.
 	commitStart := time.Now()
-	if err := c.commitStaged(); err != nil {
+	if err := c.commitStaged(&lay.keys); err != nil {
 		fail(fmt.Errorf("core: commit v%d: %w", version, err))
 		return
 	}
@@ -436,9 +439,10 @@ func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*no
 // comes out of the worker's data chunk segment, the small components off
 // node 0 (every node holds the full broadcast set after a commit).
 func (c *Checkpointer) persistCommitted(ctx context.Context, version, packetBytes int) error {
+	lay := c.layout()
 	for rank := 0; rank < c.cfg.Topo.World(); rank++ {
-		j := c.plan.DataGroupOf[rank]
-		packet, err := c.fetch(c.plan.DataNodes[j], c.keys.segment[j][c.plan.SegmentOf[rank]])
+		j := lay.plan.DataGroupOf[rank]
+		packet, err := c.fetch(lay.plan.DataNodes[j], lay.keys.segment[j][lay.plan.SegmentOf[rank]])
 		if err != nil {
 			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
 		}

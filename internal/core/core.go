@@ -153,17 +153,20 @@ var (
 // construction fixes the encoding matrix and communication strategy.
 type Checkpointer struct {
 	cfg    Config
-	plan   *placement.Plan
 	code   *erasure.Code
 	pool   *ecpool.Pool
 	buf    *bufpool.Pool
-	keys   keyTable
 	net    transport.Network
 	clus   HostStore
 	remote *remotestore.Store // may be nil
 	// phaseHist pre-resolves the phase-breakdown histogram series per
 	// (op, node, phase); nil when metrics are off.
 	phaseHist map[string][]map[string]*obs.Histogram
+
+	// lay is the current placement layout (plan + derived key table).
+	// Membership reseats swap it atomically; every round loads the pointer
+	// once at entry, so a round always sees one consistent layout.
+	lay atomic.Pointer[layout]
 
 	// version is the latest committed checkpoint version. It advances only
 	// at a save round's commit barrier (possibly on a background drain
@@ -175,7 +178,25 @@ type Checkpointer struct {
 	// SaveIncremental) may be in flight at a time, and Close must be able
 	// to cancel whatever is running before the transport goes away.
 	lc lifecycle
+
+	// Membership state: custody records for drained slots, keyed by node.
+	// Guarded by memMu; mutated only while the save slot is held.
+	memMu   sync.Mutex
+	custody map[int]*custodyRecord
 }
+
+// layout bundles a compiled placement plan with its derived key table.
+// The two always change together (a reseat recompiles both), so they live
+// behind one atomic pointer.
+type layout struct {
+	plan *placement.Plan
+	keys keyTable
+}
+
+// layout returns the current placement layout. Call it once per round and
+// use the snapshot throughout; re-reading mid-round could observe a
+// membership reseat.
+func (c *Checkpointer) layout() *layout { return c.lay.Load() }
 
 // Lifecycle errors (test with errors.Is).
 var (
@@ -415,18 +436,19 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 	if cfg.Flight != nil {
 		bufpool.Default.SetFlight(cfg.Flight)
 	}
-	return &Checkpointer{
+	c := &Checkpointer{
 		cfg:       cfg,
-		plan:      plan,
 		code:      code,
 		pool:      ecpool.NewPool(cfg.EncoderThreads),
 		buf:       bufpool.Default,
-		keys:      buildKeyTable(&cfg, plan),
 		net:       net,
 		clus:      clus,
 		remote:    remote,
 		phaseHist: buildPhaseHistograms(cfg.Metrics, cfg.Topo.Nodes()),
-	}, nil
+		custody:   make(map[int]*custodyRecord),
+	}
+	c.lay.Store(&layout{plan: plan, keys: buildKeyTable(&cfg, plan)})
+	return c, nil
 }
 
 // Close drains or cancels every in-flight round, then releases the encoder
@@ -563,8 +585,9 @@ func (e *deadlineEndpoint) Recv(ctx context.Context, from int, tag string) ([]by
 
 func (e *deadlineEndpoint) Close() error { return e.ep.Close() }
 
-// Plan returns the compiled communication plan.
-func (c *Checkpointer) Plan() *placement.Plan { return c.plan }
+// Plan returns the compiled communication plan currently in effect (a
+// membership reseat swaps it).
+func (c *Checkpointer) Plan() *placement.Plan { return c.layout().plan }
 
 // Code returns the erasure code in use.
 func (c *Checkpointer) Code() *erasure.Code { return c.code }
@@ -663,7 +686,7 @@ func keyStaged(key string) string { return stagePrefix + key }
 // shared backing slice is pre-rendered at construction; callers must not
 // mutate it.
 func (c *Checkpointer) checkpointKeys(node int) []string {
-	return c.keys.commit[node]
+	return c.layout().keys.commit[node]
 }
 
 // commitStaged promotes every node's staged blobs to the final keys and
@@ -679,22 +702,22 @@ type blobMover interface {
 	Move(node int, srcKey, dstKey string) error
 }
 
-func (c *Checkpointer) commitStaged() error {
+func (c *Checkpointer) commitStaged(keys *keyTable) error {
 	mover, canMove := c.clus.(blobMover)
 	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
 		if canMove {
 			// Rename staged blobs in key order (manifest last): zero-copy
 			// and leaves no staging keys behind.
-			for i, key := range c.keys.commit[node] {
-				if err := mover.Move(node, c.keys.staged[node][i], key); err != nil {
+			for i, key := range keys.commit[node] {
+				if err := mover.Move(node, keys.staged[node][i], key); err != nil {
 					return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
 				}
 			}
 			continue
 		}
-		for i, key := range c.keys.commit[node] {
+		for i, key := range keys.commit[node] {
 			// Raw load/store: the staged blob already carries its footer.
-			blob, err := c.clus.Load(node, c.keys.staged[node][i])
+			blob, err := c.clus.Load(node, keys.staged[node][i])
 			if err != nil {
 				return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
 			}
@@ -702,8 +725,8 @@ func (c *Checkpointer) commitStaged() error {
 				return fmt.Errorf("core: node %d commit %q: %w", node, key, err)
 			}
 		}
-		for i, key := range c.keys.commit[node] {
-			if err := c.clus.Delete(node, c.keys.staged[node][i]); err != nil {
+		for i, key := range keys.commit[node] {
+			if err := c.clus.Delete(node, keys.staged[node][i]); err != nil {
 				return fmt.Errorf("core: node %d unstage %q: %w", node, key, err)
 			}
 		}
@@ -714,12 +737,12 @@ func (c *Checkpointer) commitStaged() error {
 // discardStaged removes every staged blob of an aborted save on all nodes
 // that still have memory. Errors are ignored: a failed node's memory —
 // staged blobs included — is already gone.
-func (c *Checkpointer) discardStaged() {
+func (c *Checkpointer) discardStaged(keys *keyTable) {
 	for node := 0; node < c.cfg.Topo.Nodes(); node++ {
 		if !c.clus.Alive(node) {
 			continue
 		}
-		for _, staged := range c.keys.staged[node] {
+		for _, staged := range keys.staged[node] {
 			_ = c.clus.Delete(node, staged)
 		}
 	}
@@ -733,7 +756,7 @@ func (c *Checkpointer) CorruptChunkByte(node int) error {
 	if node < 0 || node >= c.cfg.Topo.Nodes() {
 		return fmt.Errorf("core: node %d out of range [0, %d)", node, c.cfg.Topo.Nodes())
 	}
-	key := keySegment(c.plan.ChunkOfNode[node], 0)
+	key := keySegment(c.layout().plan.ChunkOfNode[node], 0)
 	raw, err := c.clus.Load(node, key)
 	if err != nil {
 		return fmt.Errorf("core: corrupt node %d: %w", node, err)

@@ -177,7 +177,7 @@ func (c *Checkpointer) saveIncrementalLocked(ctx context.Context, h *SaveHandle,
 // caches and the manifest.
 func (c *Checkpointer) nodeIncrementalSave(ctx context.Context, node, version, packetBytes int, dicts []*statedict.StateDict) (changed, total int, err error) {
 	topo := c.cfg.Topo
-	plan := c.plan
+	plan := c.layout().plan
 	g := topo.GPUsPerNode()
 	bufSize := c.cfg.BufferSize
 	numBuffers := (packetBytes + bufSize - 1) / bufSize

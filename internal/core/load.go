@@ -25,6 +25,10 @@ func tagPacket(rank int) string        { return fmt.Sprintf("rp/%d", rank) }
 // recoverySpec is the coordinator's view of the failure, shared read-only
 // by all node goroutines.
 type recoverySpec struct {
+	// lay is the layout snapshot the whole round runs under, taken once at
+	// scan time so a concurrent membership reseat cannot split the round
+	// across two plans.
+	lay         *layout
 	version     int
 	packetBytes int
 	// bufSize is the buffer size the checkpoint was encoded with; decode
@@ -90,6 +94,7 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 		}
 	}()
 	topo := c.cfg.Topo
+	lay := c.layout()
 	n := topo.Nodes()
 	for node := 0; node < n; node++ {
 		if !c.clus.Alive(node) {
@@ -138,7 +143,7 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 		}
 		st.manifestOK = true
 		st.version, st.packet, st.bufSize = v, p, b
-		chunk := c.plan.ChunkOfNode[node]
+		chunk := lay.plan.ChunkOfNode[node]
 		st.chunkOK = true
 		for s := 0; s < span; s++ {
 			if _, err := c.fetch(node, keySegment(chunk, s)); err != nil {
@@ -172,7 +177,7 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 	savedBufSize := 0
 	for node := 0; node < n; node++ {
 		st := states[node]
-		chunk := c.plan.ChunkOfNode[node]
+		chunk := lay.plan.ChunkOfNode[node]
 		if st.manifestOK && st.chunkOK && st.version == latest {
 			availableChunks = append(availableChunks, chunk)
 			packetBytes = st.packet
@@ -202,6 +207,7 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 	}
 
 	spec := &recoverySpec{
+		lay:         lay,
 		version:     latest,
 		packetBytes: packetBytes,
 		bufSize:     savedBufSize,
@@ -310,7 +316,7 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 // LoadPhases).
 func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpec) (map[int]*statedict.StateDict, map[string]time.Duration, error) {
 	topo := c.cfg.Topo
-	plan := c.plan
+	plan := spec.lay.plan
 	world := topo.World()
 	span := world / c.cfg.K
 	bufSize := spec.bufSize

@@ -199,7 +199,8 @@ type reduceState struct {
 // a peer that crashes mid-round turns into a bounded error, not a hang.
 func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, version, packetBytes int) (int, map[string]time.Duration, error) {
 	topo := c.cfg.Topo
-	plan := c.plan
+	lay := c.layout()
+	plan := lay.plan
 	node := snap.node
 	g := topo.GPUsPerNode()
 	world := topo.World()
@@ -221,7 +222,7 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	// stage writes a blob into this node's staging area, checksummed. The
 	// staged key comes from the pre-rendered table: no per-call formatting.
 	stage := func(key string, blob []byte) error {
-		return c.store(node, c.keys.stagedOf[key], blob)
+		return c.store(node, lay.keys.stagedOf[key], blob)
 	}
 
 	localWorkers := make([]int, 0, g)
@@ -240,7 +241,7 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	// --- Step 2: broadcast the small components; store everything. ---
 	for _, w := range localWorkers {
 		blobs := smalls[w]
-		metaTag, keysTag := c.keys.smallMetaTag[w], c.keys.smallKeysTag[w]
+		metaTag, keysTag := lay.keys.smallMetaTag[w], lay.keys.smallKeysTag[w]
 		for peer := 0; peer < topo.Nodes(); peer++ {
 			if peer == node {
 				continue
@@ -252,10 +253,10 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 				return 0, nil, err
 			}
 		}
-		if err := stage(c.keys.smallMeta[w], blobs[0]); err != nil {
+		if err := stage(lay.keys.smallMeta[w], blobs[0]); err != nil {
 			return 0, nil, err
 		}
-		if err := stage(c.keys.smallKeys[w], blobs[1]); err != nil {
+		if err := stage(lay.keys.smallKeys[w], blobs[1]); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -269,19 +270,19 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 			smallBytes += len(smalls[rank][0]) + len(smalls[rank][1])
 			continue
 		}
-		meta, err := ep.Recv(ctx, srcNode, c.keys.smallMetaTag[rank])
+		meta, err := ep.Recv(ctx, srcNode, lay.keys.smallMetaTag[rank])
 		if err != nil {
 			return 0, nil, err
 		}
-		keys, err := ep.Recv(ctx, srcNode, c.keys.smallKeysTag[rank])
+		keys, err := ep.Recv(ctx, srcNode, lay.keys.smallKeysTag[rank])
 		if err != nil {
 			return 0, nil, err
 		}
 		smallBytes += len(meta) + len(keys)
-		if err := stage(c.keys.smallMeta[rank], meta); err != nil {
+		if err := stage(lay.keys.smallMeta[rank], meta); err != nil {
 			return 0, nil, err
 		}
-		if err := stage(c.keys.smallKeys[rank], keys); err != nil {
+		if err := stage(lay.keys.smallKeys[rank], keys); err != nil {
 			return 0, nil, err
 		}
 		// Both recv'd blobs were copied into host memory by stage.
@@ -662,7 +663,7 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	pc.Switch(PhasePromote)
 	if c.cfg.IncrementalCache {
 		for _, w := range localWorkers {
-			if err := stage(c.keys.ownPacket[w], packets[w]); err != nil {
+			if err := stage(lay.keys.ownPacket[w], packets[w]); err != nil {
 				return 0, nil, err
 			}
 		}
@@ -673,7 +674,7 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	// straggling receiver goroutine may still write into them, so they are
 	// simply dropped there.
 	for s := range chunkSegs {
-		if err := stage(c.keys.segment[myChunk][s], chunkSegs[s]); err != nil {
+		if err := stage(lay.keys.segment[myChunk][s], chunkSegs[s]); err != nil {
 			return 0, nil, err
 		}
 		c.buf.Put(chunkSegs[s])

@@ -93,7 +93,7 @@ func (c *Checkpointer) trafficByNode(s int64) []nodeTraffic {
 		node, _ := topo.NodeOf(w)
 		out[node].encode += int64(c.cfg.M) * s
 	}
-	for _, r := range c.plan.Reductions {
+	for _, r := range c.Plan().Reductions {
 		tNode, _ := topo.NodeOf(r.Target)
 		out[tNode].encode += int64(len(r.Workers)-1) * s
 		for _, w := range r.Workers {
@@ -107,7 +107,7 @@ func (c *Checkpointer) trafficByNode(s int64) []nodeTraffic {
 			}
 		}
 	}
-	for _, t := range c.plan.Transfers {
+	for _, t := range c.Plan().Transfers {
 		out[t.SrcNode].tx += s
 		out[t.DstNode].rx += s
 	}
@@ -272,7 +272,7 @@ func (c *Checkpointer) TimedRecover(opt TimedOptions, failedNodes []int) (*Timed
 			return nil, fmt.Errorf("core: node %d listed twice", node)
 		}
 		failed[node] = true
-		if c.plan.Roles[node] == placement.RoleData {
+		if c.Plan().Roles[node] == placement.RoleData {
 			dataLost = true
 		}
 	}

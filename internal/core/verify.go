@@ -26,6 +26,7 @@ type VerifyReport struct {
 func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
 	started := time.Now()
 	topo := c.cfg.Topo
+	plan := c.layout().plan
 	span := topo.World() / c.cfg.K
 
 	version := 0
@@ -59,7 +60,7 @@ func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
 		// record the segment as corrupt instead of failing the scan.
 		segCorrupt := false
 		chunks := make([][]byte, c.cfg.K+c.cfg.M)
-		for j, node := range c.plan.DataNodes {
+		for j, node := range plan.DataNodes {
 			blob, err := c.fetch(node, keySegment(j, seg))
 			if errors.Is(err, cluster.ErrChecksum) {
 				segCorrupt = true
@@ -70,7 +71,7 @@ func (c *Checkpointer) VerifyIntegrity() (*VerifyReport, error) {
 			}
 			chunks[j] = blob
 		}
-		for i, node := range c.plan.ParityNodes {
+		for i, node := range plan.ParityNodes {
 			if segCorrupt {
 				break
 			}

@@ -76,6 +76,46 @@ func (c *Code) ScalarMulInto(coef int, dst, src []byte) error {
 	return s.Execute([][]byte{src}, [][]byte{dst})
 }
 
+// DeltaParity computes dst = E[k+parityIndex][dataGroup] · delta: the
+// parity-side image enc(Δ) of a data-region delta. By linearity of the
+// code, XORing dst into the stored parity region keeps it identical to a
+// full re-encode of the changed data — the ECRM-style incremental parity
+// repair elastic membership and SaveIncremental rely on. dst and delta
+// must be equal-length, ChunkAlign-ed buffers.
+func (c *Code) DeltaParity(parityIndex, dataGroup int, dst, delta []byte) error {
+	coef, err := c.ParityCoefficient(parityIndex, dataGroup)
+	if err != nil {
+		return err
+	}
+	return c.ScalarMulInto(coef, dst, delta)
+}
+
+// UpdateParity applies the incremental repair P_i ^= E[k+i][dataGroup]·Δ
+// in place for every parity region after a data-group region changed by
+// delta. parity[i] is parity chunk i's region covering the same bytes;
+// all regions and delta must be equal length. The result is byte-
+// identical to re-encoding the full data. A scratch buffer is allocated
+// per call; the hot incremental-save path streams DeltaParity into pooled
+// buffers instead.
+func (c *Code) UpdateParity(dataGroup int, delta []byte, parity [][]byte) error {
+	if len(parity) != c.m {
+		return fmt.Errorf("erasure: got %d parity regions, want m=%d", len(parity), c.m)
+	}
+	scratch := make([]byte, len(delta))
+	for i, p := range parity {
+		if len(p) != len(delta) {
+			return fmt.Errorf("erasure: parity region %d has %d bytes, delta %d", i, len(p), len(delta))
+		}
+		if err := c.DeltaParity(i, dataGroup, scratch, delta); err != nil {
+			return err
+		}
+		if err := gf.XORSlice(p, scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TransformMatrix returns the matrix expressing the wanted chunks in terms
 // of the available chunks (the same computation TransformSchedule compiles,
 // exposed so the distributed recovery path can extract per-worker scalar

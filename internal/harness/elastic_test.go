@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+// The elastic path must avoid every erasure rebuild and move at least 2x
+// fewer bytes than the crash path under small-delta churn — the PR's
+// headline acceptance numbers.
+func TestElasticStudyShape(t *testing.T) {
+	res, err := ElasticStudy(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Full.RebuiltChunks == 0 {
+		t.Error("crash path rebuilt no chunks; the comparison is vacuous")
+	}
+	if res.Delta.RebuiltChunks != 0 {
+		t.Errorf("elastic path rebuilt %d chunks, want 0", res.Delta.RebuiltChunks)
+	}
+	if res.Delta.LeaveBytes == 0 {
+		t.Error("drain moved no custody bytes")
+	}
+	if res.BytesRatio < 2 {
+		t.Errorf("bytes ratio = %.2f, want >= 2 (full %d vs delta %d)",
+			res.BytesRatio, res.Full.TotalBytes(), res.Delta.TotalBytes())
+	}
+	if res.Full.Wall <= 0 || res.Delta.Wall <= 0 {
+		t.Error("wall times not measured")
+	}
+}

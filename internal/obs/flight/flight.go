@@ -52,6 +52,9 @@ const (
 	EvLinkBusy
 	// EvRemote is a remote-store put or get (Op "put"/"get").
 	EvRemote
+	// EvMembership is a membership-protocol step: drains, custody
+	// restores, reseats and joins (Op names the step).
+	EvMembership
 )
 
 // String returns a short stable name for the event type.
@@ -77,6 +80,8 @@ func (t EventType) String() string {
 		return "link_busy"
 	case EvRemote:
 		return "remote"
+	case EvMembership:
+		return "membership"
 	default:
 		return "unknown"
 	}
@@ -348,4 +353,15 @@ func (r *Recorder) Remote(op, key string, bytes int64, start time.Time, dur time
 		return
 	}
 	r.append(Event{TS: r.sinceEpoch(start), Dur: dur, Type: EvRemote, Op: op, Node: -1, Tag: key, Bytes: bytes})
+}
+
+// Membership records one membership-protocol step: op names the step
+// ("drain", "drain_failed", "restore", "reseat", "rebuild_pending"), node
+// is the subject machine, peer its counterpart (custodian or move target,
+// -1 when none) and bytes the payload moved.
+func (r *Recorder) Membership(op string, node, peer int, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TS: r.sinceEpoch(time.Now()), Type: EvMembership, Op: op, Node: node, Peer: peer, Bytes: bytes})
 }

@@ -187,7 +187,8 @@ func TestDefaultCapacity(t *testing.T) {
 
 func TestEventTypeString(t *testing.T) {
 	types := []EventType{EvRoundBegin, EvRoundEnd, EvPhase, EvSend, EvRecv,
-		EvChaos, EvCorruption, EvPoolDiscard, EvLinkBusy, EvRemote, EventType(0)}
+		EvChaos, EvCorruption, EvPoolDiscard, EvLinkBusy, EvRemote, EvMembership,
+		EventType(0)}
 	seen := map[string]bool{}
 	for _, ty := range types {
 		s := ty.String()

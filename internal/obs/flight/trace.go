@@ -63,6 +63,8 @@ func laneFor(e Event) string {
 		return "link:" + e.Tag
 	case EvRemote:
 		return "remote"
+	case EvMembership:
+		return "membership"
 	default:
 		return "events"
 	}
@@ -94,6 +96,8 @@ func nameFor(e Event) string {
 		return "busy"
 	case EvRemote:
 		return e.Op + " " + e.Tag
+	case EvMembership:
+		return "member:" + e.Op
 	default:
 		return e.Type.String()
 	}

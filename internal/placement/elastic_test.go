@@ -1,0 +1,122 @@
+package placement
+
+import "testing"
+
+// NewAvoiding must bar the avoided machine from data duty (it ends up a
+// parity node) while producing an otherwise valid plan.
+func TestNewAvoidingDemotesToParity(t *testing.T) {
+	tt := topo(t, 4, 4, 4, 4)
+	// Machine 0 is the sweep line's first data pick in the paper testbed.
+	p, err := NewAvoiding(tt, 2, 2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range p.DataNodes {
+		if node == 0 {
+			t.Fatalf("avoided machine 0 in DataNodes %v", p.DataNodes)
+		}
+	}
+	if p.Roles[0] != RoleParity {
+		t.Fatalf("avoided machine role = %v, want parity", p.Roles[0])
+	}
+	// Still a complete plan: every chunk homed, reductions built.
+	if len(p.DataNodes) != 2 || len(p.ParityNodes) != 2 {
+		t.Fatalf("plan shape: data %v parity %v", p.DataNodes, p.ParityNodes)
+	}
+	if len(p.Reductions) == 0 {
+		t.Fatal("no reductions built")
+	}
+}
+
+func TestNewAvoidingValidation(t *testing.T) {
+	tt := topo(t, 4, 4, 4, 4)
+	if _, err := NewAvoiding(tt, 2, 2, []int{0, 1, 2}); err == nil {
+		t.Error("avoiding more machines than parity slots: want error")
+	}
+	if _, err := NewAvoiding(tt, 2, 2, []int{7}); err == nil {
+		t.Error("avoided machine out of range: want error")
+	}
+}
+
+func TestDiffIdenticalPlansIsEmpty(t *testing.T) {
+	tt := topo(t, 4, 4, 4, 4)
+	p, err := New(tt, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := Diff(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("self-diff produced moves: %v", moves)
+	}
+}
+
+// Diff against a reseated plan must list exactly the chunks whose homes
+// changed, with From/To matching the two plans' assignments.
+func TestDiffAgainstReseat(t *testing.T) {
+	tt := topo(t, 4, 4, 4, 4)
+	oldPlan, err := New(tt, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPlan, err := NewAvoiding(tt, 2, 2, []int{oldPlan.DataNodes[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := Diff(oldPlan, newPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("reseat around a data node produced no moves")
+	}
+	nodeOf := func(p *Plan, chunk int) int {
+		if chunk < p.K {
+			return p.DataNodes[chunk]
+		}
+		return p.ParityNodes[chunk-p.K]
+	}
+	moved := map[int]bool{}
+	for _, mv := range moves {
+		if mv.Chunk < 0 || mv.Chunk >= oldPlan.K+oldPlan.M {
+			t.Fatalf("move chunk %d out of range", mv.Chunk)
+		}
+		if mv.From == mv.To {
+			t.Fatalf("degenerate move %+v", mv)
+		}
+		if nodeOf(oldPlan, mv.Chunk) != mv.From || nodeOf(newPlan, mv.Chunk) != mv.To {
+			t.Fatalf("move %+v disagrees with the plans", mv)
+		}
+		moved[mv.Chunk] = true
+	}
+	// Every chunk NOT listed must have kept its home.
+	for chunk := 0; chunk < oldPlan.K+oldPlan.M; chunk++ {
+		if !moved[chunk] && nodeOf(oldPlan, chunk) != nodeOf(newPlan, chunk) {
+			t.Fatalf("chunk %d moved but is not in the diff", chunk)
+		}
+	}
+}
+
+func TestDiffValidation(t *testing.T) {
+	tt := topo(t, 4, 4, 4, 4)
+	p22, err := New(tt, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt6 := topo(t, 6, 4, 2, 2)
+	p33, err := New(tt6, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diff(nil, p22); err == nil {
+		t.Error("nil old plan: want error")
+	}
+	if _, err := Diff(p22, nil); err == nil {
+		t.Error("nil new plan: want error")
+	}
+	if _, err := Diff(p22, p33); err == nil {
+		t.Error("mismatched code shape: want error")
+	}
+}

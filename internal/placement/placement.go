@@ -110,19 +110,75 @@ type Plan struct {
 // selection. k must divide the world size and k+m must equal the number of
 // machines (each machine stores exactly one chunk).
 func New(topo *parallel.Topology, k, m int) (*Plan, error) {
+	return NewAvoiding(topo, k, m, nil)
+}
+
+// NewAvoiding compiles a plan like New but bars the avoid set from
+// data-node duty: avoided machines are assigned parity chunks. Elastic
+// membership re-placement compiles the post-join plan this way, so a
+// fresh (empty) machine is demoted to parity and every surviving data
+// chunk keeps a machine that already stores it — only the avoided
+// machines' former chunks need repair.
+func NewAvoiding(topo *parallel.Topology, k, m int, avoid []int) (*Plan, error) {
 	if err := validateParams(topo, k, m); err != nil {
 		return nil, err
+	}
+	if len(avoid) > m {
+		return nil, fmt.Errorf("placement: cannot avoid %d machines with only m=%d parity slots", len(avoid), m)
 	}
 	origins := topo.OriginGroups()
 	dataGroups, err := topo.DataGroups(k)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := sweepline.SelectDataNodes(origins, dataGroups)
+	sel, err := sweepline.SelectDataNodesAvoiding(origins, dataGroups, avoid)
 	if err != nil {
 		return nil, err
 	}
 	return NewWithDataNodes(topo, k, m, sel.DataNodes)
+}
+
+// ChunkMove records one chunk whose storing machine changed between two
+// plans: chunk Chunk (j for data chunk j, K+i for parity chunk i) moved
+// from machine From to machine To.
+type ChunkMove struct {
+	Chunk int
+	From  int
+	To    int
+}
+
+// Diff lists the chunks whose storing machine differs between two plans
+// compiled for the same topology and code parameters, ascending by chunk
+// index. Chunk contents are location-independent (parity bytes do not
+// depend on which machine stores them), so a diff is exactly the set of
+// blobs a membership change must migrate or re-encode — unaffected
+// chunks, and their parity, stay valid in place.
+func Diff(oldPlan, newPlan *Plan) ([]ChunkMove, error) {
+	if oldPlan == nil || newPlan == nil {
+		return nil, fmt.Errorf("placement: diff of nil plan")
+	}
+	if oldPlan.K != newPlan.K || oldPlan.M != newPlan.M {
+		return nil, fmt.Errorf("placement: diff across code parameters (%d,%d) vs (%d,%d)",
+			oldPlan.K, oldPlan.M, newPlan.K, newPlan.M)
+	}
+	if oldPlan.Topo.Nodes() != newPlan.Topo.Nodes() {
+		return nil, fmt.Errorf("placement: diff across node counts %d vs %d",
+			oldPlan.Topo.Nodes(), newPlan.Topo.Nodes())
+	}
+	nodeOf := func(p *Plan, chunk int) int {
+		if chunk < p.K {
+			return p.DataNodes[chunk]
+		}
+		return p.ParityNodes[chunk-p.K]
+	}
+	var moves []ChunkMove
+	for chunk := 0; chunk < oldPlan.K+oldPlan.M; chunk++ {
+		from, to := nodeOf(oldPlan, chunk), nodeOf(newPlan, chunk)
+		if from != to {
+			moves = append(moves, ChunkMove{Chunk: chunk, From: from, To: to})
+		}
+	}
+	return moves, nil
 }
 
 func validateParams(topo *parallel.Topology, k, m int) error {

@@ -1,0 +1,72 @@
+package sweepline
+
+import "testing"
+
+// With no machines banned, the avoiding variant must agree exactly with
+// the plain selection.
+func TestAvoidingEmptyMatchesPlain(t *testing.T) {
+	origins := intervals(0, 4, 4, 8, 8, 12, 12, 16)
+	data := intervals(0, 8, 8, 16)
+	plain, err := SelectDataNodes(origins, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoiding, err := SelectDataNodesAvoiding(origins, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain.DataNodes {
+		if plain.DataNodes[j] != avoiding.DataNodes[j] {
+			t.Fatalf("DataNodes diverge: %v vs %v", plain.DataNodes, avoiding.DataNodes)
+		}
+	}
+}
+
+// A banned machine must never be selected for data duty — even when it is
+// the maximum-overlap choice — and must land in the parity set instead.
+func TestAvoidingDemotesBannedMachine(t *testing.T) {
+	origins := intervals(0, 4, 4, 8, 8, 12, 12, 16)
+	data := intervals(0, 8, 8, 16)
+	// Machine 0 is data group 0's best pick; ban it.
+	sel, err := SelectDataNodesAvoiding(origins, data, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, node := range sel.DataNodes {
+		if node == 0 {
+			t.Fatalf("banned machine 0 selected for data group %d", j)
+		}
+	}
+	inParity := false
+	for _, node := range sel.ParityNodes {
+		if node == 0 {
+			inParity = true
+		}
+	}
+	if !inParity {
+		t.Fatalf("banned machine 0 missing from parity set %v", sel.ParityNodes)
+	}
+	// The selection must still be a valid disjoint assignment.
+	seen := map[int]bool{}
+	for _, node := range sel.DataNodes {
+		if seen[node] {
+			t.Fatalf("machine %d assigned twice", node)
+		}
+		seen[node] = true
+	}
+}
+
+func TestAvoidingValidation(t *testing.T) {
+	origins := intervals(0, 4, 4, 8, 8, 12, 12, 16)
+	data := intervals(0, 8, 8, 16)
+	if _, err := SelectDataNodesAvoiding(origins, data, []int{4}); err == nil {
+		t.Error("banned machine out of range: want error")
+	}
+	if _, err := SelectDataNodesAvoiding(origins, data, []int{-1}); err == nil {
+		t.Error("negative banned machine: want error")
+	}
+	// Banning 3 of 4 machines leaves only 1 for k=2 data groups.
+	if _, err := SelectDataNodesAvoiding(origins, data, []int{0, 1, 2}); err == nil {
+		t.Error("too few selectable machines: want error")
+	}
+}

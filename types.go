@@ -116,6 +116,22 @@ type ChaosStats = chaos.Stats
 // node (test with errors.Is).
 var ErrChaosKilled = chaos.ErrKilled
 
+// ChaosPreemption schedules a spot-style preemption notice within a
+// ChaosPlan: after the node performs AfterSends transport sends, the
+// notice fires (see System.OnPreemptionNotice) and a kill lands Notice
+// later unless the node is revived first.
+type ChaosPreemption = chaos.Preemption
+
+// DrainReport describes the outcome of a graceful leave (RemoveNode /
+// PreemptNode): whether the doomed node's checkpoint blobs reached their
+// custodian before the kill, and what moved.
+type DrainReport = core.DrainReport
+
+// JoinReport describes the outcome of AddNode: whether the slot's blobs
+// were restored from custody, whether placement was reseated around a
+// crash-joined machine, and what moved.
+type JoinReport = core.JoinReport
+
 // Codec is the underlying systematic Cauchy Reed-Solomon code, exposed for
 // applications that want to erasure-code arbitrary buffers.
 type Codec = erasure.Code
