@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak metrics-demo trace-demo
+.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke metrics-demo trace-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
 check: fmt vet build test race smoke doclint allocgate
@@ -57,6 +57,14 @@ allocgate:
 # shrinks the round count for the PR gate.
 chaos-soak:
 	$(GO) test -race -run 'TestChaosSoakMembershipChurn' -count=1 $(TESTFLAGS) .
+
+# Scale-out smoke: one streaming save round at 64 simulated nodes (the
+# smallest size where the hierarchical fan-in tree goes multi-level with
+# the default arity of 8). Fails if the pipeline cannot complete at that
+# scale or the measurement comes back degenerate — the guard that keeps
+# the BENCH_6.json sweep reproducible without running the full thing.
+scale-smoke:
+	$(GO) run ./cmd/eccheck-bench -scale-smoke
 
 # One checkpoint-and-recover round with the per-phase breakdown and the
 # full metric registry printed: the quickest way to see the observability

@@ -96,13 +96,46 @@ func measureAllocs(n int, fn func() error) (time.Duration, uint64, uint64, error
 	return elapsed, (m1.Mallocs - m0.Mallocs) / uint64(n), (m1.TotalAlloc - m0.TotalAlloc) / uint64(n), nil
 }
 
-// benchSaveRound measures steady-state distributed save rounds.
-func benchSaveRound(rounds int) (saveRoundResult, error) {
+// NodeCountError reports a -nodes value the bench's fixed layout (two
+// GPUs per node, TP 2 × PP 4, k = m = nodes/2 erasure) cannot satisfy.
+type NodeCountError struct {
+	// Nodes is the rejected value; Reason says which constraint it broke.
+	Nodes  int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *NodeCountError) Error() string {
+	return fmt.Sprintf("invalid node count %d: %s", e.Nodes, e.Reason)
+}
+
+// validateBenchNodes checks a -nodes value against the save-round bench's
+// layout and returns the erasure parameters k = m = nodes/2. With two GPUs
+// per node the world is 2·nodes; TP 2 × PP 4 tiles it only when nodes is a
+// multiple of 4, and that same multiple guarantees k divides the world.
+func validateBenchNodes(nodes int) (k, m int, err error) {
+	if nodes < 4 {
+		return 0, 0, &NodeCountError{Nodes: nodes,
+			Reason: "k = m = nodes/2 erasure needs at least 4 nodes"}
+	}
+	if nodes%4 != 0 {
+		return 0, 0, &NodeCountError{Nodes: nodes,
+			Reason: "must be a multiple of 4 so TP 2 × PP 4 tiles the 2-GPU/node world"}
+	}
+	return nodes / 2, nodes / 2, nil
+}
+
+// benchSaveRound measures steady-state distributed save rounds on a
+// cluster of the given node count (two GPUs per node, k = m = nodes/2).
+func benchSaveRound(rounds, nodes int) (saveRoundResult, error) {
 	const (
-		nodes, gpus = 4, 2
-		k, m        = 2, 2
+		gpus        = 2
 		bufferBytes = 256 << 10
 	)
+	k, m, err := validateBenchNodes(nodes)
+	if err != nil {
+		return saveRoundResult{}, err
+	}
 	sys, err := eccheck.Initialize(eccheck.Config{
 		Nodes: nodes, GPUsPerNode: gpus, TPDegree: 2, PPStages: 4,
 		K: k, M: m, BufferSize: bufferBytes, DisableRemote: true,
@@ -213,8 +246,9 @@ func benchXOR(size, iters int) (xorResult, error) {
 	}, nil
 }
 
-// runBenchOut produces the machine-readable performance snapshot.
-func runBenchOut(path string) error {
+// runBenchOut produces the machine-readable performance snapshot, with
+// the save-round measurement taken on a cluster of the given node count.
+func runBenchOut(path string, nodes int) error {
 	dump := benchDump{
 		Schema: "eccheck-bench/v1",
 		Env: benchEnv{
@@ -225,7 +259,7 @@ func runBenchOut(path string) error {
 		},
 	}
 	var err error
-	if dump.SaveRound, err = benchSaveRound(10); err != nil {
+	if dump.SaveRound, err = benchSaveRound(10, nodes); err != nil {
 		return fmt.Errorf("save round: %w", err)
 	}
 	for _, cfg := range [][2]int{{2, 2}, {8, 4}} {

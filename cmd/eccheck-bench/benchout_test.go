@@ -1,0 +1,45 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateBenchNodes(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, k, m int
+	}{
+		{4, 2, 2},
+		{8, 4, 4},
+		{16, 8, 8},
+		{64, 32, 32},
+	} {
+		k, m, err := validateBenchNodes(tc.nodes)
+		if err != nil {
+			t.Fatalf("nodes=%d: unexpected error %v", tc.nodes, err)
+		}
+		if k != tc.k || m != tc.m {
+			t.Fatalf("nodes=%d: got k=%d m=%d, want k=%d m=%d", tc.nodes, k, m, tc.k, tc.m)
+		}
+	}
+}
+
+func TestValidateBenchNodesRejectsBadCounts(t *testing.T) {
+	for _, nodes := range []int{0, 1, 2, 3, 6, 10, 42, -4} {
+		_, _, err := validateBenchNodes(nodes)
+		if err == nil {
+			t.Fatalf("nodes=%d: expected error, got nil", nodes)
+		}
+		var nce *NodeCountError
+		if !errors.As(err, &nce) {
+			t.Fatalf("nodes=%d: error %T is not *NodeCountError", nodes, err)
+		}
+		if nce.Nodes != nodes {
+			t.Fatalf("nodes=%d: error carries Nodes=%d", nodes, nce.Nodes)
+		}
+		if !strings.Contains(err.Error(), "invalid node count") {
+			t.Fatalf("nodes=%d: unhelpful message %q", nodes, err.Error())
+		}
+	}
+}

@@ -65,6 +65,25 @@
 // any in-flight drain and reports the thrown-away work by wrapping
 // ErrSaveAborted.
 //
+// # Streaming scale-out
+//
+// Step 3 advances per buffer window, not per phase: encode, XOR
+// reduction and P2P placement for window i+1 overlap the commit of
+// window i. Two Config knobs govern the overlap at scale.
+// Config.PipelineDepth bounds how many windows a node holds in flight
+// (1 recovers the phase-coarse protocol; the bound also caps the pooled
+// staging footprint at PipelineDepth × BufferSize per node), and
+// Config.GroupFanIn bounds each XOR reduction's aggregation arity, so
+// partials fold through a deterministic tree instead of concentrating
+// k−1 streams on the target's machine. For clusters beyond tens of
+// nodes, InitializeGrouped applies the protocol independently within
+// fixed-size node groups, keeping per-node cost constant as the cluster
+// grows. The commit barrier attributes synchronization skew: each
+// SaveReport names the round's slowest machine (StragglerNode,
+// StragglerLag), and finished nodes' waiting time lands in their own
+// "straggle" phase lane so every per-node partition still sums to the
+// round wall.
+//
 // # Failure model
 //
 // The robustness layer covers the three failure classes an in-memory

@@ -43,8 +43,21 @@ type Config struct {
 	// K data nodes and M parity nodes; the system tolerates any M
 	// concurrent machine failures.
 	K, M int
-	// BufferSize is the pipeline buffer size (default 64 MB).
+	// BufferSize is the streaming window size (default 64 MB): each
+	// worker's packet is encoded, reduced and placed one BufferSize window
+	// at a time, so it is the granularity of pipeline overlap.
 	BufferSize int
+	// PipelineDepth bounds how many buffer windows a node may hold in
+	// flight at once in the streaming save pipeline. 1 disables
+	// cross-window overlap (the phase-coarse baseline: a window must fully
+	// commit before the next one starts); 0 selects the default depth.
+	PipelineDepth int
+	// GroupFanIn bounds the XOR-reduction fan-in per machine: partial
+	// accumulations aggregate over a GroupFanIn-ary tree of the
+	// contributing machines instead of all k converging on one target, so
+	// per-machine ingest stays flat as the cluster scales. 0 disables the
+	// tree (every contributor forwards straight to the reduction target).
+	GroupFanIn int
 	// RemotePersistEvery persists every Nth checkpoint to remote storage;
 	// 0 keeps the default (10), negative disables.
 	RemotePersistEvery int
@@ -192,6 +205,8 @@ func Initialize(cfg Config) (*System, error) {
 		K:                  cfg.K,
 		M:                  cfg.M,
 		BufferSize:         cfg.BufferSize,
+		PipelineDepth:      cfg.PipelineDepth,
+		GroupFanIn:         cfg.GroupFanIn,
 		RemotePersistEvery: persistEvery,
 		IncrementalCache:   cfg.Incremental,
 		OpTimeout:          cfg.OpTimeout,

@@ -358,30 +358,30 @@ func (c *Checkpointer) drainSave(ctx context.Context, h *SaveHandle, snaps []*no
 	// The commit barrier is cluster-wide work (node -1 on the timeline).
 	c.cfg.Flight.Phase("save", -1, version, PhasePromote, commitStart, commitTime)
 
+	// Straggler-tolerant commit barrier accounting: each node's partition
+	// covers that node's own timeline, but the round lasts as long as its
+	// slowest node. Charge each fast node's wait — the section wall minus
+	// its own phase total — to a per-node "straggle" lane instead of
+	// inflating the round's shared barrier, so the mean partition still
+	// sums to the section wall while the per-node view pins the slow
+	// machine: the straggler is the node whose straggle lane is (near)
+	// zero, and StragglerLag reports how far it ran behind the cluster
+	// mean.
+	stragglerNode, stragglerLag := chargeStraggle(nodePhases, sectionWall)
 	for node, phases := range nodePhases {
 		c.observePhases("save", node, phases)
 	}
 	phases := meanPhases(nodePhases)
-	// The mean of the node partitions covers each node's own timeline, but
-	// the round lasts as long as its slowest node. The difference is
-	// synchronization skew — time faster nodes' finished chunks sat waiting
-	// for stragglers before commit — and belongs with the barrier phase, so
-	// the phase breakdown sums to the round's wall time.
-	var meanTotal time.Duration
-	for _, d := range phases {
-		meanTotal += d
-	}
-	if skew := sectionWall - meanTotal; skew > 0 {
-		phases[PhaseBarrier] += skew
-	}
 	phases[PhasePromote] += commitTime
 
 	report := &SaveReport{
-		Version:     version,
-		PacketBytes: packetBytes,
-		SmallBytes:  smallTotal[0],
-		Phases:      phases,
-		NodePhases:  nodePhases,
+		Version:       version,
+		PacketBytes:   packetBytes,
+		SmallBytes:    smallTotal[0],
+		Phases:        phases,
+		NodePhases:    nodePhases,
+		StragglerNode: stragglerNode,
+		StragglerLag:  stragglerLag,
 	}
 
 	// Step 4: low-frequency remote persistence. The blobs are rebuilt from

@@ -51,6 +51,11 @@ const (
 	// depth per worker (12 data + 24 encoding buffers in the paper).
 	DefaultDataBuffers     = 12
 	DefaultEncodingBuffers = 24
+	// DefaultPipelineDepth is the default bound on buffer windows in
+	// flight per node: the streaming save's encode loop may run this many
+	// windows ahead of the slowest outstanding delivery, matching the
+	// paper's data-buffer budget.
+	DefaultPipelineDepth = DefaultDataBuffers
 	// DefaultRemotePersistEvery persists to remote storage every Nth save.
 	DefaultRemotePersistEvery = 10
 	// DefaultOpTimeout bounds every protocol Send/Recv so a crashed peer
@@ -65,10 +70,26 @@ type Config struct {
 	// K and M are the erasure-code parameters: K data nodes, M parity
 	// nodes, tolerating any M concurrent machine failures.
 	K, M int
-	// BufferSize is the pipeline buffer size in bytes; packets stream
-	// through buffers of this size so encoding, XOR reduction and P2P
-	// communication overlap. Defaults to DefaultBufferSize.
+	// BufferSize is the streaming window size in bytes: each node's packet
+	// is split into buffer windows of this size and the windows stream
+	// through the save pipeline, so encoding, XOR reduction and P2P
+	// communication for window i+1 overlap the commit of window i.
+	// Defaults to DefaultBufferSize.
 	BufferSize int
+	// PipelineDepth bounds how many buffer windows one node may hold in
+	// flight at once: the encode loop blocks when this many windows have
+	// uncommitted deliveries, keeping the pooled-buffer footprint
+	// proportional to the depth instead of the packet size. 1 disables
+	// cross-window overlap (the phase-coarse baseline); 0 selects
+	// DefaultPipelineDepth.
+	PipelineDepth int
+	// GroupFanIn bounds the XOR-reduction fan-in per machine: reductions
+	// aggregate over a fan-in-bounded tree of the participating machines
+	// (see placement.BuildFanInTree), so no machine folds more than this
+	// many concurrent partial streams regardless of cluster size. 0
+	// disables the tree (flat reduction: the target folds every source
+	// directly), which is fine up to a few dozen nodes.
+	GroupFanIn int
 	// EncoderThreads sizes the CPU thread pool accelerating encoding.
 	// Defaults to GOMAXPROCS.
 	EncoderThreads int
@@ -108,6 +129,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.BufferSize == 0 {
 		c.BufferSize = DefaultBufferSize
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = DefaultPipelineDepth
 	}
 	if c.RemotePersistEvery == 0 {
 		c.RemotePersistEvery = DefaultRemotePersistEvery
@@ -185,12 +209,59 @@ type Checkpointer struct {
 	custody map[int]*custodyRecord
 }
 
-// layout bundles a compiled placement plan with its derived key table.
-// The two always change together (a reseat recompiles both), so they live
-// behind one atomic pointer.
+// layout bundles a compiled placement plan with its derived key table and
+// reduction routing. The three always change together (a reseat recompiles
+// them all), so they live behind one atomic pointer.
 type layout struct {
 	plan *placement.Plan
 	keys keyTable
+	// routes holds the per-reduction aggregation routing (fan-in tree and
+	// per-node worker index), index-aligned with plan.Reductions. Compiled
+	// once per layout so the per-round drain does only lookups.
+	routes []reduceRoute
+}
+
+// reduceRoute is the compiled routing of one XOR reduction: which machine
+// roots it, the fan-in-bounded aggregation tree over its source machines,
+// and each machine's local workers. Everything a node needs to derive its
+// own role (leaf, interior fold point, or root) without per-round work.
+type reduceRoute struct {
+	targetNode int
+	tree       *placement.FanInTree
+	// workersOf maps a participating machine to the reduction's workers it
+	// hosts, in rank order. Machines without workers are absent (the root
+	// can be such a machine).
+	workersOf map[int][]int
+}
+
+// newLayout compiles the layout for one plan: the key table plus the
+// reduction routing under the configured group fan-in.
+func newLayout(cfg *Config, plan *placement.Plan) (*layout, error) {
+	routes := make([]reduceRoute, len(plan.Reductions))
+	for ri, r := range plan.Reductions {
+		targetNode, err := cfg.Topo.NodeOf(r.Target)
+		if err != nil {
+			return nil, err
+		}
+		workersOf := make(map[int][]int, len(r.Workers))
+		sources := make([]int, 0, len(r.Workers))
+		for _, w := range r.Workers {
+			node, err := cfg.Topo.NodeOf(w)
+			if err != nil {
+				return nil, err
+			}
+			if len(workersOf[node]) == 0 {
+				sources = append(sources, node)
+			}
+			workersOf[node] = append(workersOf[node], w)
+		}
+		routes[ri] = reduceRoute{
+			targetNode: targetNode,
+			tree:       placement.BuildFanInTree(sources, targetNode, cfg.GroupFanIn),
+			workersOf:  workersOf,
+		}
+	}
+	return &layout{plan: plan, keys: buildKeyTable(cfg, plan), routes: routes}, nil
 }
 
 // layout returns the current placement layout. Call it once per round and
@@ -417,6 +488,12 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 		return nil, fmt.Errorf("core: buffer size %d must be a multiple of 64 (the coding alignment)",
 			cfg.BufferSize)
 	}
+	if cfg.PipelineDepth < 1 {
+		return nil, fmt.Errorf("core: pipeline depth must be at least 1, got %d", cfg.PipelineDepth)
+	}
+	if cfg.GroupFanIn < 0 {
+		return nil, fmt.Errorf("core: group fan-in must be non-negative, got %d", cfg.GroupFanIn)
+	}
 	plan, err := placement.New(cfg.Topo, cfg.K, cfg.M)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -447,7 +524,11 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 		phaseHist: buildPhaseHistograms(cfg.Metrics, cfg.Topo.Nodes()),
 		custody:   make(map[int]*custodyRecord),
 	}
-	c.lay.Store(&layout{plan: plan, keys: buildKeyTable(&cfg, plan)})
+	lay, err := newLayout(&cfg, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c.lay.Store(lay)
 	return c, nil
 }
 
@@ -630,7 +711,20 @@ type SaveReport struct {
 	// Elapsed.
 	Phases map[string]time.Duration
 	// NodePhases holds each node's own phase partition, indexed by node.
+	// Partitions are closed against the round's section wall: time a fast
+	// node's finished chunk spent waiting for slower peers is charged to
+	// that node's own "straggle" lane (see PhaseStraggle), so each
+	// partition sums to the section wall rather than stopping at the
+	// node's last delivery.
 	NodePhases []map[string]time.Duration
+	// StragglerNode is the node the commit barrier waited for — the one
+	// with the largest own phase total (and hence a near-zero straggle
+	// lane). -1 when the round had no per-node partitions.
+	StragglerNode int
+	// StragglerLag is how far StragglerNode ran behind the mean of all
+	// nodes' phase totals: the wall time the round's commit barrier cost
+	// beyond a perfectly balanced cluster.
+	StragglerLag time.Duration
 	// Postmortem is the flight-recorder event tail for a round that
 	// ended in error (abort, kill, snapshot failure), capped at
 	// flight.DefaultPostmortemEvents. Nil on success or when no flight

@@ -38,6 +38,12 @@ type GroupedConfig struct {
 	K, M int
 	// BufferSize is the per-instance pipeline buffer.
 	BufferSize int
+	// PipelineDepth bounds each instance's in-flight buffer windows
+	// (0 = default; 1 = phase-coarse). See Config.PipelineDepth.
+	PipelineDepth int
+	// GroupFanIn bounds each instance's XOR reduction fan-in
+	// (0 = flat). See Config.GroupFanIn.
+	GroupFanIn int
 	// RemotePersistEvery persists every Nth save (0 = default, <0 = off).
 	RemotePersistEvery int
 	// Metrics receives every group instance's counters and phase
@@ -88,6 +94,8 @@ func NewGrouped(cfg GroupedConfig, net transport.Network, clus *cluster.Cluster,
 			K:                  cfg.K,
 			M:                  cfg.M,
 			BufferSize:         cfg.BufferSize,
+			PipelineDepth:      cfg.PipelineDepth,
+			GroupFanIn:         cfg.GroupFanIn,
 			RemotePersistEvery: cfg.RemotePersistEvery,
 			RemotePrefix:       fmt.Sprintf("group%d/", gi),
 			Metrics:            cfg.Metrics,

@@ -521,7 +521,11 @@ func (c *Checkpointer) reseatLocked(ctx context.Context, node int, lay *layout, 
 			_ = c.clus.Delete(mv.From, keySegment(mv.Chunk, s))
 		}
 	}
-	c.lay.Store(&layout{plan: newPlan, keys: buildKeyTable(&c.cfg, newPlan)})
+	newLay, err := newLayout(&c.cfg, newPlan)
+	if err != nil {
+		return fmt.Errorf("core: reseat layout: %w", err)
+	}
+	c.lay.Store(newLay)
 	rep.Reseated = true
 	rep.Moves = moves
 	rep.Blobs += blobs

@@ -33,6 +33,13 @@ const (
 	PhaseP2P = "p2p"
 	// PhaseBarrier is the residual wait for outstanding deliveries.
 	PhaseBarrier = "barrier"
+	// PhaseStraggle is synchronization skew charged per node: the time a
+	// finished node's chunk sat waiting for the round's stragglers before
+	// commit. Charging it to each fast node's own lane (instead of
+	// inflating the round mean's barrier) makes the slowest machine
+	// identifiable from the per-node partitions alone — the straggler is
+	// the node with (near-)zero straggle.
+	PhaseStraggle = "straggle"
 	// PhasePromote is staging writes plus the commit that promotes the
 	// staged checkpoint to its final keys.
 	PhasePromote = "promote"
@@ -46,7 +53,7 @@ const (
 // persisting rounds.
 func SavePhases() []string {
 	return []string{PhaseOffload, PhaseSerialize, PhaseEncode, PhaseXOR,
-		PhaseStage, PhaseP2P, PhaseBarrier, PhasePromote, PhasePersist}
+		PhaseStage, PhaseP2P, PhaseBarrier, PhaseStraggle, PhasePromote, PhasePersist}
 }
 
 // Phase names of the recovery (Load) round.
@@ -160,6 +167,36 @@ func shiftPhase(phases map[string]time.Duration, from, to string, amount time.Du
 	}
 	phases[from] -= amount
 	phases[to] += amount
+}
+
+// chargeStraggle closes each node's phase partition against the round's
+// section wall: the gap between the wall and a node's own phase total is
+// time that node's finished chunk sat waiting for slower peers at the
+// commit barrier, charged to the node's own PhaseStraggle lane so every
+// partition sums to the section wall. It returns the straggler — the node
+// with the largest own total, the machine the rest of the cluster waited
+// for — and its lag behind the mean of all nodes' totals. With zero nodes
+// it returns (-1, 0).
+func chargeStraggle(nodePhases []map[string]time.Duration, sectionWall time.Duration) (int, time.Duration) {
+	stragglerNode := -1
+	var maxTotal, sumTotal time.Duration
+	for node, phases := range nodePhases {
+		var total time.Duration
+		for _, d := range phases {
+			total += d
+		}
+		sumTotal += total
+		if stragglerNode < 0 || total > maxTotal {
+			stragglerNode, maxTotal = node, total
+		}
+		if lane := sectionWall - total; lane > 0 {
+			phases[PhaseStraggle] += lane
+		}
+	}
+	if stragglerNode < 0 {
+		return -1, 0
+	}
+	return stragglerNode, maxTotal - sumTotal/time.Duration(len(nodePhases))
 }
 
 // meanPhases averages per-node phase maps key-wise over all nodes (the

@@ -173,12 +173,14 @@ type reduceKey struct {
 	buf    int
 }
 
-// reduceState accumulates the k contributions of one reduction buffer. The
-// first contribution is adopted as the accumulator (the pool hands every
-// contributor an exclusively owned buffer, so taking it is free); later
-// contributions are XOR-folded in and recycled. Each state has its own lock
-// so reductions for different (group, parity, buffer) keys fold
-// concurrently.
+// reduceState accumulates one node's share of one reduction buffer: its
+// local workers' contributions plus one folded partial per child machine in
+// the reduction's fan-in tree — never the global k, so the per-machine
+// fan-in stays bounded as the cluster grows. The first contribution is
+// adopted as the accumulator (the pool hands every contributor an
+// exclusively owned buffer, so taking it is free); later contributions are
+// XOR-folded in and recycled. Each state has its own lock so reductions for
+// different (group, parity, buffer) keys fold concurrently.
 type reduceState struct {
 	mu        sync.Mutex
 	acc       []byte
@@ -186,12 +188,23 @@ type reduceState struct {
 }
 
 // nodeDrain runs one node's side of the checkpointing round after the
-// snapshot stage: broadcast of the small components, the pipelined
-// encode/XOR/P2P placement, and the staging writes. It returns the
+// snapshot stage: broadcast of the small components, the per-buffer
+// streaming encode/XOR/P2P pipeline, and the staging writes. It returns the
 // broadcast small-component volume it observed and the node's full-round
 // phase partition (snapshot phases folded in), with receiver-side XOR work
 // re-attributed from "barrier" to "xor" (it overlaps the main goroutine's
 // waits).
+//
+// The packet is processed as a sequence of buffer windows (Config.
+// BufferSize each). A bufWindow ledger bounds how many windows the node
+// holds in flight (Config.PipelineDepth) and retires a window only when
+// every delivery it owes this node has landed, so encode/XOR/P2P for buffer
+// i+1 overlaps the residual deliveries of buffer i while pooled-buffer
+// usage stays proportional to the depth. XOR reductions aggregate over the
+// fan-in tree compiled into the layout (see reduceRoute): each machine
+// folds its own workers' contributions plus its tree children's partials
+// and forwards a single partial per buffer toward the root, keeping
+// per-machine fan-in bounded by Config.GroupFanIn at any cluster size.
 //
 // Every blob is written under a staged key; the caller promotes the staging
 // area only after all nodes finish, so an aborted round never damages the
@@ -229,12 +242,18 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	for w := node * g; w < (node+1)*g; w++ {
 		localWorkers = append(localWorkers, w)
 	}
-	// Packets stay referenced until the pipeline drains; recycle them on
-	// every exit. Safe on error paths too: by then the send queue has
-	// drained, and receiver goroutines never read packets.
+	// Packets stay referenced until the pipeline drains: data-segment sends
+	// alias them and the incremental cache stages them. The happy path (and
+	// any error before the pipeline spun up) recycles them via this deferred
+	// Put, which runs only after the send queue drained; error paths after
+	// spin-up hand recycling to the async teardown instead, which recycles
+	// once the sender goroutine has drained every aliasing payload.
+	handedOff := false
 	defer func() {
-		for _, pkt := range packets {
-			c.buf.Put(pkt)
+		if !handedOff {
+			for _, pkt := range packets {
+				c.buf.Put(pkt)
+			}
 		}
 	}()
 
@@ -297,7 +316,9 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 		delete(snap.smalls, w)
 	}
 
-	// --- Step 3: pipelined encode, XOR reduction, P2P placement. ---
+	// --- Step 3: per-buffer streaming pipeline — encode, hierarchical XOR
+	// reduction, P2P placement — under a bounded window of in-flight
+	// buffer windows. ---
 	pc.Switch(PhaseStage)
 	myChunk := plan.ChunkOfNode[node]
 	// Pooled without zeroing: every byte of every segment is overwritten
@@ -309,15 +330,6 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 		chunkSegs[s] = c.buf.Get(packetBytes)
 	}
 
-	// Accumulators for reductions targeted at this node.
-	var (
-		accMu sync.Mutex
-		accs  = map[reduceKey]*reduceState{}
-	)
-	// recvXorNs accumulates XOR-reduce time spent on receiver goroutines;
-	// it overlaps the main goroutine's barrier wait and is re-attributed
-	// from "barrier" to "xor" at the end of the round.
-	var recvXorNs atomic.Int64
 	sliceBounds := func(b int) (int, int) {
 		lo := b * bufSize
 		hi := lo + bufSize
@@ -327,41 +339,128 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 		return lo, hi
 	}
 
-	// deliveries counts everything that must land on this node before its
-	// chunk is complete.
-	var deliveries sync.WaitGroup
-	errOnce := make(chan error, 64)
-	fail := func(err error) {
-		select {
-		case errOnce <- err:
-		default:
+	// Pre-render the per-stream tags and per-(reduction, worker) coding
+	// coefficients once: the buffer loop must not format strings or take
+	// fallible lookups per window.
+	xorTags := make([]string, len(plan.Reductions))
+	parityTags := make([]string, len(plan.Reductions))
+	coefs := make([]map[int]int, len(plan.Reductions))
+	for ri, r := range plan.Reductions {
+		xorTags[ri] = tagXOR(r.Group, r.ParityIndex)
+		parityTags[ri] = tagParityP2P(r.ParityIndex, r.Group)
+		myWorkers := lay.routes[ri].workersOf[node]
+		coefs[ri] = make(map[int]int, len(myWorkers))
+		for _, w := range myWorkers {
+			coef, err := c.code.ParityCoefficient(r.ParityIndex, plan.DataGroupOf[w])
+			if err != nil {
+				return 0, nil, err
+			}
+			coefs[ri][w] = coef
+		}
+	}
+	dataTags := make(map[int]string, len(localWorkers))
+	for _, w := range localWorkers {
+		dataTags[w] = tagDataP2P(plan.DataGroupOf[w], plan.SegmentOf[w])
+	}
+
+	// Data segments this node's chunk collects from remote workers.
+	type dataSrc struct{ srcNode, seg int }
+	var dataSrcs []dataSrc
+	if myChunk >= 0 && myChunk < c.cfg.K {
+		for w := 0; w < world; w++ {
+			if plan.DataGroupOf[w] != myChunk {
+				continue
+			}
+			srcNode, err := topo.NodeOf(w)
+			if err != nil {
+				return 0, nil, err
+			}
+			if srcNode != node {
+				dataSrcs = append(dataSrcs, dataSrc{srcNode: srcNode, seg: plan.SegmentOf[w]})
+			}
 		}
 	}
 
-	// parityTags pre-renders the P2P tag of every (group, parity) stream so
-	// finalize does not format strings per buffer.
-	parityTags := make(map[reduceKeyBase]string, len(plan.Reductions))
-	for _, r := range plan.Reductions {
-		parityTags[reduceKeyBase{group: r.Group, parity: r.ParityIndex}] = tagParityP2P(r.ParityIndex, r.Group)
+	// The buffer window is this node's per-buffer delivery ledger and credit
+	// bound. Every buffer owes the same delivery count: the encode loop's
+	// own end-of-buffer landing, one fold completion per reduction this node
+	// participates in (root finalize or partial forward), one parity-segment
+	// arrival per reduction of this node's parity chunk rooted elsewhere,
+	// and one data-segment arrival per remote worker of this node's data
+	// chunk.
+	perBuf := 1
+	for ri := range lay.routes {
+		rt := &lay.routes[ri]
+		if len(rt.workersOf[node]) > 0 || len(rt.tree.Children[node]) > 0 {
+			perBuf++
+		}
 	}
+	if myChunk >= c.cfg.K {
+		pi := myChunk - c.cfg.K
+		for ri, r := range plan.Reductions {
+			if r.ParityIndex == pi && lay.routes[ri].targetNode != node {
+				perBuf++
+			}
+		}
+	}
+	perBuf += len(dataSrcs)
+	win := newBufWindow(numBuffers, c.cfg.PipelineDepth, func(int) int { return perBuf })
+	if err := win.checkLedger(); err != nil {
+		return 0, nil, err
+	}
+	win.emitTo(c.cfg.Flight, node, version)
+	fail := win.fail
 
-	// finalize runs when a reduction buffer has all k contributions: write
-	// into the local chunk or forward to the parity node. Either way the
-	// accumulator's contents are copied out, so it is recycled here.
-	finalize := func(k reduceKey, acc []byte) {
-		defer deliveries.Done()
-		defer c.buf.Put(acc)
-		parityChunk := c.cfg.K + k.parity
-		dstNode := plan.ParityNodes[k.parity]
-		lo, _ := sliceBounds(k.buf)
-		if dstNode == node {
-			copy(chunkSegs[k.group][lo:lo+len(acc)], acc)
-			return
-		}
-		if err := ep.Send(ctx, dstNode, parityTags[reduceKeyBase{group: k.group, parity: k.parity}], acc); err != nil {
-			fail(fmt.Errorf("parity p2p chunk %d group %d: %w", parityChunk, k.group, err))
-		}
+	// Fold state for reductions this node participates in, keyed by
+	// (group, parity, buffer).
+	var (
+		accMu sync.Mutex
+		accs  = map[reduceKey]*reduceState{}
+	)
+	// recvXorNs accumulates XOR-reduce time spent on receiver goroutines;
+	// it overlaps the main goroutine's barrier wait and is re-attributed
+	// from "barrier" to "xor" at the end of the round.
+	var recvXorNs atomic.Int64
+
+	// sendQueue decouples the encoding stage from the communication stage,
+	// as in the paper's pipelined execution. Producers are the encode loop
+	// (data-segment placement) and the fold completions (forwarded partials
+	// and rooted parity segments); the queue closes only after both are
+	// done. The sender keeps draining after a failure — recycling pooled
+	// payloads — so a producer never blocks forever on a full queue.
+	type outMsg struct {
+		dstNode int
+		tag     string
+		payload []byte
+		// pooled marks payloads owned by the queue (folded partials and
+		// parity segments): recycled after the send. Data-segment payloads
+		// alias the worker packets and are recycled by nodeDrain instead.
+		pooled bool
+		// land, when non-negative, is the buffer whose delivery this send
+		// completes; it lands after a successful send (a failed one poisons
+		// the window instead).
+		land int
 	}
+	sendQueue := make(chan outMsg, DefaultEncodingBuffers)
+	var sendWG sync.WaitGroup
+	sendWG.Add(1)
+	go func() {
+		defer sendWG.Done()
+		var sendErr error
+		for msg := range sendQueue {
+			if sendErr == nil {
+				if err := ep.Send(ctx, msg.dstNode, msg.tag, msg.payload); err != nil {
+					sendErr = err
+					fail(err)
+				} else if msg.land >= 0 {
+					win.landOne(msg.land)
+				}
+			}
+			if msg.pooled {
+				c.buf.Put(msg.payload)
+			}
+		}
+	}()
 
 	// xorInto folds src into dst, splitting large regions across the
 	// encoder thread pool — the receiver-side counterpart of the paper's
@@ -375,23 +474,45 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 		return gf.XORSlice(dst, src)
 	}
 
-	// contribute folds one contribution into the accumulator for (g, i, b),
-	// taking ownership of the buffer: the first contribution becomes the
-	// accumulator, later ones are XORed in and recycled. timeXor attributes
-	// the XOR to the receiver-side accumulator; the main goroutine passes
-	// false because its XOR time is already on the phase clock. Each
-	// contribution stream is sequential and finalize fires synchronously
-	// inside the call, so parity P2P sends for one (group, parity) stay in
-	// buffer order.
-	contribute := func(k reduceKey, contribution []byte, timeXor bool) {
+	// finalize disposes of a completed reduction buffer at the tree root:
+	// the parity bytes land in the local chunk when this node stores the
+	// parity chunk, or ship to the parity node through the send queue.
+	// Either way ownership of the accumulator leaves the fold state here.
+	finalize := func(ri int, k reduceKey, acc []byte) {
+		dstNode := plan.ParityNodes[k.parity]
+		if dstNode == node {
+			lo, _ := sliceBounds(k.buf)
+			copy(chunkSegs[k.group][lo:lo+len(acc)], acc)
+			c.buf.Put(acc)
+			win.landOne(k.buf)
+			return
+		}
+		sendQueue <- outMsg{dstNode: dstNode, tag: parityTags[ri], payload: acc, pooled: true, land: k.buf}
+	}
+
+	// contribute folds one contribution into this node's accumulator for
+	// reduction ri, buffer b, taking ownership of the buffer: the first
+	// contribution becomes the accumulator, later ones are XORed in and
+	// recycled. When the node's own obligations — local workers plus tree
+	// children — are all folded, the root finalizes the buffer and every
+	// other machine forwards one partial per buffer up the fan-in tree.
+	// timeXor attributes the XOR to the receiver-side accumulator; the main
+	// goroutine passes false because its XOR time is already on the phase
+	// clock. Contribution streams are sequential and completions fire
+	// synchronously inside the call, so forwarded partials and parity P2P
+	// sends stay in buffer order per stream.
+	contribute := func(ri, b int, contribution []byte, timeXor bool) {
+		rt := &lay.routes[ri]
+		r := &plan.Reductions[ri]
 		var xorStart time.Time
 		if timeXor {
 			xorStart = time.Now()
 		}
+		k := reduceKey{group: r.Group, parity: r.ParityIndex, buf: b}
 		accMu.Lock()
 		st, ok := accs[k]
 		if !ok {
-			st = &reduceState{remaining: c.cfg.K}
+			st = &reduceState{remaining: len(rt.workersOf[node]) + len(rt.tree.Children[node])}
 			accs[k] = st
 		}
 		accMu.Unlock()
@@ -418,72 +539,59 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 		if timeXor {
 			recvXorNs.Add(time.Since(xorStart).Nanoseconds())
 		}
-		if done {
-			finalize(k, st.acc)
+		if !done {
+			return
 		}
+		if rt.targetNode == node {
+			finalize(ri, k, st.acc)
+			return
+		}
+		// Forward the folded partial one hop up the tree; the delivery
+		// lands once the send goes through.
+		sendQueue <- outMsg{dstNode: rt.tree.Parent[node], tag: xorTags[ri], payload: st.acc, pooled: true, land: k.buf}
 	}
 
-	// Count expected deliveries and spawn receivers.
-	// Reduction targets on this node: one finalize per (reduction, buffer).
-	for _, r := range plan.Reductions {
-		tNode, err := topo.NodeOf(r.Target)
-		if err != nil {
-			return 0, nil, err
-		}
-		if tNode != node {
-			continue
-		}
-		deliveries.Add(numBuffers) // finalizes
-		// Remote contributions arrive over the network, one stream per
-		// source node; several workers on one source node share a stream.
-		remoteBySrc := map[int]int{}
-		for _, w := range r.Workers {
-			srcNode, err := topo.NodeOf(w)
-			if err != nil {
-				return 0, nil, err
-			}
-			if srcNode != node {
-				remoteBySrc[srcNode]++
-			}
-		}
-		for srcNode, count := range remoteBySrc {
-			go func(r reduceKeyBase, srcNode, count int) {
-				tag := tagXOR(r.group, r.parity)
+	// Partial receivers: one stream per inbound tree edge. Each child
+	// machine sends exactly one folded partial per buffer, so this node
+	// receives at most GroupFanIn streams per reduction regardless of k.
+	// They are also send-queue producers (a completion forwards or
+	// finalizes), so the queue closes only after they exit.
+	var xorRecvWG sync.WaitGroup
+	for ri := range lay.routes {
+		for _, child := range lay.routes[ri].tree.Children[node] {
+			xorRecvWG.Add(1)
+			go func(ri, child int) {
+				defer xorRecvWG.Done()
+				tag := xorTags[ri]
 				for b := 0; b < numBuffers; b++ {
-					for n := 0; n < count; n++ {
-						payload, err := ep.Recv(ctx, srcNode, tag)
-						if err != nil {
-							fail(err)
-							return
-						}
-						// contribute takes ownership of the payload.
-						contribute(reduceKey{group: r.group, parity: r.parity, buf: b}, payload, true)
+					payload, err := ep.Recv(ctx, child, tag)
+					if err != nil {
+						fail(err)
+						return
 					}
+					// contribute takes ownership of the payload.
+					contribute(ri, b, payload, true)
 				}
-			}(reduceKeyBase{group: r.Group, parity: r.ParityIndex}, srcNode, count)
+			}(ri, child)
 		}
 	}
 
 	// Parity segments arriving via P2P (this node is a parity node and the
-	// reduction target was elsewhere).
+	// reduction rooted elsewhere).
 	if myChunk >= c.cfg.K {
 		pi := myChunk - c.cfg.K
-		for _, r := range plan.Reductions {
+		for ri, r := range plan.Reductions {
 			if r.ParityIndex != pi {
 				continue
 			}
-			tNode, err := topo.NodeOf(r.Target)
-			if err != nil {
-				return 0, nil, err
-			}
-			if tNode == node {
+			rootNode := lay.routes[ri].targetNode
+			if rootNode == node {
 				continue // finalize writes locally
 			}
-			deliveries.Add(numBuffers)
-			go func(group, tNode, pi int) {
-				tag := tagParityP2P(pi, group)
+			go func(ri, group, rootNode int) {
+				tag := parityTags[ri]
 				for b := 0; b < numBuffers; b++ {
-					payload, err := ep.Recv(ctx, tNode, tag)
+					payload, err := ep.Recv(ctx, rootNode, tag)
 					if err != nil {
 						fail(err)
 						return
@@ -491,127 +599,56 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 					lo, _ := sliceBounds(b)
 					copy(chunkSegs[group][lo:lo+len(payload)], payload)
 					c.buf.Put(payload)
-					deliveries.Done()
+					win.landOne(b)
 				}
-			}(r.Group, tNode, pi)
+			}(ri, r.Group, rootNode)
 		}
 	}
 
 	// Data segments arriving via P2P (this node is a data node).
-	if myChunk >= 0 && myChunk < c.cfg.K {
-		for w := 0; w < world; w++ {
-			if plan.DataGroupOf[w] != myChunk {
-				continue
-			}
-			srcNode, err := topo.NodeOf(w)
-			if err != nil {
-				return 0, nil, err
-			}
-			if srcNode == node {
-				continue
-			}
-			seg := plan.SegmentOf[w]
-			deliveries.Add(numBuffers)
-			go func(srcNode, seg int) {
-				tag := tagDataP2P(myChunk, seg)
-				for b := 0; b < numBuffers; b++ {
-					payload, err := ep.Recv(ctx, srcNode, tag)
-					if err != nil {
-						fail(err)
-						return
-					}
-					lo, _ := sliceBounds(b)
-					copy(chunkSegs[seg][lo:lo+len(payload)], payload)
-					c.buf.Put(payload)
-					deliveries.Done()
+	for _, src := range dataSrcs {
+		go func(srcNode, seg int) {
+			tag := tagDataP2P(myChunk, seg)
+			for b := 0; b < numBuffers; b++ {
+				payload, err := ep.Recv(ctx, srcNode, tag)
+				if err != nil {
+					fail(err)
+					return
 				}
-			}(srcNode, seg)
-		}
-	}
-
-	// Sender/compute loop: stream buffers through the pipeline. A bounded
-	// channel of encoded contributions decouples the encoding stage from
-	// the communication stage, as in the paper's pipelined execution.
-	// Contributions to reductions targeted at this node are reduced inline
-	// on this goroutine (charged to the "xor" phase); remote contributions
-	// and data packets flow through the send queue.
-	type outMsg struct {
-		dstNode int
-		tag     string
-		payload []byte
-		// pooled marks payloads owned by the queue (encoded contributions):
-		// recycled after the send. Data-packet payloads alias the worker
-		// packets and are recycled by nodeDrain instead.
-		pooled bool
-	}
-	sendQueue := make(chan outMsg, DefaultEncodingBuffers)
-	var sendWG sync.WaitGroup
-	sendWG.Add(1)
-	go func() {
-		defer sendWG.Done()
-		for msg := range sendQueue {
-			err := ep.Send(ctx, msg.dstNode, msg.tag, msg.payload)
-			if msg.pooled {
-				c.buf.Put(msg.payload)
+				lo, _ := sliceBounds(b)
+				copy(chunkSegs[seg][lo:lo+len(payload)], payload)
+				c.buf.Put(payload)
+				win.landOne(b)
 			}
-			if err != nil {
-				fail(err)
-				return
-			}
-		}
-	}()
-
-	// Pre-render the per-stream tags once: the buffer loop below used to
-	// format them per (buffer, reduction, worker) message.
-	xorTags := make([]string, len(plan.Reductions))
-	for i, r := range plan.Reductions {
-		xorTags[i] = tagXOR(r.Group, r.ParityIndex)
-	}
-	dataTags := make(map[int]string, len(localWorkers))
-	for _, w := range localWorkers {
-		dataTags[w] = tagDataP2P(plan.DataGroupOf[w], plan.SegmentOf[w])
+		}(src.srcNode, src.seg)
 	}
 
+	// Encode loop: stream buffer windows through the pipeline under the
+	// credit bound. Admission waits are pipeline backpressure, charged to
+	// p2p; with PipelineDepth 1 the loop degrades to the phase-coarse
+	// baseline (no window starts before the previous one fully commits).
 	encodeErr := func() error {
 		for b := 0; b < numBuffers; b++ {
+			pc.Switch(PhaseP2P)
+			if err := win.acquire(ctx, b); err != nil {
+				return err
+			}
 			lo, hi := sliceBounds(b)
 			// Encoding stage: every local worker contributes to each of
-			// its reduction group's m reductions.
-			for ri, r := range plan.Reductions {
-				for _, w := range r.Workers {
-					wNode, err := topo.NodeOf(w)
-					if err != nil {
-						return err
-					}
-					if wNode != node {
-						continue
-					}
-					coef, err := c.code.ParityCoefficient(r.ParityIndex, plan.DataGroupOf[w])
-					if err != nil {
-						return err
-					}
+			// its reduction group's m reductions; contributions fold into
+			// the node-local accumulator, which forwards up the tree.
+			for ri := range lay.routes {
+				for _, w := range lay.routes[ri].workersOf[node] {
 					pc.Switch(PhaseEncode)
 					// Pooled, not zeroed: the scalar multiply fully
-					// overwrites the region. Ownership passes to contribute
-					// or to the send queue.
+					// overwrites the region. Ownership passes to contribute.
 					contribution := c.buf.Get(hi - lo)
-					if err := c.scalarMulPooled(coef, contribution, packets[w][lo:hi]); err != nil {
+					if err := c.scalarMulPooled(coefs[ri][w], contribution, packets[w][lo:hi]); err != nil {
 						c.buf.Put(contribution)
 						return err
 					}
-					tNode, err := topo.NodeOf(r.Target)
-					if err != nil {
-						c.buf.Put(contribution)
-						return err
-					}
-					k := reduceKey{group: r.Group, parity: r.ParityIndex, buf: b}
-					if tNode == node {
-						pc.Switch(PhaseXOR)
-						contribute(k, contribution, false)
-					} else {
-						pc.Switch(PhaseP2P)
-						sendQueue <- outMsg{dstNode: tNode, tag: xorTags[ri], payload: contribution, pooled: true}
-					}
+					pc.Switch(PhaseXOR)
+					contribute(ri, b, contribution, false)
 				}
 			}
 			// Data-packet placement for local workers.
@@ -627,36 +664,49 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 					continue
 				}
 				pc.Switch(PhaseP2P)
-				sendQueue <- outMsg{dstNode: dstNode, tag: dataTags[w], payload: packets[w][lo:hi]}
+				sendQueue <- outMsg{dstNode: dstNode, tag: dataTags[w], payload: packets[w][lo:hi], land: -1}
 			}
+			// The loop's own work for this window is done; residual
+			// deliveries keep the credit until they land.
+			win.landOne(b)
 		}
 		return nil
 	}()
-	close(sendQueue)
-	pc.Switch(PhaseP2P)
-	sendWG.Wait()
 	if encodeErr != nil {
-		return 0, nil, encodeErr
+		win.fail(encodeErr)
 	}
 
-	// Wait for the chunk to be complete.
+	// Commit barrier: wait for every buffer window to retire — all local
+	// folds finalized or forwarded, every P2P delivery landed.
 	pc.Switch(PhaseBarrier)
-	done := make(chan struct{})
-	go func() {
-		deliveries.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case err := <-errOnce:
-		return 0, nil, err
-	case <-ctx.Done():
-		return 0, nil, ctx.Err()
+	waitErr := win.wait(ctx)
+	if encodeErr == nil && waitErr == nil {
+		// Healthy round: the partial receivers have exhausted their streams
+		// (every buffer landed), so the queue can close and the residual
+		// data sends drain synchronously.
+		pc.Switch(PhaseP2P)
+		xorRecvWG.Wait()
+		close(sendQueue)
+		sendWG.Wait()
+		waitErr = win.failedErr() // a residual data send may have failed
 	}
-	select {
-	case err := <-errOnce:
+	if err := encodeErr; err != nil || waitErr != nil {
+		if err == nil {
+			err = waitErr
+		}
+		// Teardown off the hot path: the caller cancels the round context on
+		// error, bounding the receivers' Recvs; once they exit the queue
+		// drains and the aliased packets are safe to recycle.
+		handedOff = true
+		go func() {
+			xorRecvWG.Wait()
+			close(sendQueue)
+			sendWG.Wait()
+			for _, pkt := range packets {
+				c.buf.Put(pkt)
+			}
+		}()
 		return 0, nil, err
-	default:
 	}
 
 	// Cache this node's own packets for incremental saves.
@@ -690,11 +740,4 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 		phases[ph] += d
 	}
 	return smallBytes, phases, nil
-}
-
-// reduceKeyBase is reduceKey without the buffer index, used by receiver
-// goroutine captures.
-type reduceKeyBase struct {
-	group  int
-	parity int
 }

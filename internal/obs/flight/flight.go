@@ -55,6 +55,12 @@ const (
 	// EvMembership is a membership-protocol step: drains, custody
 	// restores, reseats and joins (Op names the step).
 	EvMembership
+	// EvBuffer is a closed buffer-window span of the streaming save
+	// pipeline: one node's pipeline buffer from the instant the encode
+	// loop acquired its window credit until its last owed delivery landed
+	// and the buffer committed. Peer carries the buffer index; gaps
+	// between consecutive EvBuffer spans on one node are pipeline bubbles.
+	EvBuffer
 )
 
 // String returns a short stable name for the event type.
@@ -82,6 +88,8 @@ func (t EventType) String() string {
 		return "remote"
 	case EvMembership:
 		return "membership"
+	case EvBuffer:
+		return "buffer"
 	default:
 		return "unknown"
 	}
@@ -353,6 +361,17 @@ func (r *Recorder) Remote(op, key string, bytes int64, start time.Time, dur time
 		return
 	}
 	r.append(Event{TS: r.sinceEpoch(start), Dur: dur, Type: EvRemote, Op: op, Node: -1, Tag: key, Bytes: bytes})
+}
+
+// Buffer records one committed buffer window of the streaming save
+// pipeline on node: the span from the encode loop acquiring buffer buf's
+// window credit (start) until its last owed delivery landed (start+dur).
+// The buffer index rides the Peer field so the event stays allocation-free.
+func (r *Recorder) Buffer(op string, node, round, buf int, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TS: r.sinceEpoch(start), Dur: dur, Type: EvBuffer, Op: op, Node: node, Peer: buf, Round: round})
 }
 
 // Membership records one membership-protocol step: op names the step

@@ -65,6 +65,8 @@ func laneFor(e Event) string {
 		return "remote"
 	case EvMembership:
 		return "membership"
+	case EvBuffer:
+		return "buffers"
 	default:
 		return "events"
 	}
@@ -98,6 +100,8 @@ func nameFor(e Event) string {
 		return e.Op + " " + e.Tag
 	case EvMembership:
 		return "member:" + e.Op
+	case EvBuffer:
+		return fmt.Sprintf("buf %d", e.Peer)
 	default:
 		return e.Type.String()
 	}
