@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke metrics-demo trace-demo
+.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke daemon-smoke vulncheck metrics-demo trace-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
 check: fmt vet build test race smoke doclint allocgate
@@ -65,6 +65,21 @@ chaos-soak:
 # the BENCH_6.json sweep reproducible without running the full thing.
 scale-smoke:
 	$(GO) run ./cmd/eccheck-bench -scale-smoke
+
+# End-to-end service gate for the eccheckd control plane: builds the real
+# binary, boots it on a loopback port, registers two jobs over HTTP, drives
+# concurrent saves through the single fleet-wide save slot (asserting the
+# serialization is visible in /metrics per-job labels), injects a machine
+# failure, recovers with a byte-verified load, and SIGTERMs expecting a
+# clean drain. Skipped under TESTFLAGS=-short, so it needs its own target.
+daemon-smoke:
+	$(GO) test -run 'TestDaemonSmoke' -count=1 -v ./cmd/eccheckd
+
+# Known-vulnerability scan over the module graph and reachable call paths.
+# Uses the golang.org/x/vuln scanner; requires network access to the Go
+# vulnerability database, so it runs in CI rather than in `make check`.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # One checkpoint-and-recover round with the per-phase breakdown and the
 # full metric registry printed: the quickest way to see the observability

@@ -1,0 +1,92 @@
+// Command eccheckd is the checkpoint-as-a-service daemon: a long-running
+// control plane multiplexing many concurrent training jobs — each one an
+// eccheck System lifecycle over its own simulated node fleet — behind a
+// stdlib HTTP/JSON API, with fleet-wide save-slot admission control and
+// per-tenant quotas on host memory and remote-tier bandwidth.
+//
+// Usage:
+//
+//	eccheckd [-addr 127.0.0.1:7070] [-max-saves 1]
+//	         [-tenant-mem-bytes 2147483648] [-tenant-bw 1.25e9]
+//	         [-flight-events 4096] [-drain-timeout 30s]
+//
+// The daemon prints "eccheckd listening on ADDR" once the API is up (so
+// scripts binding ":0" can scrape the port), serves until SIGTERM or
+// SIGINT, then drains gracefully: new work is rejected with 503 while
+// in-flight checkpoint rounds get -drain-timeout to finish before the
+// fleets are torn down. A clean drain exits 0.
+//
+// API summary (see DESIGN.md §11 for the full table):
+//
+//	POST   /v1/jobs            register a job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       status incl. last save/load reports
+//	DELETE /v1/jobs/{id}       unregister
+//	POST   /v1/jobs/{id}/save  admission-controlled checkpoint round
+//	POST   /v1/jobs/{id}/load  recover + byte-verify latest checkpoint
+//	POST   /v1/jobs/{id}/fail  inject a machine failure
+//	GET    /metrics            per-job admission/quota/round counters
+//	GET    /healthz            liveness ("ok" / 503 "draining")
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eccheck/internal/daemon"
+	"eccheck/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
+		maxSaves     = flag.Int("max-saves", 1, "fleet-wide concurrent save-round bound (admission slots)")
+		tenantMem    = flag.Int64("tenant-mem-bytes", 0, "per-tenant host-memory quota in bytes (0 = default 2 GiB, negative disables)")
+		tenantBW     = flag.Float64("tenant-bw", 0, "per-tenant remote-tier bandwidth quota in bytes/sec (0 = default 1.25e9, negative disables)")
+		flightEvents = flag.Int("flight-events", 0, "default per-job flight-recorder ring size (0 = default 4096, negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight rounds on SIGTERM")
+	)
+	flag.Parse()
+
+	d := daemon.New(daemon.Config{
+		MaxConcurrentSaves:  *maxSaves,
+		TenantMemoryBytes:   *tenantMem,
+		TenantBandwidth:     *tenantBW,
+		DefaultFlightEvents: *flightEvents,
+	})
+	srv, err := obs.ServeMux(*addr, d.Mux())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("eccheckd listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Printf("eccheckd: %s, draining (timeout %s)\n", got, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := d.Shutdown(ctx)
+	closeErr := srv.Close()
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "eccheckd: drain: %v\n", drainErr)
+		return 1
+	}
+	if closeErr != nil {
+		fmt.Fprintf(os.Stderr, "eccheckd: close: %v\n", closeErr)
+		return 1
+	}
+	fmt.Println("eccheckd: drained cleanly")
+	return 0
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"eccheck/internal/daemon"
+)
+
+// TestDaemonSmoke is the end-to-end service gate behind `make daemon-smoke`:
+// it builds the real eccheckd binary, boots it on an ephemeral loopback
+// port, registers two jobs, drives concurrent saves through the single
+// fleet-wide save slot (asserting the serialization is visible in the
+// /metrics per-job labels), injects a machine failure, recovers with a
+// byte-verified load, and finally SIGTERMs the daemon expecting a clean
+// drain and exit 0. Skipped under -short; CI runs it as a dedicated step.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke exercises a real binary over HTTP; skipped in -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "eccheckd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build eccheckd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-max-saves", "1", "-drain-timeout", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start eccheckd: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// Scrape the ephemeral listen address, then keep draining output so
+	// the final "drained cleanly" line is captured.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	addr, err := awaitListenLine(lines)
+	if err != nil {
+		t.Fatalf("daemon never announced its address: %v", err)
+	}
+	cli := daemon.NewClient("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	if !cli.Healthy(ctx) {
+		t.Fatalf("daemon not healthy at %s", addr)
+	}
+
+	// Two concurrent jobs sharing one save slot.
+	for _, id := range []string{"smoke-a", "smoke-b"} {
+		spec := daemon.JobSpec{ID: id, Tenant: "smoke", Scale: 32, BufferBytes: 128 << 10, DisableRemote: true}
+		if _, err := cli.Register(ctx, spec); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	var wg sync.WaitGroup
+	saveErrs := make(chan error, 2)
+	for _, id := range []string{"smoke-a", "smoke-b"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, err := cli.Save(ctx, id, daemon.SaveRequest{Steps: 2})
+			if err != nil {
+				saveErrs <- fmt.Errorf("save %s: %w", id, err)
+				return
+			}
+			if resp.Report.Version != 1 {
+				saveErrs <- fmt.Errorf("save %s: version %d, want 1", id, resp.Report.Version)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(saveErrs)
+	for err := range saveErrs {
+		t.Fatal(err)
+	}
+
+	// The serialization must be observable: each job got exactly one slot
+	// grant and finished exactly one save round, under its own label.
+	metrics, err := cli.MetricsText(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, id := range []string{"smoke-a", "smoke-b"} {
+		for _, want := range []string{
+			fmt.Sprintf(`eccheckd_save_slot_grants_total{job=%q} 1`, id),
+			fmt.Sprintf(`eccheckd_job_rounds_finished_total{job=%q,op="save"} 1`, id),
+		} {
+			if !strings.Contains(metrics, want) {
+				t.Errorf("/metrics missing %s", want)
+			}
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full /metrics:\n%s", metrics)
+	}
+
+	// Chaos: kill a machine in job A, then recover with byte verification.
+	if _, err := cli.Fail(ctx, "smoke-a", daemon.FailRequest{Node: 1}); err != nil {
+		t.Fatalf("fail node: %v", err)
+	}
+	load, err := cli.Load(ctx, "smoke-a")
+	if err != nil {
+		t.Fatalf("load after failure: %v", err)
+	}
+	if load.VerifiedStep != 2 {
+		t.Fatalf("recovered step %d, want 2", load.VerifiedStep)
+	}
+	if len(load.Report.MissingChunks) == 0 {
+		t.Fatalf("load decoded nothing despite an injected failure")
+	}
+	st, err := cli.Status(ctx, "smoke-a")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Saves != 1 || st.Loads != 1 {
+		t.Fatalf("smoke-a counters %d saves / %d loads, want 1/1", st.Saves, st.Loads)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	var tail []string
+	for line := range lines {
+		tail = append(tail, line)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("eccheckd exited dirty: %v\n%s", err, strings.Join(tail, "\n"))
+	}
+	if !containsLine(tail, "eccheckd: drained cleanly") {
+		t.Fatalf("no clean-drain confirmation in output:\n%s", strings.Join(tail, "\n"))
+	}
+}
+
+// awaitListenLine waits for the daemon's listen announcement and returns
+// the address.
+func awaitListenLine(lines <-chan string) (string, error) {
+	const prefix = "eccheckd listening on "
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", io.ErrUnexpectedEOF
+			}
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimSpace(strings.TrimPrefix(line, prefix)), nil
+			}
+		case <-deadline:
+			return "", context.DeadlineExceeded
+		}
+	}
+}
+
+// containsLine reports whether any captured line matches want exactly.
+func containsLine(lines []string, want string) bool {
+	for _, l := range lines {
+		if strings.TrimSpace(l) == want {
+			return true
+		}
+	}
+	return false
+}

@@ -227,6 +227,19 @@ func Initialize(cfg Config) (*System, error) {
 		topo: topo, metrics: reg, flight: rec, killTimers: make(map[int]*time.Timer)}, nil
 }
 
+// RoundHooks observes checkpoint-round lifecycle transitions: RoundStart
+// when a save or load round enters flight, RoundEnd exactly once when it
+// leaves (committed or aborted), including SaveAsync drains that finish on
+// background goroutines long after SaveAsync returned. The eccheckd job
+// registry uses them to account rounds per job; see core.RoundHooks for
+// the callback contract.
+type RoundHooks = core.RoundHooks
+
+// SetRoundHooks installs (or clears, with the zero value) the lifecycle
+// hooks. Callbacks run on protocol goroutines and must not call back into
+// the System.
+func (s *System) SetRoundHooks(h RoundHooks) { s.ckpt.SetRoundHooks(h) }
+
 // Metrics returns a point-in-time snapshot of every counter and histogram
 // the system has recorded: per-phase save/load timings
 // (save_phase_ns{phase,node}), transport traffic per (node, peer) pair,

@@ -45,6 +45,10 @@ type SaveHandle struct {
 	mu     sync.Mutex
 	report *SaveReport
 	err    error
+
+	// onFinal, when set, runs once after the handle completes (outside
+	// the mutex, after Done is closed): the RoundEnd lifecycle hook.
+	onFinal func(report *SaveReport, err error)
 }
 
 func newSaveHandle() *SaveHandle { return &SaveHandle{done: make(chan struct{})} }
@@ -121,6 +125,9 @@ func (h *SaveHandle) complete(report *SaveReport, err error) {
 	h.report, h.err = report, err
 	h.mu.Unlock()
 	close(h.done)
+	if h.onFinal != nil {
+		h.onFinal(report, err)
+	}
 }
 
 // saveMode selects the policy differences between Save and SaveAsync.
@@ -208,6 +215,12 @@ func (c *Checkpointer) startSave(ctx context.Context, dicts []*statedict.StateDi
 		return nil, err
 	}
 	version := int(c.version.Load()) + 1
+	if !mode.guardHeld {
+		// The round is in flight from here; a guardHeld fallback round is
+		// owned by the SaveIncremental caller, which fires its own hooks.
+		c.roundStart(OpSave, version)
+		h.onFinal = func(_ *SaveReport, err error) { c.roundEnd(OpSave, version, err) }
+	}
 
 	ctx, saveSpan := obs.StartSpan(ctx, c.cfg.Metrics, "save")
 	// Everything the round emits after this cursor belongs to it; a

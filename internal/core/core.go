@@ -207,6 +207,10 @@ type Checkpointer struct {
 	// Guarded by memMu; mutated only while the save slot is held.
 	memMu   sync.Mutex
 	custody map[int]*custodyRecord
+
+	// hooks is the installed round-lifecycle observer set (SetRoundHooks);
+	// nil until installed.
+	hooks hookSet
 }
 
 // layout bundles a compiled placement plan with its derived key table and

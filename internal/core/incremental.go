@@ -65,6 +65,9 @@ func (c *Checkpointer) SaveIncremental(ctx context.Context, dicts []*statedict.S
 	if err := c.acquireSave(ctx, false, h); err != nil {
 		return nil, err
 	}
+	version := int(c.version.Load()) + 1
+	c.roundStart(OpIncremental, version)
+	h.onFinal = func(_ *SaveReport, err error) { c.roundEnd(OpIncremental, version, err) }
 	rep, err := c.saveIncrementalLocked(ctx, h, started, dicts)
 	c.releaseSave(h)
 	h.complete(nil, err)

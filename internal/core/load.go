@@ -77,6 +77,16 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 	// it for the terminal event and the postmortem report.
 	pmStart := c.cfg.Flight.Cursor()
 	roundVersion := 0
+	c.roundStart(OpLoad, 0)
+	defer func() {
+		// The flight postmortem defer below runs first (LIFO), so a failed
+		// round's diagnostic report — and its Version — is already final.
+		v := roundVersion
+		if report != nil {
+			v = report.Version
+		}
+		c.roundEnd(OpLoad, v, retErr)
+	}()
 	c.cfg.Flight.RoundBegin("load", 0)
 	defer func() {
 		if retErr == nil {
@@ -620,6 +630,8 @@ func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) (_ []*st
 		return nil, err
 	}
 	defer func() { unregister(retErr) }()
+	c.roundStart(OpRemoteLoad, version)
+	defer func() { c.roundEnd(OpRemoteLoad, version, retErr) }()
 	ctx = c.opCtx(ctx)
 	if version == 0 {
 		for v := int(c.version.Load()); v >= 1; v-- {

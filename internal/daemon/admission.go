@@ -1,0 +1,188 @@
+package daemon
+
+import (
+	"context"
+	"sync"
+)
+
+// slotScheduler is the fleet-wide save-slot admission controller: at most
+// `slots` checkpoint rounds run concurrently across all jobs. Waiters are
+// served FIFO within a job and round-robin across jobs, so a job that
+// queues many saves cannot starve a job that queues one — the classic
+// fair-queuing discipline, sized for tens of jobs rather than millions of
+// flows.
+type slotScheduler struct {
+	mu sync.Mutex
+	// free is the number of unheld slots.
+	free int
+	// queues holds each job's FIFO of waiters; jobs with no waiters are
+	// absent.
+	queues map[string][]*slotWaiter
+	// ring is the round-robin order over jobs with waiters; rr is the
+	// index of the next job to serve.
+	ring []string
+	rr   int
+	// closed fails new acquisitions with ErrDraining.
+	closed bool
+}
+
+// slotWaiter is one queued acquisition.
+type slotWaiter struct {
+	ch chan struct{}
+	// granted marks a waiter that was handed a slot; a cancelled waiter
+	// that lost the race to a grant must release it again.
+	granted bool
+}
+
+func newSlotScheduler(slots int) *slotScheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &slotScheduler{free: slots, queues: make(map[string][]*slotWaiter)}
+}
+
+// Acquire claims one save slot for job, waiting its turn under the
+// fairness discipline. It returns a release func that must be called
+// exactly once, or an error when ctx is cancelled first or the scheduler
+// is closed.
+func (s *slotScheduler) Acquire(ctx context.Context, job string) (func(), error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// A free slot is only taken directly when nobody is queued: an
+	// arriving request must not overtake waiters.
+	if s.free > 0 && len(s.ring) == 0 {
+		s.free--
+		s.mu.Unlock()
+		return s.releaseOnce(), nil
+	}
+	w := &slotWaiter{ch: make(chan struct{})}
+	if len(s.queues[job]) == 0 {
+		s.ring = append(s.ring, job)
+	}
+	s.queues[job] = append(s.queues[job], w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		s.mu.Lock()
+		granted := w.granted
+		s.mu.Unlock()
+		if !granted {
+			// Woken by Close, not by a grant.
+			return nil, ErrDraining
+		}
+		return s.releaseOnce(), nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; pass the slot on.
+			s.grantNextLocked()
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		s.removeWaiterLocked(job, w)
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseOnce returns the release func for one held slot, hardened
+// against double release.
+func (s *slotScheduler) releaseOnce() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.grantNextLocked()
+			s.mu.Unlock()
+		})
+	}
+}
+
+// grantNextLocked hands the freed slot to the next waiter under the
+// round-robin discipline, or returns it to the free pool.
+func (s *slotScheduler) grantNextLocked() {
+	if len(s.ring) == 0 {
+		s.free++
+		return
+	}
+	if s.rr >= len(s.ring) {
+		s.rr = 0
+	}
+	job := s.ring[s.rr]
+	q := s.queues[job]
+	w := q[0]
+	if len(q) == 1 {
+		delete(s.queues, job)
+		s.ring = append(s.ring[:s.rr], s.ring[s.rr+1:]...)
+		// rr now already points at the next job (the slice shifted left);
+		// wrap if the removed job was last.
+		if s.rr >= len(s.ring) {
+			s.rr = 0
+		}
+	} else {
+		s.queues[job] = q[1:]
+		s.rr++
+		if s.rr >= len(s.ring) {
+			s.rr = 0
+		}
+	}
+	w.granted = true
+	close(w.ch)
+}
+
+// removeWaiterLocked drops a cancelled waiter from its job queue.
+func (s *slotScheduler) removeWaiterLocked(job string, w *slotWaiter) {
+	q := s.queues[job]
+	for i, cand := range q {
+		if cand != w {
+			continue
+		}
+		q = append(q[:i], q[i+1:]...)
+		if len(q) == 0 {
+			delete(s.queues, job)
+			for ri, rj := range s.ring {
+				if rj != job {
+					continue
+				}
+				s.ring = append(s.ring[:ri], s.ring[ri+1:]...)
+				if ri < s.rr {
+					s.rr--
+				}
+				if s.rr >= len(s.ring) {
+					s.rr = 0
+				}
+				break
+			}
+		} else {
+			s.queues[job] = q
+		}
+		return
+	}
+}
+
+// Close fails all queued waiters and every future Acquire with
+// ErrDraining. Held slots are unaffected; their releases become no-ops on
+// the free pool.
+func (s *slotScheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for job, q := range s.queues {
+		for _, w := range q {
+			// Not granted: Acquire's ctx branch can no longer run (the
+			// waiter only unblocks via ch), so wake it here. The waiter
+			// checks granted to distinguish grant from shutdown.
+			close(w.ch)
+		}
+		delete(s.queues, job)
+	}
+	s.ring = nil
+	s.rr = 0
+}

@@ -1,0 +1,140 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// queuedWaiters reports how many waiters job has queued, for tests that
+// need to observe the queue settling.
+func (s *slotScheduler) queuedWaiters(job string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[job])
+}
+
+// waitQueued polls until job has n queued waiters.
+func waitQueued(t *testing.T, s *slotScheduler, job string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queuedWaiters(job) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %q never reached %d queued waiters (have %d)", job, n, s.queuedWaiters(job))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSlotSchedulerFairness pins the admission discipline: FIFO within a
+// job, round-robin across jobs. Job A queues three saves and job B one;
+// the grant order must interleave B after A's first grant (A,B,A,A), not
+// drain A's whole queue first.
+func TestSlotSchedulerFairness(t *testing.T) {
+	s := newSlotScheduler(1)
+	ctx := context.Background()
+
+	release, err := s.Acquire(ctx, "seed")
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+
+	order := make(chan string, 4)
+	spawn := func(job string, queued int) {
+		go func() {
+			rel, err := s.Acquire(ctx, job)
+			if err != nil {
+				t.Errorf("acquire %s: %v", job, err)
+				return
+			}
+			order <- job
+			rel()
+		}()
+		waitQueued(t, s, job, queued)
+	}
+	// Enqueue deterministically: A, A, A, then B.
+	spawn("A", 1)
+	spawn("A", 2)
+	spawn("A", 3)
+	spawn("B", 1)
+
+	release()
+	want := []string{"A", "B", "A", "A"}
+	for i, w := range want {
+		select {
+		case got := <-order:
+			if got != w {
+				t.Fatalf("grant %d went to %s, want %s (round-robin across jobs)", i, got, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant %d never arrived", i)
+		}
+	}
+}
+
+// TestSlotSchedulerCancel removes a cancelled waiter from the queue and
+// keeps granting past it.
+func TestSlotSchedulerCancel(t *testing.T) {
+	s := newSlotScheduler(1)
+	release, err := s.Acquire(context.Background(), "seed")
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "A")
+		errc <- err
+	}()
+	waitQueued(t, s, "A", 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	waitQueued(t, s, "A", 0)
+
+	// The slot still flows to the next waiter.
+	got := make(chan struct{})
+	go func() {
+		rel, err := s.Acquire(context.Background(), "B")
+		if err != nil {
+			t.Errorf("acquire B: %v", err)
+			return
+		}
+		close(got)
+		rel()
+	}()
+	waitQueued(t, s, "B", 1)
+	release()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("B never granted after cancellation cleaned the queue")
+	}
+}
+
+// TestSlotSchedulerClose fails queued waiters and later acquisitions with
+// ErrDraining.
+func TestSlotSchedulerClose(t *testing.T) {
+	s := newSlotScheduler(1)
+	release, err := s.Acquire(context.Background(), "seed")
+	if err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(context.Background(), "A")
+		errc <- err
+	}()
+	waitQueued(t, s, "A", 1)
+	s.Close()
+	if err := <-errc; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter got %v, want ErrDraining", err)
+	}
+	if _, err := s.Acquire(context.Background(), "B"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close acquire got %v, want ErrDraining", err)
+	}
+	release() // held slots release without panicking after close
+}

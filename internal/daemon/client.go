@@ -1,0 +1,184 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the Go client for the eccheckd /v1 API, used by eccheckctl,
+// the daemon-smoke CI gate and the package tests. Non-2xx responses come
+// back as *APIError values whose errors.Is matches the daemon's typed
+// sentinels (ErrJobExists, ErrMemoryQuota, ...).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets an eccheckd at baseURL (e.g. "http://127.0.0.1:7070").
+func NewClient(baseURL string) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{base: baseURL, hc: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+// APIError is a non-2xx response decoded from the daemon's JSON error
+// envelope.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the stable machine-readable code from the body.
+	Code string
+	// Message is the human-readable error.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("eccheckd: %s (http %d, code %s)", e.Message, e.StatusCode, e.Code)
+}
+
+// Unwrap maps the wire code back to the daemon's typed sentinel so
+// errors.Is(err, daemon.ErrMemoryQuota) works across the HTTP boundary.
+func (e *APIError) Unwrap() error { return codeError(e.Code) }
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb ErrorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Code: eb.Code, Message: eb.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: "internal",
+			Message: fmt.Sprintf("%s %s: %s", method, path, bytes.TrimSpace(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Register creates a job.
+func (c *Client) Register(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Save runs one admission-controlled checkpoint round.
+func (c *Client) Save(ctx context.Context, id string, req SaveRequest) (*SaveResponse, error) {
+	var resp SaveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/save", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Load recovers and byte-verifies the job's latest checkpoint.
+func (c *Client) Load(ctx context.Context, id string) (*LoadResponse, error) {
+	var resp LoadResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/load", LoadRequest{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Fail injects a machine failure into the job's fleet.
+func (c *Client) Fail(ctx context.Context, id string, req FailRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/fail", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status snapshots one job.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List snapshots every registered job.
+func (c *Client) List(ctx context.Context) (*ListResponse, error) {
+	var resp ListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete unregisters a job and tears its fleet down.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// MetricsText fetches the daemon's /metrics Prometheus exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("eccheckd: /metrics returned %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}

@@ -1,0 +1,373 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eccheck"
+	"eccheck/internal/obs"
+)
+
+// Config parameterises a Daemon.
+type Config struct {
+	// MaxConcurrentSaves bounds checkpoint rounds in flight fleet-wide
+	// (the admission-control slot count). Default 1: saves from different
+	// jobs strictly serialize.
+	MaxConcurrentSaves int
+	// TenantMemoryBytes is the per-tenant host-memory quota charged by
+	// job registrations (coded checkpoint footprint). 0 selects the
+	// default (2 GiB); negative disables the check.
+	TenantMemoryBytes int64
+	// TenantBandwidth is the per-tenant remote-tier bandwidth quota in
+	// bytes/second. 0 selects the default (1.25 GB/s — room for two
+	// default jobs); negative disables the check.
+	TenantBandwidth float64
+	// DefaultFlightEvents sizes job flight-recorder rings when the spec
+	// leaves FlightEvents zero. 0 selects the default (4096).
+	DefaultFlightEvents int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentSaves == 0 {
+		c.MaxConcurrentSaves = 1
+	}
+	switch {
+	case c.TenantMemoryBytes == 0:
+		c.TenantMemoryBytes = 2 << 30
+	case c.TenantMemoryBytes < 0:
+		c.TenantMemoryBytes = 0
+	}
+	switch {
+	case c.TenantBandwidth == 0:
+		c.TenantBandwidth = 1.25e9
+	case c.TenantBandwidth < 0:
+		c.TenantBandwidth = 0
+	}
+	if c.DefaultFlightEvents == 0 {
+		c.DefaultFlightEvents = 4096
+	}
+	return c
+}
+
+// Daemon is the eccheckd control plane: the job registry, the admission
+// controller, the quota ledger and the metric registry behind the HTTP
+// API. Build one with New, serve its Mux, and Shutdown on SIGTERM.
+type Daemon struct {
+	cfg   Config
+	reg   *obs.Registry
+	sched *slotScheduler
+	quo   *quotaLedger
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	creating map[string]bool
+	draining bool
+	// ops tracks in-flight checkpoint-affecting requests so Shutdown can
+	// drain them.
+	ops sync.WaitGroup
+}
+
+// New builds a Daemon. Serve its Mux with obs.ServeMux (or any
+// http.Server) and call Shutdown to drain it.
+func New(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	return &Daemon{
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		sched:    newSlotScheduler(cfg.MaxConcurrentSaves),
+		quo:      newQuotaLedger(cfg.TenantMemoryBytes, cfg.TenantBandwidth),
+		jobs:     make(map[string]*job),
+		creating: make(map[string]bool),
+	}
+}
+
+// Metrics returns the daemon-level registry: admission, quota and
+// lifecycle counters with per-job labels, served at /metrics.
+func (d *Daemon) Metrics() *obs.Registry { return d.reg }
+
+// beginOp admits one checkpoint-affecting request, rejecting it when the
+// daemon is draining. The returned func must be called when the request
+// finishes.
+func (d *Daemon) beginOp() (func(), error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return nil, ErrDraining
+	}
+	d.ops.Add(1)
+	return d.ops.Done, nil
+}
+
+// lookup resolves a job id.
+func (d *Daemon) lookup(id string) (*job, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return j, nil
+}
+
+// Register creates a job from spec: defaults, validation, quota
+// reservation, fleet construction, lifecycle hooks, registry insertion.
+func (d *Daemon) Register(spec JobSpec) (*JobStatus, error) {
+	done, err := d.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	spec = spec.withDefaults(d.cfg.DefaultFlightEvents)
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	// Claim the id before the (slow) fleet build so two concurrent
+	// registrations of the same id cannot both succeed.
+	d.mu.Lock()
+	if _, ok := d.jobs[spec.ID]; ok || d.creating[spec.ID] {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrJobExists, spec.ID)
+	}
+	d.creating[spec.ID] = true
+	d.mu.Unlock()
+	unclaim := func() {
+		d.mu.Lock()
+		delete(d.creating, spec.ID)
+		d.mu.Unlock()
+	}
+
+	j, err := newJob(spec)
+	if err != nil {
+		unclaim()
+		return nil, err
+	}
+	if err := d.quo.reserve(spec.Tenant, j.memReserved, j.bwReserved); err != nil {
+		unclaim()
+		_ = j.sys.Close()
+		quota := "memory"
+		if errors.Is(err, ErrBandwidthQuota) {
+			quota = "bandwidth"
+		}
+		d.reg.Counter("eccheckd_quota_rejected_total",
+			obs.L("tenant", spec.Tenant), obs.L("quota", quota)).Inc()
+		return nil, err
+	}
+
+	// Round-lifecycle hooks: every round the job's System runs — the
+	// HTTP-driven ones and any background drain — lands in the daemon
+	// registry under the job's label, which is what makes admission
+	// serialization observable at /metrics.
+	j.sys.SetRoundHooks(eccheck.RoundHooks{
+		RoundStart: func(op string, version int) {
+			d.reg.Counter("eccheckd_job_rounds_started_total",
+				obs.L("job", spec.ID), obs.L("op", op)).Inc()
+		},
+		RoundEnd: func(op string, version int, err error) {
+			d.reg.Counter("eccheckd_job_rounds_finished_total",
+				obs.L("job", spec.ID), obs.L("op", op)).Inc()
+			if err != nil {
+				d.reg.Counter("eccheckd_job_round_failures_total",
+					obs.L("job", spec.ID), obs.L("op", op)).Inc()
+			}
+		},
+	})
+
+	d.mu.Lock()
+	delete(d.creating, spec.ID)
+	d.jobs[spec.ID] = j
+	d.mu.Unlock()
+	d.reg.Counter("eccheckd_jobs_registered_total", obs.L("tenant", spec.Tenant)).Inc()
+	st := j.status()
+	return &st, nil
+}
+
+// Save runs one admission-controlled checkpoint round for the job: queue
+// for the fleet-wide save slot (FIFO within the job, round-robin across
+// jobs), then advance the simulated training and save.
+func (d *Daemon) Save(ctx context.Context, id string, req SaveRequest) (*SaveResponse, error) {
+	done, err := d.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	j, err := d.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+
+	waitStart := time.Now()
+	release, err := d.sched.Acquire(ctx, id)
+	if err != nil {
+		d.reg.Counter("eccheckd_save_slot_rejected_total", obs.L("job", id)).Inc()
+		return nil, err
+	}
+	wait := time.Since(waitStart)
+	d.reg.Counter("eccheckd_save_slot_grants_total", obs.L("job", id)).Inc()
+	d.reg.Histogram("eccheckd_save_slot_wait_ns", obs.L("job", id)).ObserveDuration(wait)
+	holdStart := time.Now()
+	defer func() {
+		d.reg.Histogram("eccheckd_save_slot_hold_ns", obs.L("job", id)).ObserveDuration(time.Since(holdStart))
+		release()
+	}()
+
+	rep, err := j.save(ctx, req.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &SaveResponse{Job: j.status(), Report: rep, SlotWait: wait}, nil
+}
+
+// Load recovers the job's latest checkpoint and byte-verifies the
+// recovered training position. Loads are latency-critical and bypass the
+// save-slot queue (the engine itself orders a load after any in-flight
+// save drain on the same job).
+func (d *Daemon) Load(ctx context.Context, id string) (*LoadResponse, error) {
+	done, err := d.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	j, err := d.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	rep, verified, err := j.load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadResponse{Job: j.status(), Report: rep, VerifiedStep: verified}, nil
+}
+
+// Fail injects a machine failure into the job's fleet.
+func (d *Daemon) Fail(id string, req FailRequest) (*JobStatus, error) {
+	done, err := d.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	j, err := d.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	replace := true
+	if req.Replace != nil {
+		replace = *req.Replace
+	}
+	if err := j.fail(req.Node, replace); err != nil {
+		return nil, err
+	}
+	d.reg.Counter("eccheckd_node_failures_injected_total", obs.L("job", id)).Inc()
+	st := j.status()
+	return &st, nil
+}
+
+// Status snapshots one job.
+func (d *Daemon) Status(id string) (*JobStatus, error) {
+	j, err := d.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	st := j.status()
+	return &st, nil
+}
+
+// List snapshots every registered job, ordered by id.
+func (d *Daemon) List() ListResponse {
+	d.mu.Lock()
+	jobs := make([]*job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		jobs = append(jobs, j)
+	}
+	d.mu.Unlock()
+	out := ListResponse{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.status())
+	}
+	sort.Slice(out.Jobs, func(a, b int) bool { return out.Jobs[a].ID < out.Jobs[b].ID })
+	return out
+}
+
+// Delete unregisters a job: it leaves the registry immediately (no new
+// requests can reach it), its fleet is torn down — cancelling any
+// in-flight round — and its quota reservations return to the tenant.
+func (d *Daemon) Delete(id string) error {
+	done, err := d.beginOp()
+	if err != nil {
+		return err
+	}
+	defer done()
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	delete(d.jobs, id)
+	d.mu.Unlock()
+	errClose := j.close()
+	d.quo.release(j.spec.Tenant, j.memReserved, j.bwReserved)
+	d.reg.Counter("eccheckd_jobs_deleted_total", obs.L("tenant", j.spec.Tenant)).Inc()
+	return errClose
+}
+
+// Draining reports whether Shutdown has begun.
+func (d *Daemon) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Shutdown drains the daemon gracefully: new work is rejected with
+// ErrDraining, in-flight requests — including queued save-slot waiters —
+// are given until ctx expires to finish, then every job's fleet is torn
+// down (which cancels whatever is still running). A clean drain returns
+// nil; an expired ctx surfaces as its error after the forced teardown.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return nil
+	}
+	d.draining = true
+	d.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		d.ops.Wait()
+		close(drained)
+	}()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("daemon: drain cut short: %w", ctx.Err())
+	}
+
+	// No new acquisitions can arrive (beginOp rejects them); fail any
+	// stragglers still queued so their requests unwind.
+	d.sched.Close()
+
+	d.mu.Lock()
+	jobs := make([]*job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		jobs = append(jobs, j)
+	}
+	d.jobs = make(map[string]*job)
+	d.mu.Unlock()
+	for _, j := range jobs {
+		// A job whose round was cancelled mid-drain reports it via Close;
+		// the checkpoint state is still consistent, so a forced teardown
+		// only propagates the ctx error already recorded.
+		if err := j.close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+		d.quo.release(j.spec.Tenant, j.memReserved, j.bwReserved)
+	}
+	return drainErr
+}

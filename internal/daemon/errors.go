@@ -1,0 +1,101 @@
+// Package daemon is the eccheckd control plane: a long-running service
+// that multiplexes many concurrent training jobs — each wrapping one
+// eccheck.System lifecycle (create → saves/loads → close) — over shared
+// simulated node fleets, behind a stdlib HTTP/JSON API.
+//
+// The daemon adds the three things a shared fleet needs that the library
+// does not provide:
+//
+//   - a job registry owning each job's System, simulated training state
+//     and lifecycle;
+//   - admission control: at most Config.MaxConcurrentSaves checkpoint
+//     rounds run fleet-wide, granted FIFO within a job and round-robin
+//     across jobs, so one chatty tenant cannot starve the rest;
+//   - per-tenant quotas on host memory and remote-tier bandwidth,
+//     enforced at registration with typed errors that surface as
+//     429/409/404 JSON bodies over HTTP.
+//
+// Every admission and lifecycle decision is recorded in a daemon-level
+// obs.Registry with per-job metric labels, served on the same mux as the
+// debug endpoints (/metrics), so slot serialization is observable from
+// the outside.
+package daemon
+
+import (
+	"errors"
+	"net/http"
+
+	"eccheck/internal/core"
+)
+
+// Typed control-plane errors. HTTP handlers map them to status codes and
+// machine-readable body codes (see errorCode); the Go client maps the
+// codes back so errors.Is works across the wire.
+var (
+	// ErrJobExists rejects a registration whose job id is already taken.
+	ErrJobExists = errors.New("daemon: job id already registered")
+	// ErrJobNotFound rejects an operation on an unknown job id.
+	ErrJobNotFound = errors.New("daemon: no such job")
+	// ErrMemoryQuota rejects a registration that would push its tenant
+	// over the per-tenant host-memory quota.
+	ErrMemoryQuota = errors.New("daemon: tenant host-memory quota exceeded")
+	// ErrBandwidthQuota rejects a registration that would push its tenant
+	// over the per-tenant remote-tier bandwidth quota.
+	ErrBandwidthQuota = errors.New("daemon: tenant remote-bandwidth quota exceeded")
+	// ErrDraining rejects new work while the daemon is shutting down;
+	// in-flight rounds are allowed to finish.
+	ErrDraining = errors.New("daemon: draining, not accepting new work")
+	// ErrBadRequest rejects a malformed or invalid request body.
+	ErrBadRequest = errors.New("daemon: bad request")
+)
+
+// errorCode maps a control-plane error to its HTTP status and the stable
+// machine-readable code carried in the JSON error body.
+func errorCode(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, ErrJobExists):
+		return http.StatusConflict, "job-exists"
+	case errors.Is(err, ErrJobNotFound):
+		return http.StatusNotFound, "not-found"
+	case errors.Is(err, ErrMemoryQuota):
+		return http.StatusTooManyRequests, "quota-memory"
+	case errors.Is(err, ErrBandwidthQuota):
+		return http.StatusTooManyRequests, "quota-bandwidth"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, "bad-request"
+	case errors.Is(err, core.ErrClosed):
+		return http.StatusConflict, "job-closed"
+	case errors.Is(err, core.ErrSaveInFlight):
+		return http.StatusConflict, "save-in-flight"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// codeError maps a wire code back to its sentinel, for the Go client's
+// errors.Is support. Unknown codes map to nil (the *APIError itself is
+// still returned).
+func codeError(code string) error {
+	switch code {
+	case "job-exists":
+		return ErrJobExists
+	case "not-found":
+		return ErrJobNotFound
+	case "quota-memory":
+		return ErrMemoryQuota
+	case "quota-bandwidth":
+		return ErrBandwidthQuota
+	case "draining":
+		return ErrDraining
+	case "bad-request":
+		return ErrBadRequest
+	case "job-closed":
+		return core.ErrClosed
+	case "save-in-flight":
+		return core.ErrSaveInFlight
+	default:
+		return nil
+	}
+}

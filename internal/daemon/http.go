@@ -1,0 +1,159 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"eccheck/internal/obs"
+)
+
+// Mux builds the daemon's full HTTP surface: the obs debug endpoints
+// (/metrics, /metrics.json, /debug/pprof/*) backed by the daemon-level
+// registry, plus the /v1 control-plane API:
+//
+//	POST   /v1/jobs           register a job (JobSpec body)
+//	GET    /v1/jobs           list all jobs
+//	GET    /v1/jobs/{id}      job status, incl. last reports + postmortems
+//	DELETE /v1/jobs/{id}      unregister and tear the fleet down
+//	POST   /v1/jobs/{id}/save admission-controlled checkpoint round
+//	POST   /v1/jobs/{id}/load recover + byte-verify the latest checkpoint
+//	POST   /v1/jobs/{id}/fail inject a machine failure
+//	GET    /healthz           "ok" (200) or "draining" (503)
+//
+// Errors are JSON ErrorBody envelopes with stable codes; quota
+// rejections are 429, double registrations 409, unknown jobs 404.
+func (d *Daemon) Mux() *http.ServeMux {
+	mux := obs.DebugMux(d.reg, nil)
+	mux.HandleFunc("POST /v1/jobs", d.handleRegister)
+	mux.HandleFunc("GET /v1/jobs", d.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleDelete)
+	mux.HandleFunc("POST /v1/jobs/{id}/save", d.handleSave)
+	mux.HandleFunc("POST /v1/jobs/{id}/load", d.handleLoad)
+	mux.HandleFunc("POST /v1/jobs/{id}/fail", d.handleFail)
+	mux.HandleFunc("GET /healthz", d.handleHealth)
+	return mux
+}
+
+// decodeBody parses a JSON request body into dst. An empty body is
+// allowed (dst keeps its zero value) so `curl -X POST` works bare.
+func decodeBody(r *http.Request, dst any) error {
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return errors.Join(ErrBadRequest, err)
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return errors.Join(ErrBadRequest, err)
+	}
+	return nil
+}
+
+// writeJSON renders a 2xx JSON response and counts it per route.
+func (d *Daemon) writeJSON(w http.ResponseWriter, route string, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+	d.countResponse(route, status)
+}
+
+// writeError renders the typed-error JSON envelope and counts it.
+func (d *Daemon) writeError(w http.ResponseWriter, route string, err error) {
+	status, code := errorCode(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: err.Error(), Code: code})
+	d.countResponse(route, status)
+}
+
+func (d *Daemon) countResponse(route string, status int) {
+	d.reg.Counter("eccheckd_http_responses_total",
+		obs.L("route", route), obs.L("code", strconv.Itoa(status))).Inc()
+}
+
+func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeBody(r, &spec); err != nil {
+		d.writeError(w, "register", err)
+		return
+	}
+	st, err := d.Register(spec)
+	if err != nil {
+		d.writeError(w, "register", err)
+		return
+	}
+	d.writeJSON(w, "register", http.StatusCreated, st)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	d.writeJSON(w, "list", http.StatusOK, d.List())
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := d.Status(r.PathValue("id"))
+	if err != nil {
+		d.writeError(w, "status", err)
+		return
+	}
+	d.writeJSON(w, "status", http.StatusOK, st)
+}
+
+func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := d.Delete(r.PathValue("id")); err != nil {
+		d.writeError(w, "delete", err)
+		return
+	}
+	d.writeJSON(w, "delete", http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+func (d *Daemon) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req SaveRequest
+	if err := decodeBody(r, &req); err != nil {
+		d.writeError(w, "save", err)
+		return
+	}
+	resp, err := d.Save(r.Context(), r.PathValue("id"), req)
+	if err != nil {
+		d.writeError(w, "save", err)
+		return
+	}
+	d.writeJSON(w, "save", http.StatusOK, resp)
+}
+
+func (d *Daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
+	resp, err := d.Load(r.Context(), r.PathValue("id"))
+	if err != nil {
+		d.writeError(w, "load", err)
+		return
+	}
+	d.writeJSON(w, "load", http.StatusOK, resp)
+}
+
+func (d *Daemon) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if err := decodeBody(r, &req); err != nil {
+		d.writeError(w, "fail", err)
+		return
+	}
+	st, err := d.Fail(r.PathValue("id"), req)
+	if err != nil {
+		d.writeError(w, "fail", err)
+		return
+	}
+	d.writeJSON(w, "fail", http.StatusOK, st)
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if d.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,63 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// quotaLedger accounts per-tenant reservations of the two resources a
+// registered job consumes for its whole lifetime: host memory for the
+// coded checkpoint footprint, and remote-tier bandwidth for the persist
+// path. Reservations are charged at registration and released at
+// deletion; a registration that would exceed either limit is rejected
+// with a typed error before any fleet is built.
+type quotaLedger struct {
+	mu sync.Mutex
+	// memLimit and bwLimit are the per-tenant ceilings; 0 disables the
+	// corresponding check.
+	memLimit int64
+	bwLimit  float64
+	mem      map[string]int64
+	bw       map[string]float64
+}
+
+func newQuotaLedger(memLimit int64, bwLimit float64) *quotaLedger {
+	return &quotaLedger{
+		memLimit: memLimit,
+		bwLimit:  bwLimit,
+		mem:      make(map[string]int64),
+		bw:       make(map[string]float64),
+	}
+}
+
+// reserve charges tenant for one job's footprint, atomically across both
+// resources: either both fit and are charged, or neither is.
+func (q *quotaLedger) reserve(tenant string, memBytes int64, bandwidth float64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.memLimit > 0 && q.mem[tenant]+memBytes > q.memLimit {
+		return fmt.Errorf("%w: tenant %q needs %d B on top of %d B reserved, limit %d B",
+			ErrMemoryQuota, tenant, memBytes, q.mem[tenant], q.memLimit)
+	}
+	if q.bwLimit > 0 && q.bw[tenant]+bandwidth > q.bwLimit {
+		return fmt.Errorf("%w: tenant %q needs %.0f B/s on top of %.0f B/s reserved, limit %.0f B/s",
+			ErrBandwidthQuota, tenant, bandwidth, q.bw[tenant], q.bwLimit)
+	}
+	q.mem[tenant] += memBytes
+	q.bw[tenant] += bandwidth
+	return nil
+}
+
+// release returns a deleted job's reservations to its tenant.
+func (q *quotaLedger) release(tenant string, memBytes int64, bandwidth float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.mem[tenant] -= memBytes
+	q.bw[tenant] -= bandwidth
+	if q.mem[tenant] <= 0 {
+		delete(q.mem, tenant)
+	}
+	if q.bw[tenant] <= 0 {
+		delete(q.bw, tenant)
+	}
+}

@@ -33,7 +33,7 @@ func (d *DebugServer) Close() error {
 	return d.srv.Close()
 }
 
-// ServeDebug starts a stdlib HTTP debug server on addr exposing
+// DebugMux builds the debug endpoint set on a fresh mux:
 //
 //   - /metrics       — the registry's Prometheus exposition text
 //   - /metrics.json  — the same snapshot as JSON
@@ -42,8 +42,10 @@ func (d *DebugServer) Close() error {
 //   - /debug/pprof/* — the standard runtime profiles
 //
 // reg and rec may each be nil; their endpoints then serve empty
-// documents. The server runs on its own mux and goroutine until Close.
-func ServeDebug(addr string, reg *Registry, rec *flight.Recorder) (*DebugServer, error) {
+// documents. Callers that need more than the debug surface (the eccheckd
+// control plane) register their own routes on the returned mux and serve
+// it with ServeMux.
+func DebugMux(reg *Registry, rec *flight.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -69,7 +71,13 @@ func ServeDebug(addr string, reg *Registry, rec *flight.Recorder) (*DebugServer,
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// ServeMux binds mux on addr and serves it on a background goroutine
+// until Close. The returned server's Addr reports the bound address
+// (useful with a ":0" bind).
+func ServeMux(addr string, mux *http.ServeMux) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -77,4 +85,12 @@ func ServeDebug(addr string, reg *Registry, rec *flight.Recorder) (*DebugServer,
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// ServeDebug starts a stdlib HTTP debug server on addr exposing the
+// DebugMux endpoint set. reg and rec may each be nil; their endpoints
+// then serve empty documents. The server runs on its own mux and
+// goroutine until Close.
+func ServeDebug(addr string, reg *Registry, rec *flight.Recorder) (*DebugServer, error) {
+	return ServeMux(addr, DebugMux(reg, rec))
 }
