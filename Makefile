@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke daemon-smoke vulncheck metrics-demo trace-demo
+.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke restore-smoke daemon-smoke vulncheck metrics-demo trace-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
 check: fmt vet build test race smoke doclint allocgate
@@ -65,6 +65,16 @@ chaos-soak:
 # the BENCH_6.json sweep reproducible without running the full thing.
 scale-smoke:
 	$(GO) run ./cmd/eccheck-bench -scale-smoke
+
+# Fast-restore smoke: a budgeted 16-node restore sweep under the race
+# detector — full load, lazy partial load of the hot MoE ranks, and the
+# catastrophic remote path serial vs pooled. Fails if the partial restore
+# stops fetching strictly fewer bytes than the full one or the pooled
+# remote restore stops beating the serial baseline — the guard that keeps
+# the BENCH_7.json restore story reproducible without running the full
+# study.
+restore-smoke:
+	$(GO) run -race ./cmd/eccheck-bench -restore-smoke
 
 # End-to-end service gate for the eccheckd control plane: builds the real
 # binary, boots it on a loopback port, registers two jobs over HTTP, drives

@@ -15,6 +15,8 @@
 //	eccheck-bench -elastic-out BENCH_5.json
 //	eccheck-bench -scale-out BENCH_6.json
 //	eccheck-bench -scale-smoke
+//	eccheck-bench -restore-out BENCH_7.json
+//	eccheck-bench -restore-smoke
 //
 // -metrics-out additionally runs one fully instrumented functional
 // checkpoint round (save, integrity verification, failure, recovery) on a
@@ -187,6 +189,8 @@ func run() int {
 	nodes := flag.Int("nodes", 4, "node count for the -bench-out save-round cluster (multiple of 4; k=m=nodes/2)")
 	scaleOut := flag.String("scale-out", "", "run the 4-256 node streaming scale-out sweep with phase-coarse baselines and write the JSON snapshot (BENCH_6.json schema) to this file")
 	scaleSmoke := flag.Bool("scale-smoke", false, "run the quick 64-node streaming smoke point (the CI scale guard) and exit")
+	restoreOut := flag.String("restore-out", "", "run the fast-restore study (full vs lazy partial vs remote serial/pooled on the MoE workload) and write the JSON snapshot (BENCH_7.json schema) to this file")
+	restoreSmoke := flag.Bool("restore-smoke", false, "run the quick 16-node budgeted restore sweep (the CI restore guard) and exit")
 	stallOut := flag.String("stall-out", "", "measure sync Save wall time vs SaveAsync blocking time vs the offload-phase floor and write the JSON snapshot to this file")
 	elasticOut := flag.String("elastic-out", "", "measure the membership-churn byte and wall-time breakdown (crash+full re-encode vs drain+delta parity) and write the JSON snapshot to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof on this address while experiments run (experiments build their own systems, so /metrics and /trace are empty here; use eccheck-sim -debug-addr for those)")
@@ -212,7 +216,8 @@ func run() int {
 
 	selected := flag.Args()
 	if len(selected) == 0 && *metricsOut == "" && *benchOut == "" && *stallOut == "" &&
-		*elasticOut == "" && *scaleOut == "" && !*scaleSmoke {
+		*elasticOut == "" && *scaleOut == "" && !*scaleSmoke &&
+		*restoreOut == "" && !*restoreSmoke {
 		for _, e := range exps {
 			selected = append(selected, e.name)
 		}
@@ -282,6 +287,20 @@ func run() int {
 	if *scaleSmoke {
 		if err := runScaleSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "scale smoke: %v\n", err)
+			failed = true
+		}
+	}
+	if *restoreOut != "" {
+		if err := runRestoreOut(*restoreOut); err != nil {
+			fmt.Fprintf(os.Stderr, "restore dump: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote restore snapshot to %s\n", *restoreOut)
+		}
+	}
+	if *restoreSmoke {
+		if err := runRestoreSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "restore smoke: %v\n", err)
 			failed = true
 		}
 	}

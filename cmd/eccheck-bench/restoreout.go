@@ -1,0 +1,144 @@
+package main
+
+// Fast-restore study: the three recovery paths (full in-memory load,
+// lazy partial load of the hot MoE ranks, catastrophic restore from the
+// remote tier serial vs pooled) measured on one skewed workload.
+// runRestoreOut produces the committed BENCH_7.json snapshot;
+// runRestoreSmoke is the CI guard — a 16-node fleet, reduced rounds,
+// that fails when the lazy path stops being lazy or the pooled
+// catastrophic restore stops beating the serial baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"eccheck/internal/harness"
+	"eccheck/internal/model"
+)
+
+// restoreDump is the machine-readable BENCH_7.json snapshot.
+type restoreDump struct {
+	Schema string   `json:"schema"`
+	Env    benchEnv `json:"env"`
+	// Study configuration, so successive dumps are comparable.
+	Nodes         int   `json:"nodes"`
+	GPUsPerNode   int   `json:"gpus_per_node"`
+	World         int   `json:"world"`
+	K             int   `json:"k"`
+	M             int   `json:"m"`
+	BufferBytes   int   `json:"buffer_bytes"`
+	RemoteStallNs int64 `json:"remote_stall_ns"`
+	BudgetNs      int64 `json:"budget_ns"`
+	Rounds        int   `json:"rounds"`
+	PayloadBytes  int64 `json:"payload_bytes"`
+	// Full in-memory restore (median over rounds).
+	FullNs               int64 `json:"full_load_ns"`
+	FullBytesFetched     int64 `json:"full_bytes_fetched"`
+	FullDeadlineExceeded bool  `json:"full_deadline_exceeded"`
+	// Lazy restore of the hot MoE ranks.
+	HotRanks             []int   `json:"hot_ranks"`
+	PartialNs            int64   `json:"partial_load_ns"`
+	PartialBytesFetched  int64   `json:"partial_bytes_fetched"`
+	PartialWorkflow      string  `json:"partial_workflow"`
+	PartialBytesFraction float64 `json:"partial_bytes_fraction"`
+	// Catastrophic restore from the remote tier.
+	RemoteSerialNs   int64   `json:"remote_serial_ns"`
+	RemoteParallelNs int64   `json:"remote_parallel_ns"`
+	RemoteWorkers    int     `json:"remote_workers"`
+	RemoteSpeedup    float64 `json:"remote_speedup"`
+}
+
+// restoreDumpOf maps the harness result into the JSON schema.
+func restoreDumpOf(cfg harness.RestoreConfig, res *harness.RestoreResult) restoreDump {
+	frac := 0.0
+	if res.FullBytes > 0 {
+		frac = float64(res.PartialBytes) / float64(res.FullBytes)
+	}
+	return restoreDump{
+		Schema:               "eccheck-restore/v1",
+		Env:                  scaleEnv(),
+		Nodes:                res.Nodes,
+		GPUsPerNode:          cfg.GPUsPerNode,
+		World:                res.World,
+		K:                    res.K,
+		M:                    res.M,
+		BufferBytes:          cfg.BufferSize,
+		RemoteStallNs:        cfg.RemoteStall.Nanoseconds(),
+		BudgetNs:             cfg.Budget.Nanoseconds(),
+		Rounds:               cfg.Rounds,
+		PayloadBytes:         res.PayloadBytes,
+		FullNs:               res.FullElapsed.Nanoseconds(),
+		FullBytesFetched:     res.FullBytes,
+		FullDeadlineExceeded: res.FullDeadlineExceeded,
+		HotRanks:             res.HotRanks,
+		PartialNs:            res.PartialElapsed.Nanoseconds(),
+		PartialBytesFetched:  res.PartialBytes,
+		PartialWorkflow:      res.PartialWorkflow,
+		PartialBytesFraction: frac,
+		RemoteSerialNs:       res.RemoteSerial.Nanoseconds(),
+		RemoteParallelNs:     res.RemoteParallel.Nanoseconds(),
+		RemoteWorkers:        res.RemoteWorkers,
+		RemoteSpeedup:        res.RemoteSpeedup,
+	}
+}
+
+// runRestoreOut runs the full fast-restore study and writes the
+// BENCH_7.json snapshot. The table also prints to stderr so interactive
+// runs see the numbers without opening the file.
+func runRestoreOut(path string) error {
+	cfg := harness.DefaultRestoreConfig()
+	res, err := harness.RestoreStudy(os.Stderr, cfg)
+	if err != nil {
+		return err
+	}
+	dump := restoreDumpOf(cfg, res)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// restoreSmokeConfig is the reduced 16-node point `make restore-smoke`
+// runs under -race. The smoke's serial-vs-pooled assertion must hold on
+// any CI box, so the point is built to be latency-dominated: a tiny MoE
+// payload (decode cost near zero, even with the race detector inflating
+// compute) against a 2ms remote stall — the serial sweep pays
+// world × stall in sequence while the pool overlaps them, a contrast
+// scheduling noise cannot invert.
+func restoreSmokeConfig() harness.RestoreConfig {
+	cfg := harness.DefaultRestoreConfig()
+	cfg.GPUsPerNode = 1
+	cfg.Rounds = 2
+	cfg.MoE = model.MoEConfig{Experts: 16, HotExperts: 2, Hidden: 32, FFN: 64}
+	cfg.RemoteStall = 2 * time.Millisecond
+	cfg.FlightEvents = 1024
+	return cfg
+}
+
+// runRestoreSmoke is the CI guard: a 16-node budgeted restore sweep that
+// fails when any path errors, when the lazy restore stops fetching fewer
+// bytes than the full one (the harness already enforces that), or when
+// the pooled catastrophic restore stops beating the serial baseline.
+func runRestoreSmoke() error {
+	res, err := harness.RestoreStudy(os.Stdout, restoreSmokeConfig())
+	if err != nil {
+		return err
+	}
+	if res.FullElapsed <= 0 || res.PartialElapsed <= 0 {
+		return fmt.Errorf("restore smoke: degenerate measurement: %+v", res)
+	}
+	if res.RemoteParallel >= res.RemoteSerial {
+		return fmt.Errorf("restore smoke: pooled remote restore (%v, %d workers) did not beat serial (%v)",
+			res.RemoteParallel, res.RemoteWorkers, res.RemoteSerial)
+	}
+	return nil
+}

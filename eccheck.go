@@ -83,6 +83,17 @@ type Config struct {
 	// crashing mid-save surfaces as a bounded error instead of a hang.
 	// 0 selects the default (60s); negative disables deadlines.
 	OpTimeout time.Duration
+	// RestoreWorkers bounds the fan-out of the restore paths: the remote
+	// rank fetch pool in LoadFromRemote and the per-stage worker pools of
+	// LoadPartial and PrefetchNode. 0 selects the default (8); 1 is the
+	// serial baseline the restore bench compares against.
+	RestoreWorkers int
+	// LoadBudget is the restore-latency SLO. It is observational, not a
+	// hard deadline: a recovery that overruns still completes, but its
+	// LoadReport comes back with DeadlineExceeded set, a postmortem event
+	// tail attached (when the flight recorder is on), and the overrun
+	// counted in load_budget_exceeded_total. 0 disables budgeting.
+	LoadBudget time.Duration
 	// FlightEvents, when positive, enables the flight recorder: a bounded
 	// in-memory ring of the last FlightEvents protocol events (round
 	// begin/end, phase spans, per-peer transfers, chaos injections,
@@ -210,6 +221,8 @@ func Initialize(cfg Config) (*System, error) {
 		RemotePersistEvery: persistEvery,
 		IncrementalCache:   cfg.Incremental,
 		OpTimeout:          cfg.OpTimeout,
+		RestoreWorkers:     cfg.RestoreWorkers,
+		LoadBudget:         cfg.LoadBudget,
 		Metrics:            reg,
 		Flight:             rec,
 	}, net, clus, remote)
@@ -337,6 +350,30 @@ func (s *System) Load(ctx context.Context) ([]*StateDict, *LoadReport, error) {
 // as a bounded error instead of a frozen recovery.
 func (s *System) LoadFromRemote(ctx context.Context, version int) ([]*StateDict, error) {
 	return s.ckpt.LoadFromRemote(ctx, version)
+}
+
+// LoadPartial lazily restores only the requested workers' state dicts —
+// the serving-failover fast path, where the ranks hosting an MoE model's
+// hot experts must come back inside the latency budget and the rest of
+// the fleet can restore later. Packets are fetched directly from their
+// chunk owners; a dead or corrupt owner degrades that rank to an erasure
+// decode (workflow "partial-decode") instead of failing the round. Fault
+// tolerance is NOT restored — follow up with Load, or warm replacements
+// with PrefetchNode.
+func (s *System) LoadPartial(ctx context.Context, ranks []int) (map[int]*StateDict, *LoadReport, error) {
+	return s.ckpt.LoadPartial(ctx, ranks)
+}
+
+// PrefetchReport summarises a warm-standby parity prefetch.
+type PrefetchReport = core.PrefetchReport
+
+// PrefetchNode warms a standby: the node (typically fresh from
+// ReplaceNode) rebuilds its chunk from k surviving chunks and copies the
+// small-component broadcast set, off the recovery critical path, so the
+// next Load runs the pure replacement workflow with zero rebuilds and the
+// next LoadPartial of its workers hits the direct-fetch fast path.
+func (s *System) PrefetchNode(ctx context.Context, node int) (*PrefetchReport, error) {
+	return s.ckpt.PrefetchChunk(ctx, node)
 }
 
 // FailNode simulates a machine failure: the node's volatile host memory —

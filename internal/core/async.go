@@ -459,7 +459,7 @@ func (c *Checkpointer) persistCommitted(ctx context.Context, version, packetByte
 		if err != nil {
 			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
 		}
-		sd, err := c.reassembleWorker(0, rank, packet)
+		sd, err := c.reassembleWorker(0, rank, packet, nil)
 		if err != nil {
 			return fmt.Errorf("core: remote persist rank %d: %w", rank, err)
 		}

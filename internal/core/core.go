@@ -61,6 +61,10 @@ const (
 	// DefaultOpTimeout bounds every protocol Send/Recv so a crashed peer
 	// turns into an error instead of a hang.
 	DefaultOpTimeout = 60 * time.Second
+	// DefaultRestoreWorkers bounds the restore fan-out (parallel remote
+	// fetches, partial-restore reassembly) when Config.RestoreWorkers is
+	// unset.
+	DefaultRestoreWorkers = 8
 )
 
 // Config parameterises a Checkpointer.
@@ -112,6 +116,22 @@ type Config struct {
 	// peer that crashed mid-round. 0 selects DefaultOpTimeout; negative
 	// disables deadlines.
 	OpTimeout time.Duration
+	// RestoreWorkers bounds the worker pool the latency-critical restore
+	// paths fan out over: the availability scan of Load runs one worker
+	// per node regardless, but LoadFromRemote's per-rank fetch+decode and
+	// LoadPartial's per-rank reassembly are capped at this many concurrent
+	// workers. 0 selects DefaultRestoreWorkers; 1 restores the serial
+	// baseline (useful for measuring the parallel speedup).
+	RestoreWorkers int
+	// LoadBudget is the restore-latency SLO: when positive, every Load,
+	// LoadPartial and LoadFromRemote stamps its report with the budget and
+	// sets DeadlineExceeded when the round's wall time overran it. The
+	// budget is observational, not a hard deadline — a restore that blows
+	// its SLO still completes (a late recovery beats no recovery), but the
+	// overrun increments load_budget_exceeded_total, lands in the flight
+	// recorder, and attaches the round's event tail to the report so the
+	// violation is diagnosable postmortem. 0 disables budget tracking.
+	LoadBudget time.Duration
 	// Metrics receives the engine's counters, phase histograms and spans
 	// (save_phase_ns, load_phase_ns, save_rounds_total, ...). Nil disables
 	// instrumentation at zero cost.
@@ -138,6 +158,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpTimeout == 0 {
 		c.OpTimeout = DefaultOpTimeout
+	}
+	if c.RestoreWorkers == 0 {
+		c.RestoreWorkers = DefaultRestoreWorkers
 	}
 	return c
 }
@@ -498,6 +521,12 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 	if cfg.GroupFanIn < 0 {
 		return nil, fmt.Errorf("core: group fan-in must be non-negative, got %d", cfg.GroupFanIn)
 	}
+	if cfg.RestoreWorkers < 1 {
+		return nil, fmt.Errorf("core: restore workers must be at least 1, got %d", cfg.RestoreWorkers)
+	}
+	if cfg.LoadBudget < 0 {
+		return nil, fmt.Errorf("core: load budget must be non-negative, got %v", cfg.LoadBudget)
+	}
 	plan, err := placement.New(cfg.Topo, cfg.K, cfg.M)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -740,7 +769,10 @@ type SaveReport struct {
 type LoadReport struct {
 	// Version is the checkpoint version recovered.
 	Version int
-	// Workflow is "replacement" (all data chunks intact) or "decode".
+	// Workflow is "replacement" (all data chunks intact) or "decode" for a
+	// full Load, "partial" or "partial-decode" for LoadPartial (the latter
+	// when at least one requested packet had to be decoded through the
+	// erasure code because its direct fetch failed).
 	Workflow string
 	// MissingChunks are the chunk indices that had to be restored.
 	MissingChunks []int
@@ -756,10 +788,25 @@ type LoadReport struct {
 	// Phases breaks the recovery down by phase (see LoadPhases): the
 	// coordinator's scan plus the per-phase mean across node goroutines.
 	Phases map[string]time.Duration
+	// BytesFetched is the checkpoint payload read from storage during the
+	// restore: every checksummed host-memory blob (manifests, segments,
+	// small components) plus every remote object the round fetched. The
+	// lazy-restore story is told in this field — LoadPartial on a skewed
+	// workload fetches strictly less than a full Load.
+	BytesFetched int64
+	// Budget echoes the configured restore-latency SLO (Config.LoadBudget)
+	// the round was measured against; zero when no budget is set.
+	Budget time.Duration
+	// DeadlineExceeded reports that the round's wall time overran Budget.
+	// The restore still completed — the budget is an SLO, not a hard
+	// deadline — but the report carries the flight-recorder tail so the
+	// overrun is diagnosable.
+	DeadlineExceeded bool
 	// Postmortem is the flight-recorder event tail for a recovery that
-	// failed or had to decode around erasures (missing or corrupt
-	// chunks), capped at flight.DefaultPostmortemEvents. Nil on a clean
-	// recovery or when no flight recorder is configured.
+	// failed, overran its latency budget, or had to decode around erasures
+	// (missing or corrupt chunks), capped at
+	// flight.DefaultPostmortemEvents. Nil on a clean recovery or when no
+	// flight recorder is configured.
 	Postmortem []flight.Event
 }
 

@@ -15,6 +15,11 @@ const (
 	// OpRemoteLoad is a catastrophic recovery from the remote tier
 	// (LoadFromRemote).
 	OpRemoteLoad = "remote-load"
+	// OpPartialLoad is a lazy restore of selected workers (LoadPartial).
+	OpPartialLoad = "partial-load"
+	// OpPrefetch is a warm-standby parity prefetch (PrefetchChunk): a
+	// replacement node rebuilding its chunk before recovery asks for it.
+	OpPrefetch = "prefetch"
 )
 
 // RoundHooks observes checkpoint-round lifecycle transitions. A control

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eccheck/internal/cluster"
@@ -46,6 +47,9 @@ type recoverySpec struct {
 	needSmall []bool
 	// smallSource is the node that re-broadcasts small components.
 	smallSource int
+	// fetched accumulates the bytes every goroutine in the round reads
+	// from host memory, feeding LoadReport.BytesFetched.
+	fetched *atomic.Int64
 }
 
 // Load recovers the latest checkpoint from the distributed in-memory
@@ -129,53 +133,73 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 		bufSize    int
 	}
 	states := make([]nodeState, n)
-	corruptBlobs := 0
+	fetched := new(atomic.Int64)
+	var corrupt atomic.Int64
 	checksumMiss := func(st *nodeState, node int, key string, err error) {
 		if errors.Is(err, cluster.ErrChecksum) {
-			corruptBlobs++
+			corrupt.Add(1)
 			st.corrupt = true
 			// Corruption handled as an erasure is exactly the event an
 			// operator wants on the timeline: which node, which blob.
 			c.cfg.Flight.Corruption(node, key)
 		}
 	}
+	// The scan checksums every blob on every node, which made it the
+	// dominant serial cost of recovery. Nodes are independent — each
+	// goroutine only writes its own nodeState slot — so the scan runs one
+	// worker per node and the wall-clock cost is one node's checksum pass,
+	// not the fleet's.
+	scanErrs := make([]error, n)
+	var scanWG sync.WaitGroup
+	for node := 0; node < n; node++ {
+		scanWG.Add(1)
+		go func(node int) {
+			defer scanWG.Done()
+			st := &states[node]
+			blob, err := c.fetchN(node, keyManifest(), fetched)
+			if err != nil {
+				checksumMiss(st, node, keyManifest(), err)
+				return // no usable manifest: the node's checkpoint is lost
+			}
+			v, p, b, err := parseManifest(blob)
+			if err != nil {
+				scanErrs[node] = err
+				return
+			}
+			st.manifestOK = true
+			st.version, st.packet, st.bufSize = v, p, b
+			chunk := lay.plan.ChunkOfNode[node]
+			st.chunkOK = true
+			for s := 0; s < span; s++ {
+				if _, err := c.fetchN(node, keySegment(chunk, s), fetched); err != nil {
+					st.chunkOK = false
+					checksumMiss(st, node, keySegment(chunk, s), err)
+					break
+				}
+			}
+			st.smallsOK = true
+			for rank := 0; rank < world && st.smallsOK; rank++ {
+				if _, err := c.fetchN(node, keySmallMeta(rank), fetched); err != nil {
+					st.smallsOK = false
+					checksumMiss(st, node, keySmallMeta(rank), err)
+					break
+				}
+				if _, err := c.fetchN(node, keySmallKeys(rank), fetched); err != nil {
+					st.smallsOK = false
+					checksumMiss(st, node, keySmallKeys(rank), err)
+				}
+			}
+		}(node)
+	}
+	scanWG.Wait()
+	if err := errors.Join(scanErrs...); err != nil {
+		return nil, nil, err
+	}
+	corruptBlobs := int(corrupt.Load())
 	latest := 0
 	for node := 0; node < n; node++ {
-		st := &states[node]
-		blob, err := c.fetch(node, keyManifest())
-		if err != nil {
-			checksumMiss(st, node, keyManifest(), err)
-			continue // no usable manifest: the node's checkpoint is lost
-		}
-		v, p, b, err := parseManifest(blob)
-		if err != nil {
-			return nil, nil, err
-		}
-		st.manifestOK = true
-		st.version, st.packet, st.bufSize = v, p, b
-		chunk := lay.plan.ChunkOfNode[node]
-		st.chunkOK = true
-		for s := 0; s < span; s++ {
-			if _, err := c.fetch(node, keySegment(chunk, s)); err != nil {
-				st.chunkOK = false
-				checksumMiss(st, node, keySegment(chunk, s), err)
-				break
-			}
-		}
-		st.smallsOK = true
-		for rank := 0; rank < world && st.smallsOK; rank++ {
-			if _, err := c.fetch(node, keySmallMeta(rank)); err != nil {
-				st.smallsOK = false
-				checksumMiss(st, node, keySmallMeta(rank), err)
-				break
-			}
-			if _, err := c.fetch(node, keySmallKeys(rank)); err != nil {
-				st.smallsOK = false
-				checksumMiss(st, node, keySmallKeys(rank), err)
-			}
-		}
-		if st.manifestOK && st.chunkOK && v > latest {
-			latest = v
+		if st := states[node]; st.manifestOK && st.chunkOK && st.version > latest {
+			latest = st.version
 		}
 	}
 	if latest == 0 {
@@ -224,6 +248,7 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 		missing:     missingChunks,
 		needSmall:   make([]bool, n),
 		smallSource: -1,
+		fetched:     fetched,
 	}
 	if workflow == "replacement" {
 		// Basis = the data chunks; the transform rows are plain generator
@@ -283,7 +308,15 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 	}
 	wg.Wait()
 	close(errc)
-	if err := <-errc; err != nil {
+	// Drain every node's error, not just the first: a multi-node failure's
+	// postmortem must attribute each failed node, and under cancellation
+	// the node that caused the cancel is not necessarily the first to
+	// report.
+	var nodeErrs []error
+	for err := range errc {
+		nodeErrs = append(nodeErrs, err)
+	}
+	if err := errors.Join(nodeErrs...); err != nil {
 		if ctx.Err() != nil && c.isClosed() {
 			err = fmt.Errorf("%w: %w", ErrSaveAborted, err)
 		}
@@ -310,7 +343,9 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 		CorruptBlobs:    corruptBlobs,
 		Elapsed:         time.Since(started),
 		Phases:          phases,
+		BytesFetched:    fetched.Load(),
 	}
+	c.observeRestore(OpLoad, report.Elapsed)
 	c.cfg.Flight.RoundEnd("load", latest, nil)
 	if len(missingChunks) > 0 {
 		// A recovery that decoded around erasures succeeded, but something
@@ -318,7 +353,53 @@ func (c *Checkpointer) Load(ctx context.Context) (outDicts []*statedict.StateDic
 		// diagnosable from the report alone.
 		report.Postmortem = c.cfg.Flight.TailSince(pmStart, flight.DefaultPostmortemEvents)
 	}
+	c.applyBudget(report, OpLoad, latest, pmStart)
 	return dicts, report, nil
+}
+
+// fetchN reads a checksummed blob like fetch and additionally credits its
+// size to the round's fetched-byte counter. A nil counter skips the
+// accounting (paths that predate byte budgeting, e.g. remote persistence).
+func (c *Checkpointer) fetchN(node int, key string, ctr *atomic.Int64) ([]byte, error) {
+	blob, err := c.fetch(node, key)
+	if err == nil && ctr != nil {
+		ctr.Add(int64(len(blob)))
+	}
+	return blob, err
+}
+
+// observeRestore records a completed restore's wall-clock latency in the
+// load_restore_ns histogram, labeled by operation, so restore p50/p99 for
+// full, partial and remote recoveries are all visible at /metrics.
+func (c *Checkpointer) observeRestore(op string, elapsed time.Duration) {
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Histogram("load_restore_ns", obs.L("op", op)).ObserveDuration(elapsed)
+	}
+}
+
+// applyBudget stamps a successful restore report with the configured
+// latency SLO. The budget is observational, not a hard deadline: an overrun
+// never aborts a recovery that can still succeed — it marks the report
+// DeadlineExceeded, counts the violation, drops an EvBudget event on the
+// flight timeline, and attaches the round's event tail so the miss is
+// diagnosable from the report alone.
+func (c *Checkpointer) applyBudget(report *LoadReport, op string, round int, pmStart uint64) {
+	budget := c.cfg.LoadBudget
+	if budget <= 0 {
+		return
+	}
+	report.Budget = budget
+	if report.Elapsed <= budget {
+		return
+	}
+	report.DeadlineExceeded = true
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("load_budget_exceeded_total", obs.L("op", op)).Inc()
+	}
+	c.cfg.Flight.BudgetExceeded(op, round, budget, report.Elapsed)
+	if report.Postmortem == nil {
+		report.Postmortem = c.cfg.Flight.TailSince(pmStart, flight.DefaultPostmortemEvents)
+	}
 }
 
 // nodeLoad runs one node's side of recovery and returns its local workers'
@@ -376,7 +457,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	chunkSegs := make([][]byte, span)
 	if missingPos == -1 {
 		for s := 0; s < span; s++ {
-			seg, err := c.fetch(node, keySegment(myChunk, s))
+			seg, err := c.fetchN(node, keySegment(myChunk, s), spec.fetched)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -476,19 +557,27 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 
 	// --- Phase R2: re-broadcast small components to nodes that lost them. ---
 	if node == spec.smallSource {
+		peers := make([]int, 0, topo.Nodes())
 		for peer := 0; peer < topo.Nodes(); peer++ {
-			if !spec.needSmall[peer] || peer == node {
-				continue
+			if spec.needSmall[peer] && peer != node {
+				peers = append(peers, peer)
 			}
-			for rank := 0; rank < world; rank++ {
-				meta, err := c.fetch(node, keySmallMeta(rank))
-				if err != nil {
-					return nil, nil, err
-				}
-				keys, err := c.fetch(node, keySmallKeys(rank))
-				if err != nil {
-					return nil, nil, err
-				}
+		}
+		// Each rank's meta/keys blob is loop-invariant across peers, so it
+		// is fetched (and checksummed) exactly once and re-sent to every
+		// peer that needs it. Fetching inside the peer loop put
+		// O(peers × ranks) redundant checksummed reads on the recovery
+		// critical path.
+		for rank := 0; len(peers) > 0 && rank < world; rank++ {
+			meta, err := c.fetchN(node, keySmallMeta(rank), spec.fetched)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys, err := c.fetchN(node, keySmallKeys(rank), spec.fetched)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, peer := range peers {
 				if err := ep.Send(ctx, peer, tagSmallSyncMeta(rank), meta); err != nil {
 					return nil, nil, err
 				}
@@ -562,7 +651,7 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 		}
 		// reassembleWorker copies every tensor region into fresh storage, so
 		// a received packet can be recycled as soon as it returns.
-		sd, err := c.reassembleWorker(node, w, packet)
+		sd, err := c.reassembleWorker(node, w, packet, spec.fetched)
 		if pooled {
 			c.buf.Put(packet)
 		}
@@ -582,16 +671,23 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 }
 
 // reassembleWorker rebuilds a worker's state dict from its packet and the
-// broadcast small components stored on the node.
-func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte) (*statedict.StateDict, error) {
-	meta, err := c.fetch(node, keySmallMeta(rank))
+// broadcast small components stored on the node, crediting the small-blob
+// reads to ctr (nil skips accounting).
+func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte, ctr *atomic.Int64) (*statedict.StateDict, error) {
+	meta, err := c.fetchN(node, keySmallMeta(rank), ctr)
 	if err != nil {
 		return nil, fmt.Errorf("rank %d small meta: %w", rank, err)
 	}
-	keys, err := c.fetch(node, keySmallKeys(rank))
+	keys, err := c.fetchN(node, keySmallKeys(rank), ctr)
 	if err != nil {
 		return nil, fmt.Errorf("rank %d small keys: %w", rank, err)
 	}
+	return assemblePacket(rank, meta, keys, packet)
+}
+
+// assemblePacket rebuilds a worker's state dict from its already-fetched
+// small components and packet bytes.
+func assemblePacket(rank int, meta, keys, packet []byte) (*statedict.StateDict, error) {
 	sizes, err := statedict.TensorSizes(keys)
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: %w", rank, err)
@@ -613,13 +709,20 @@ func (c *Checkpointer) reassembleWorker(node, rank int, packet []byte) (*statedi
 }
 
 // LoadFromRemote recovers every worker's state dict from the remote
-// persistent store (the catastrophic-failure path). version 0 loads the
-// most recent persisted version at or below the checkpointer's counter.
+// persistent store (the catastrophic-failure path). version 0 discovers
+// and loads the most recent persisted version by enumerating the store's
+// catalog — discovery deliberately ignores the in-memory version counter,
+// because the caller that needs this path most is a freshly restarted
+// process whose counter is zero. Ranks are fetched by a bounded worker
+// pool (Config.RestoreWorkers) and each blob is deserialized as soon as
+// it arrives, so decode overlaps the remaining transfers.
+//
 // The context bounds the whole recovery: each remote fetch honors both
 // cancellation and the checkpointer's configured OpTimeout (via
 // transport.WithOpTimeout), so a hung remote tier surfaces as a bounded
 // error instead of a frozen restore. Close interrupts an in-flight call.
 func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) (_ []*statedict.StateDict, retErr error) {
+	started := time.Now()
 	if c.remote == nil {
 		return nil, fmt.Errorf("core: no remote store configured")
 	}
@@ -634,31 +737,91 @@ func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) (_ []*st
 	defer func() { c.roundEnd(OpRemoteLoad, version, retErr) }()
 	ctx = c.opCtx(ctx)
 	if version == 0 {
-		for v := int(c.version.Load()); v >= 1; v-- {
-			if c.remote.Has(remoteKey(c.cfg.RemotePrefix, v, 0)) {
-				version = v
-				break
-			}
-		}
-		if version == 0 {
-			return nil, fmt.Errorf("core: no persisted checkpoint found in remote storage")
+		version, err = c.latestRemoteVersion()
+		if err != nil {
+			return nil, err
 		}
 	}
 	world := c.cfg.Topo.World()
 	out := make([]*statedict.StateDict, world)
-	for rank := 0; rank < world; rank++ {
-		blob, _, err := c.remote.Get(ctx, 0, remoteKey(c.cfg.RemotePrefix, version, rank))
-		if err != nil {
-			if ctx.Err() != nil && c.isClosed() {
-				err = fmt.Errorf("%w: %w", ErrSaveAborted, err)
+	rankErrs := make([]error, world)
+	workers := c.cfg.RestoreWorkers
+	if workers > world {
+		workers = world
+	}
+	ranks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rank := range ranks {
+				blob, _, err := c.remote.Get(ctx, 0, remoteKey(c.cfg.RemotePrefix, version, rank))
+				if err != nil {
+					rankErrs[rank] = fmt.Errorf("core: remote load rank %d: %w", rank, err)
+					cancel()
+					continue
+				}
+				sd, err := serialize.Unmarshal(blob)
+				if err != nil {
+					rankErrs[rank] = fmt.Errorf("core: remote load rank %d: %w", rank, err)
+					cancel()
+					continue
+				}
+				out[rank] = sd
 			}
-			return nil, fmt.Errorf("core: remote load rank %d: %w", rank, err)
+		}()
+	}
+	for rank := 0; rank < world; rank++ {
+		ranks <- rank
+	}
+	close(ranks)
+	wg.Wait()
+	if err := errors.Join(rankErrs...); err != nil {
+		if ctx.Err() != nil && c.isClosed() {
+			err = fmt.Errorf("%w: %w", ErrSaveAborted, err)
 		}
-		sd, err := serialize.Unmarshal(blob)
-		if err != nil {
-			return nil, fmt.Errorf("core: remote load rank %d: %w", rank, err)
+		return nil, err
+	}
+	elapsed := time.Since(started)
+	if reg := c.cfg.Metrics; reg != nil {
+		reg.Counter("remote_load_rounds_total").Inc()
+	}
+	c.observeRestore(OpRemoteLoad, elapsed)
+	if b := c.cfg.LoadBudget; b > 0 && elapsed > b {
+		if reg := c.cfg.Metrics; reg != nil {
+			reg.Counter("load_budget_exceeded_total", obs.L("op", OpRemoteLoad)).Inc()
 		}
-		out[rank] = sd
+		c.cfg.Flight.BudgetExceeded(OpRemoteLoad, version, b, elapsed)
 	}
 	return out, nil
+}
+
+// latestRemoteVersion discovers the newest fully-addressable checkpoint
+// version in the remote store by listing its catalog under this
+// checkpointer's key prefix. It must not consult the in-memory version
+// counter: after a catastrophic failure the restoring process is brand
+// new and its counter is zero, yet the remote tier still holds the
+// checkpoint. (The previous implementation counted down from the counter
+// and reported "no persisted checkpoint" in exactly that situation.)
+func (c *Checkpointer) latestRemoteVersion() (int, error) {
+	prefix := fmt.Sprintf("eccheck/%sv", c.cfg.RemotePrefix)
+	latest := 0
+	for _, key := range c.remote.Keys(prefix) {
+		var v, rank int
+		if _, err := fmt.Sscanf(key[len(prefix):], "%d/rank%d", &v, &rank); err != nil {
+			continue
+		}
+		// Rank 0 anchors a version: persistCommitted writes ranks in order,
+		// so any version with rank 0 present is at least partially there and
+		// the newest such version is the one a GC-respecting store keeps
+		// complete.
+		if rank == 0 && v > latest {
+			latest = v
+		}
+	}
+	if latest == 0 {
+		return 0, fmt.Errorf("core: no persisted checkpoint found in remote storage")
+	}
+	return latest, nil
 }

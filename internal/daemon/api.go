@@ -153,18 +153,26 @@ type SaveResponse struct {
 	SlotWait time.Duration `json:"slot_wait_ns"`
 }
 
-// LoadRequest is the POST /v1/jobs/{id}/load body (currently empty; the
-// route always recovers the latest committed version).
-type LoadRequest struct{}
+// LoadRequest is the POST /v1/jobs/{id}/load body. An empty body (or
+// empty Ranks) recovers every worker from the latest committed version.
+type LoadRequest struct {
+	// Ranks, when non-empty, requests a lazy partial restore: only the
+	// listed world ranks are recovered (the serving-failover fast path;
+	// see System.LoadPartial). Fault tolerance is not restored by a
+	// partial load.
+	Ranks []int `json:"ranks,omitempty"`
+}
 
 // LoadResponse is the load route's body.
 type LoadResponse struct {
 	// Job is the job's status after the recovery.
 	Job JobStatus `json:"job"`
-	// Report is the recovery report (workflow, rebuilt chunks, phases).
+	// Report is the recovery report (workflow, rebuilt chunks, phases,
+	// bytes fetched, and the latency-budget verdict when one is set).
 	Report *eccheck.LoadReport `json:"report"`
 	// VerifiedStep is the training iteration recovered from checkpoint
-	// metadata, byte-verified against the job's checkpoint position.
+	// metadata, byte-verified against the job's checkpoint position. For
+	// a partial load only the requested ranks are verified.
 	VerifiedStep int `json:"verified_step"`
 }
 

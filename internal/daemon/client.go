@@ -115,6 +115,16 @@ func (c *Client) Load(ctx context.Context, id string) (*LoadResponse, error) {
 	return &resp, nil
 }
 
+// LoadPartial lazily recovers only the given world ranks — the
+// serving-failover fast path. Fault tolerance is not restored.
+func (c *Client) LoadPartial(ctx context.Context, id string, ranks []int) (*LoadResponse, error) {
+	var resp LoadResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/load", LoadRequest{Ranks: ranks}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Fail injects a machine failure into the job's fleet.
 func (c *Client) Fail(ctx context.Context, id string, req FailRequest) (*JobStatus, error) {
 	var st JobStatus

@@ -226,8 +226,9 @@ func (d *Daemon) Save(ctx context.Context, id string, req SaveRequest) (*SaveRes
 // Load recovers the job's latest checkpoint and byte-verifies the
 // recovered training position. Loads are latency-critical and bypass the
 // save-slot queue (the engine itself orders a load after any in-flight
-// save drain on the same job).
-func (d *Daemon) Load(ctx context.Context, id string) (*LoadResponse, error) {
+// save drain on the same job). A request with Ranks set performs a lazy
+// partial restore of just those ranks instead of a full recovery.
+func (d *Daemon) Load(ctx context.Context, id string, req LoadRequest) (*LoadResponse, error) {
 	done, err := d.beginOp()
 	if err != nil {
 		return nil, err
@@ -237,7 +238,15 @@ func (d *Daemon) Load(ctx context.Context, id string) (*LoadResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, verified, err := j.load(ctx)
+	var (
+		rep      *eccheck.LoadReport
+		verified int
+	)
+	if len(req.Ranks) > 0 {
+		rep, verified, err = j.loadPartial(ctx, req.Ranks)
+	} else {
+		rep, verified, err = j.load(ctx)
+	}
 	if err != nil {
 		return nil, err
 	}

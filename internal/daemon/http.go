@@ -128,7 +128,12 @@ func (d *Daemon) handleSave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
-	resp, err := d.Load(r.Context(), r.PathValue("id"))
+	var req LoadRequest
+	if err := decodeBody(r, &req); err != nil {
+		d.writeError(w, "load", err)
+		return
+	}
+	resp, err := d.Load(r.Context(), r.PathValue("id"), req)
 	if err != nil {
 		d.writeError(w, "load", err)
 		return

@@ -200,6 +200,70 @@ func (j *job) load(ctx context.Context) (*eccheck.LoadReport, int, error) {
 	return rep, verified, nil
 }
 
+// loadPartial lazily restores only the requested ranks, verifies their
+// recovered iteration metadata, and swaps the restored shards into the
+// job's state. Unlike load it does not roll the whole job back: the
+// unrequested ranks keep their live (possibly post-checkpoint) state,
+// exactly the mixed state a serving failover accepts until the rest of
+// the fleet restores.
+func (j *job) loadPartial(ctx context.Context, ranks []int) (*eccheck.LoadReport, int, error) {
+	// Rank validation is a client error (400), not a job failure: check
+	// before the op begins so a typo never pollutes the failure counter.
+	world := j.spec.Nodes * j.spec.GPUsPerNode
+	if len(ranks) == 0 {
+		return nil, 0, fmt.Errorf("%w: partial load needs at least one rank", ErrBadRequest)
+	}
+	for _, r := range ranks {
+		if r < 0 || r >= world {
+			return nil, 0, fmt.Errorf("%w: rank %d out of range [0,%d)", ErrBadRequest, r, world)
+		}
+	}
+	j.opMu.Lock()
+	defer j.opMu.Unlock()
+	j.begin("load")
+	defer j.end()
+	dicts, rep, err := j.sys.LoadPartial(ctx, ranks)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.failures++
+		j.lastErr = err.Error()
+		if rep != nil {
+			j.lastLoad = rep
+		}
+		return rep, 0, err
+	}
+	verified := 0
+	first := true
+	for rank, sd := range dicts {
+		v, ok := sd.Meta(metaStepKey)
+		if !ok {
+			j.failures++
+			err := fmt.Errorf("daemon: rank %d recovered without %s metadata", rank, metaStepKey)
+			j.lastErr = err.Error()
+			return rep, 0, err
+		}
+		it, _ := v.AsInt()
+		if first || rank == 0 {
+			verified = int(it)
+			first = false
+		}
+		if int(it) != j.ckptStep {
+			j.failures++
+			err := fmt.Errorf("daemon: rank %d recovered step %d, checkpoint was %d", rank, it, j.ckptStep)
+			j.lastErr = err.Error()
+			return rep, int(it), err
+		}
+	}
+	for rank, sd := range dicts {
+		j.dicts[rank] = sd
+	}
+	j.loads++
+	j.lastLoad = rep
+	j.lastErr = ""
+	return rep, verified, nil
+}
+
 // fail injects a machine failure (and by default an immediate empty
 // replacement, so the next load rebuilds the lost chunk through the
 // code).

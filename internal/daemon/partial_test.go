@@ -1,0 +1,75 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestHTTPPartialLoad drives the lazy-restore route over real HTTP: a
+// load request with a rank subset restores and verifies only those ranks,
+// leaving the rest of the job's live state in place.
+func TestHTTPPartialLoad(t *testing.T) {
+	_, cli := startDaemon(t, Config{})
+	ctx := context.Background()
+
+	if _, err := cli.Register(ctx, testSpec("moe", "team")); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := cli.Save(ctx, "moe", SaveRequest{Steps: 2}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	load, err := cli.LoadPartial(ctx, "moe", []int{0, 1})
+	if err != nil {
+		t.Fatalf("partial load: %v", err)
+	}
+	if load.VerifiedStep != 2 {
+		t.Fatalf("verified step %d, want 2", load.VerifiedStep)
+	}
+	if load.Report == nil || load.Report.Workflow != "partial" {
+		t.Fatalf("partial load report = %+v, want workflow partial", load.Report)
+	}
+
+	// The route degrades to decode when the requested shard's owner died.
+	if _, err := cli.Fail(ctx, "moe", FailRequest{Node: 0}); err != nil {
+		t.Fatalf("fail node: %v", err)
+	}
+	load, err = cli.LoadPartial(ctx, "moe", []int{0})
+	if err != nil {
+		t.Fatalf("partial load after failure: %v", err)
+	}
+	if load.VerifiedStep != 2 {
+		t.Fatalf("verified step after failure %d, want 2", load.VerifiedStep)
+	}
+
+	// Counters: 2 partial loads, no failures; an empty rank set still
+	// routes to the full load.
+	st, err := cli.Status(ctx, "moe")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Loads != 2 || st.Failures != 0 {
+		t.Fatalf("counters %d loads / %d failures, want 2/0", st.Loads, st.Failures)
+	}
+	full, err := cli.Load(ctx, "moe")
+	if err != nil {
+		t.Fatalf("full load: %v", err)
+	}
+	if full.Report.Workflow == "partial" || full.Report.Workflow == "partial-decode" {
+		t.Fatalf("rankless load ran %q, want the full-restore workflow", full.Report.Workflow)
+	}
+
+	// Out-of-range ranks surface as a typed client error (400), not a
+	// crash — and never pollute the job's failure counter.
+	if _, err := cli.LoadPartial(ctx, "moe", []int{99}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("out-of-range rank: got %v, want ErrBadRequest", err)
+	}
+	st, err = cli.Status(ctx, "moe")
+	if err != nil {
+		t.Fatalf("status after bad rank: %v", err)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("a rank typo counted as a job failure: %d", st.Failures)
+	}
+}

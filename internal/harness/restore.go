@@ -1,0 +1,351 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"eccheck/internal/cluster"
+	"eccheck/internal/core"
+	"eccheck/internal/model"
+	"eccheck/internal/obs/flight"
+	"eccheck/internal/parallel"
+	"eccheck/internal/remotestore"
+	"eccheck/internal/statedict"
+	"eccheck/internal/transport"
+)
+
+// RestoreConfig parameterises the fast-restore study: a skewed MoE
+// workload checkpointed on an erasure-coded fleet, then restored three
+// ways — full in-memory recovery, lazy partial recovery of just the hot
+// ranks, and catastrophic recovery from the remote tier with a serial
+// versus pooled fetch comparison.
+type RestoreConfig struct {
+	// Nodes and GPUsPerNode shape the fleet; K and M the code. The world
+	// size (Nodes × GPUsPerNode) must be divisible by K.
+	Nodes, GPUsPerNode int
+	K, M               int
+	// BufferSize is the streaming window size.
+	BufferSize int
+	// MoE is the sparse workload; zero value selects
+	// model.DefaultMoEConfig for the world size.
+	MoE model.MoEConfig
+	// WithOptimizer includes Adam moments in the workload (heavier
+	// shards, more realistic restore volumes).
+	WithOptimizer bool
+	// RemoteStall is the modeled per-operation latency of the remote
+	// tier. The remote store executes transfers in a mutex-serialized
+	// instant, so without a stall a serial and a pooled fetch sweep are
+	// indistinguishable; the stall is what a worker pool actually
+	// overlaps, exactly like real object-store round-trip latency.
+	RemoteStall time.Duration
+	// Workers is the parallel restore pool width (0 = core default);
+	// the serial baseline always runs with 1.
+	Workers int
+	// Budget is the restore-latency SLO stamped on every recovery report
+	// (0 disables budgeting).
+	Budget time.Duration
+	// Rounds is how many measured repetitions of each timed restore run
+	// (median reported; one warm-up always runs first).
+	Rounds int
+	// FlightEvents sizes the flight-recorder ring observing the restore
+	// rounds (0 disables).
+	FlightEvents int
+}
+
+// DefaultRestoreConfig returns the configuration the committed
+// BENCH_7.json snapshot is produced with: a 16-node × 2-GPU fleet under
+// an 8+8 code, the default MoE skew (4 hot experts concentrated on the
+// first rank), optimizer moments on, and a 500µs remote round-trip.
+func DefaultRestoreConfig() RestoreConfig {
+	return RestoreConfig{
+		Nodes:         16,
+		GPUsPerNode:   2,
+		K:             8,
+		M:             8,
+		BufferSize:    64 << 10,
+		WithOptimizer: true,
+		RemoteStall:   500 * time.Microsecond,
+		Budget:        2 * time.Second,
+		Rounds:        3,
+		FlightEvents:  4096,
+	}
+}
+
+// RestoreResult is the study's structured outcome.
+type RestoreResult struct {
+	// Nodes, World, K, M echo the fleet shape.
+	Nodes, World, K, M int
+	// HotRanks are the ranks hosting hot experts — the partial-restore
+	// request set.
+	HotRanks []int
+	// PayloadBytes is the aggregate tensor payload checkpointed.
+	PayloadBytes int64
+
+	// FullElapsed and FullBytes are the median full in-memory Load wall
+	// time and the bytes it fetched from host memory.
+	FullElapsed time.Duration
+	FullBytes   int64
+	// FullDeadlineExceeded reports the last full load's budget verdict.
+	FullDeadlineExceeded bool
+
+	// PartialElapsed, PartialBytes and PartialWorkflow describe the lazy
+	// restore of HotRanks.
+	PartialElapsed  time.Duration
+	PartialBytes    int64
+	PartialWorkflow string
+
+	// RemoteSerial and RemoteParallel are the median catastrophic
+	// (LoadFromRemote) restore times with a 1-worker and a pooled fetch
+	// sweep; RemoteSpeedup is their ratio.
+	RemoteSerial   time.Duration
+	RemoteParallel time.Duration
+	RemoteSpeedup  float64
+	// RemoteWorkers is the pool width the parallel measurement used.
+	RemoteWorkers int
+}
+
+// restoreRig is one fleet instance of the study.
+type restoreRig struct {
+	ckpt   *core.Checkpointer
+	net    transport.Network
+	remote *remotestore.Store
+	dicts  []*statedict.StateDict
+	close  func()
+}
+
+// newRestoreRig builds a fleet with the study's MoE workload loaded and
+// one checkpoint committed (and, because RemotePersistEvery is 1,
+// persisted to the remote tier).
+func newRestoreRig(cfg RestoreConfig, workers int) (*restoreRig, error) {
+	topo, err := parallel.NewTopology(cfg.Nodes, cfg.GPUsPerNode, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	net, err := transport.NewMemory(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	clus, err := cluster.New(cfg.Nodes, cfg.GPUsPerNode)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	remote, err := remotestore.New(5e9 / 8)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	var rec *flight.Recorder
+	if cfg.FlightEvents > 0 {
+		rec = flight.New(cfg.FlightEvents)
+	}
+	ckpt, err := core.New(core.Config{
+		Topo:               topo,
+		K:                  cfg.K,
+		M:                  cfg.M,
+		BufferSize:         cfg.BufferSize,
+		RemotePersistEvery: 1,
+		RestoreWorkers:     workers,
+		LoadBudget:         cfg.Budget,
+		Flight:             rec,
+	}, net, clus, remote)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	world := topo.World()
+	opt := model.NewBuildOptions()
+	opt.Seed = 4242
+	opt.WithOptimizer = cfg.WithOptimizer
+	dicts, err := model.BuildMoEClusterStateDicts(cfg.MoE, world, opt)
+	if err != nil {
+		ckpt.Close()
+		_ = net.Close()
+		return nil, err
+	}
+	if _, err := ckpt.Save(context.Background(), dicts); err != nil {
+		ckpt.Close()
+		_ = net.Close()
+		return nil, err
+	}
+	// The stall lands after the save persisted, so it prices only the
+	// restore-path operations the study times.
+	remote.SetStall(cfg.RemoteStall)
+	return &restoreRig{
+		ckpt:   ckpt,
+		net:    net,
+		remote: remote,
+		dicts:  dicts,
+		close: func() {
+			ckpt.Close()
+			_ = net.Close()
+		},
+	}, nil
+}
+
+// RestoreStudy measures the restore paths on the MoE workload and renders
+// a summary table. It also asserts the study's two structural claims —
+// the partial restore must fetch strictly fewer bytes than the full one,
+// and both restores must reproduce the checkpointed tensors byte-exactly
+// — returning an error when either fails, so the smoke gate catches a
+// regression in the lazy path, not just a crash.
+func RestoreStudy(w io.Writer, cfg RestoreConfig) (*RestoreResult, error) {
+	if cfg.Nodes == 0 {
+		cfg = DefaultRestoreConfig()
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	world := cfg.Nodes * cfg.GPUsPerNode
+	if cfg.MoE.Experts == 0 {
+		cfg.MoE = model.DefaultMoEConfig(world)
+	}
+	if err := cfg.MoE.Validate(world); err != nil {
+		return nil, err
+	}
+	hot := cfg.MoE.HotRanks(world)
+	res := &RestoreResult{
+		Nodes:    cfg.Nodes,
+		World:    world,
+		K:        cfg.K,
+		M:        cfg.M,
+		HotRanks: hot,
+	}
+
+	rig, err := newRestoreRig(cfg, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("harness: restore rig: %w", err)
+	}
+	defer rig.close()
+	for _, sd := range rig.dicts {
+		res.PayloadBytes += int64(sd.TensorBytes())
+	}
+	ctx := context.Background()
+
+	// Full in-memory restore: timed over cfg.Rounds, verified byte-exact.
+	var fullRep *core.LoadReport
+	fullLaps := make([]time.Duration, 0, cfg.Rounds)
+	for i := 0; i <= cfg.Rounds; i++ { // one warm-up + measured rounds
+		dicts, rep, err := rig.ckpt.Load(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("harness: full load: %w", err)
+		}
+		if i == 0 {
+			for rank, sd := range dicts {
+				if !sd.Equal(rig.dicts[rank]) {
+					return nil, fmt.Errorf("harness: full load: rank %d differs from checkpointed state", rank)
+				}
+			}
+			continue
+		}
+		fullLaps = append(fullLaps, rep.Elapsed)
+		fullRep = rep
+	}
+	res.FullElapsed = medianDuration(fullLaps)
+	res.FullBytes = fullRep.BytesFetched
+	res.FullDeadlineExceeded = fullRep.DeadlineExceeded
+
+	// Lazy partial restore of the hot ranks only.
+	partial, prep, err := rig.ckpt.LoadPartial(ctx, hot)
+	if err != nil {
+		return nil, fmt.Errorf("harness: partial load: %w", err)
+	}
+	for _, rank := range hot {
+		if !partial[rank].Equal(rig.dicts[rank]) {
+			return nil, fmt.Errorf("harness: partial load: rank %d differs from checkpointed state", rank)
+		}
+	}
+	res.PartialElapsed = prep.Elapsed
+	res.PartialBytes = prep.BytesFetched
+	res.PartialWorkflow = prep.Workflow
+	if res.PartialBytes >= res.FullBytes {
+		return nil, fmt.Errorf("harness: partial restore fetched %d bytes, full restore %d — lazy path is not lazy",
+			res.PartialBytes, res.FullBytes)
+	}
+
+	// Catastrophic restore from the remote tier: serial baseline vs the
+	// pooled sweep, each on its own rig so the worker bound is honest.
+	res.RemoteSerial, err = remoteRestoreMedian(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = core.DefaultRestoreWorkers
+	}
+	res.RemoteWorkers = workers
+	res.RemoteParallel, err = remoteRestoreMedian(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	if res.RemoteParallel > 0 {
+		res.RemoteSpeedup = float64(res.RemoteSerial) / float64(res.RemoteParallel)
+	}
+
+	if w != nil {
+		if err := renderRestore(w, cfg, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// remoteRestoreMedian builds a fresh-process fleet (version counter 0,
+// populated remote store) and measures LoadFromRemote with the given pool
+// width: the catastrophic-failure path, version discovered by catalog
+// enumeration.
+func remoteRestoreMedian(cfg RestoreConfig, workers int) (time.Duration, error) {
+	rig, err := newRestoreRig(cfg, workers)
+	if err != nil {
+		return 0, fmt.Errorf("harness: remote rig (%d workers): %w", workers, err)
+	}
+	defer rig.close()
+	ctx := context.Background()
+	laps := make([]time.Duration, 0, cfg.Rounds)
+	for i := 0; i <= cfg.Rounds; i++ {
+		start := time.Now()
+		dicts, err := rig.ckpt.LoadFromRemote(ctx, 0)
+		if err != nil {
+			return 0, fmt.Errorf("harness: remote load (%d workers): %w", workers, err)
+		}
+		if i == 0 {
+			for rank, sd := range dicts {
+				if !sd.Equal(rig.dicts[rank]) {
+					return 0, fmt.Errorf("harness: remote load: rank %d differs from checkpointed state", rank)
+				}
+			}
+			continue
+		}
+		laps = append(laps, time.Since(start))
+	}
+	return medianDuration(laps), nil
+}
+
+// renderRestore prints the study summary table.
+func renderRestore(w io.Writer, cfg RestoreConfig, res *RestoreResult) error {
+	if err := fprintf(w, "fast-restore study (%d nodes × %d GPUs, k=%d m=%d, %.1f MB payload, %d hot ranks of %d, remote stall %v)\n",
+		res.Nodes, cfg.GPUsPerNode, res.K, res.M, float64(res.PayloadBytes)/1e6,
+		len(res.HotRanks), res.World, cfg.RemoteStall); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-28s %12s %14s %10s\n", "path", "elapsed", "bytes fetched", "workflow"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-28s %12v %14d %10s\n", "full in-memory load",
+		res.FullElapsed.Round(time.Microsecond), res.FullBytes, "full"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-28s %12v %14d %10s\n", "partial load (hot ranks)",
+		res.PartialElapsed.Round(time.Microsecond), res.PartialBytes, res.PartialWorkflow); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-28s %12v %14s %10s\n", "remote restore (serial)",
+		res.RemoteSerial.Round(time.Microsecond), "-", "remote"); err != nil {
+		return err
+	}
+	return fprintf(w, "%-28s %12v %14s %10s   %.2fx vs serial\n",
+		fmt.Sprintf("remote restore (%d workers)", res.RemoteWorkers),
+		res.RemoteParallel.Round(time.Microsecond), "-", "remote", res.RemoteSpeedup)
+}

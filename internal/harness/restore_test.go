@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRestoreStudySmall(t *testing.T) {
+	var sb strings.Builder
+	cfg := RestoreConfig{
+		Nodes:         8,
+		GPUsPerNode:   1,
+		K:             4,
+		M:             4,
+		BufferSize:    32 << 10,
+		WithOptimizer: false,
+		RemoteStall:   100 * time.Microsecond,
+		Workers:       4,
+		Budget:        time.Minute,
+		Rounds:        1,
+		FlightEvents:  256,
+	}
+	res, err := RestoreStudy(&sb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.World != 8 || res.K != 4 || res.M != 4 {
+		t.Errorf("fleet shape = %+v", res)
+	}
+	if len(res.HotRanks) == 0 || len(res.HotRanks) >= res.World {
+		t.Errorf("hot ranks %v must be a proper non-empty subset of %d", res.HotRanks, res.World)
+	}
+	if res.FullElapsed <= 0 || res.FullBytes <= 0 {
+		t.Errorf("full restore degenerate: %v / %d bytes", res.FullElapsed, res.FullBytes)
+	}
+	// The study itself enforces the strict inequality; re-assert the
+	// acceptance criterion here so a weakened harness check also fails.
+	if res.PartialBytes <= 0 || res.PartialBytes >= res.FullBytes {
+		t.Errorf("partial restore fetched %d bytes vs full %d — must be strictly fewer",
+			res.PartialBytes, res.FullBytes)
+	}
+	if res.PartialWorkflow != "partial" {
+		t.Errorf("partial workflow = %q, want partial on a healthy fleet", res.PartialWorkflow)
+	}
+	if res.RemoteSerial <= 0 || res.RemoteParallel <= 0 || res.RemoteWorkers != 4 {
+		t.Errorf("remote restore degenerate: serial %v, parallel %v, workers %d",
+			res.RemoteSerial, res.RemoteParallel, res.RemoteWorkers)
+	}
+	// With a 100µs stall per remote Get and a 4-wide pool over 8 ranks the
+	// pooled sweep overlaps stalls the serial one pays in sequence.
+	if res.RemoteSpeedup <= 1 {
+		t.Errorf("remote speedup = %.2f, want > 1 (pool overlaps the stall)", res.RemoteSpeedup)
+	}
+	if res.FullDeadlineExceeded {
+		t.Error("a one-minute budget must not be exceeded by an in-process restore")
+	}
+	out := sb.String()
+	for _, want := range []string{"fast-restore study", "partial load", "remote restore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultRestoreConfig(t *testing.T) {
+	cfg := DefaultRestoreConfig()
+	if cfg.Nodes != 16 || cfg.K != 8 || cfg.M != 8 {
+		t.Errorf("default shape = %+v", cfg)
+	}
+	if (cfg.Nodes*cfg.GPUsPerNode)%cfg.K != 0 {
+		t.Errorf("default world %d not divisible by k=%d", cfg.Nodes*cfg.GPUsPerNode, cfg.K)
+	}
+	if cfg.RemoteStall <= 0 || cfg.Budget <= 0 || cfg.Rounds <= 0 {
+		t.Errorf("default knobs degenerate: %+v", cfg)
+	}
+}

@@ -1,0 +1,223 @@
+package model
+
+import (
+	"fmt"
+
+	"eccheck/internal/statedict"
+	"eccheck/internal/tensor"
+)
+
+// MoEConfig describes a sparse Mixture-of-Experts workload with skewed
+// expert popularity: a small set of hot experts receives the bulk of
+// routed tokens, so their parameters (and optimizer moments) advance every
+// step while cold experts barely move between checkpoints. Sparse
+// Checkpointing (PAPERS.md) shows this skew makes *partial* restore the
+// common case — after a failure, serving resumes as soon as the ranks
+// hosting the hot experts are back, and LoadPartial of exactly those ranks
+// is the latency-critical path the restore bench exercises.
+//
+// Experts are sharded contiguously across ranks (expert parallelism): rank
+// r of world w hosts experts [r·E/w, (r+1)·E/w). Hot experts are the
+// lowest-numbered ones, so they concentrate on the lowest ranks — the
+// skew is spatial, which is what makes a rank-subset restore meaningful.
+type MoEConfig struct {
+	// Experts is the total expert count, sharded evenly across ranks.
+	// Must be a positive multiple of the world size.
+	Experts int
+	// HotExperts is how many experts (numbered 0..HotExperts-1) are hot.
+	// Must be in [1, Experts].
+	HotExperts int
+	// Hidden is the model hidden size; each expert is a two-matrix FFN
+	// (Hidden×FFN and FFN×Hidden) plus biases.
+	Hidden int
+	// FFN is the expert feed-forward inner dimension.
+	FFN int
+}
+
+// DefaultMoEConfig returns a small expert-parallel shape for a given world
+// size: 4 experts per rank, one hot rank's worth of hot experts, and
+// kilobyte-scale expert FFNs so benches stay fast.
+func DefaultMoEConfig(world int) MoEConfig {
+	return MoEConfig{
+		Experts:    4 * world,
+		HotExperts: 4,
+		Hidden:     64,
+		FFN:        256,
+	}
+}
+
+// Validate checks the config against a world size.
+func (c MoEConfig) Validate(world int) error {
+	if world <= 0 {
+		return fmt.Errorf("model: moe world must be positive, got %d", world)
+	}
+	if c.Experts <= 0 || c.Experts%world != 0 {
+		return fmt.Errorf("model: moe experts %d must be a positive multiple of world %d", c.Experts, world)
+	}
+	if c.HotExperts < 1 || c.HotExperts > c.Experts {
+		return fmt.Errorf("model: moe hot experts %d out of range [1, %d]", c.HotExperts, c.Experts)
+	}
+	if c.Hidden <= 0 || c.FFN <= 0 {
+		return fmt.Errorf("model: moe dims must be positive (hidden=%d, ffn=%d)", c.Hidden, c.FFN)
+	}
+	return nil
+}
+
+// ExpertsOf returns the half-open expert range [lo, hi) hosted by a rank.
+func (c MoEConfig) ExpertsOf(world, rank int) (int, int) {
+	per := c.Experts / world
+	return rank * per, (rank + 1) * per
+}
+
+// HotRanks returns the ranks hosting at least one hot expert, ascending.
+// Because hot experts are the lowest-numbered, this is always a prefix of
+// the rank space — the subset a skewed partial restore brings back first.
+func (c MoEConfig) HotRanks(world int) []int {
+	per := c.Experts / world
+	n := (c.HotExperts + per - 1) / per
+	if n > world {
+		n = world
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// moeSeed mixes the base seed, rank, key and training step so every hot
+// expert's tensors change deterministically per step while cold experts
+// keep their original bytes.
+func moeSeed(base uint64, rank int, key string, step int64) uint64 {
+	s := base ^ uint64(rank)<<32 ^ uint64(step)<<16
+	for _, ch := range key {
+		s = s*1099511628211 + uint64(ch)
+	}
+	return s
+}
+
+// moeExpertKeys returns the tensor keys of one expert's FFN.
+func moeExpertKeys(e int) []string {
+	prefix := fmt.Sprintf("experts.%d.", e)
+	return []string{
+		prefix + "fc.weight",
+		prefix + "fc.bias",
+		prefix + "proj.weight",
+		prefix + "proj.bias",
+	}
+}
+
+// moeExpertShape returns the shape of one expert-FFN tensor key.
+func (c MoEConfig) moeExpertShape(key string) []int {
+	switch {
+	case len(key) >= 9 && key[len(key)-9:] == "fc.weight":
+		return []int{c.FFN, c.Hidden}
+	case len(key) >= 7 && key[len(key)-7:] == "fc.bias":
+		return []int{c.FFN}
+	case len(key) >= 11 && key[len(key)-11:] == "proj.weight":
+		return []int{c.Hidden, c.FFN}
+	default:
+		return []int{c.Hidden}
+	}
+}
+
+// setMoETensor (re)builds one tensor with step-mixed deterministic
+// contents, including optimizer moments when requested.
+func (c MoEConfig) setMoETensor(sd *statedict.StateDict, rank int, key string, step int64, opt BuildOptions) error {
+	shape := c.moeExpertShape(key)
+	keys := []string{key}
+	if opt.WithOptimizer {
+		keys = append(keys, "optimizer.exp_avg."+key, "optimizer.exp_avg_sq."+key)
+	}
+	for _, k := range keys {
+		ts, err := tensor.New(tensor.Float32, shape...)
+		if err != nil {
+			return fmt.Errorf("model: tensor %q: %w", k, err)
+		}
+		ts.FillPattern(moeSeed(opt.Seed, rank, k, step))
+		if err := sd.SetTensor(k, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildMoEWorkerStateDict constructs one rank's expert-parallel shard: the
+// FFN tensors (and optimizer moments) of the experts the rank hosts, a
+// router slice, and training metadata. Contents are deterministic in
+// (Seed, rank, key, step 0) so recovery tests detect corruption.
+func BuildMoEWorkerStateDict(c MoEConfig, world, rank int, opt BuildOptions) (*statedict.StateDict, error) {
+	if err := c.Validate(world); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= world {
+		return nil, fmt.Errorf("model: moe rank %d out of range [0, %d)", rank, world)
+	}
+	sd := statedict.New()
+	sd.SetMeta("iteration", statedict.Int(opt.Iteration))
+	sd.SetMeta("model", statedict.String(fmt.Sprintf("moe-%de-%dh", c.Experts, c.HotExperts)))
+	sd.SetMeta("world_rank", statedict.Int(int64(rank)))
+	sd.SetMeta("ckpt_version", statedict.String("eccheck-1"))
+	sd.SetMeta("rng_state", statedict.Bytes(rngState(opt.Seed, rank)))
+
+	// Router (replicated dense slice per rank).
+	router, err := tensor.New(tensor.Float32, c.Experts, c.Hidden)
+	if err != nil {
+		return nil, fmt.Errorf("model: router: %w", err)
+	}
+	router.FillPattern(moeSeed(opt.Seed, rank, "router.weight", 0))
+	if err := sd.SetTensor("router.weight", router); err != nil {
+		return nil, err
+	}
+
+	lo, hi := c.ExpertsOf(world, rank)
+	for e := lo; e < hi; e++ {
+		for _, key := range moeExpertKeys(e) {
+			if err := c.setMoETensor(sd, rank, key, 0, opt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sd, nil
+}
+
+// BuildMoEClusterStateDicts builds one expert-parallel shard per rank.
+func BuildMoEClusterStateDicts(c MoEConfig, world int, opt BuildOptions) ([]*statedict.StateDict, error) {
+	out := make([]*statedict.StateDict, world)
+	for rank := range out {
+		sd, err := BuildMoEWorkerStateDict(c, world, rank, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[rank] = sd
+	}
+	return out, nil
+}
+
+// MutateHotExperts advances training by one logical step for the hot
+// experts only: their tensors (and moments) are refilled with step-mixed
+// contents and the hosting ranks' iteration metadata moves to step. Cold
+// experts keep their bytes — modeling the skew where hot experts change
+// between every checkpoint and cold ones do not, so restoring just
+// HotRanks recovers everything that actually moved since the last save.
+func MutateHotExperts(c MoEConfig, world int, dicts []*statedict.StateDict, step int64, opt BuildOptions) error {
+	if err := c.Validate(world); err != nil {
+		return err
+	}
+	if len(dicts) != world {
+		return fmt.Errorf("model: moe mutate got %d dicts for world %d", len(dicts), world)
+	}
+	for _, rank := range c.HotRanks(world) {
+		sd := dicts[rank]
+		lo, hi := c.ExpertsOf(world, rank)
+		for e := lo; e < hi && e < c.HotExperts; e++ {
+			for _, key := range moeExpertKeys(e) {
+				if err := c.setMoETensor(sd, rank, key, step, opt); err != nil {
+					return err
+				}
+			}
+		}
+		sd.SetMeta("iteration", statedict.Int(step))
+	}
+	return nil
+}

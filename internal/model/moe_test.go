@@ -1,0 +1,161 @@
+package model
+
+import (
+	"testing"
+
+	"eccheck/internal/statedict"
+)
+
+func TestMoEConfigValidate(t *testing.T) {
+	world := 8
+	if err := DefaultMoEConfig(world).Validate(world); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []MoEConfig{
+		{Experts: 0, HotExperts: 1, Hidden: 8, FFN: 8},
+		{Experts: 9, HotExperts: 1, Hidden: 8, FFN: 8},  // not a multiple of world
+		{Experts: 16, HotExperts: 0, Hidden: 8, FFN: 8}, // no hot experts
+		{Experts: 16, HotExperts: 17, Hidden: 8, FFN: 8},
+		{Experts: 16, HotExperts: 1, Hidden: 0, FFN: 8},
+	}
+	for i, c := range bad {
+		if err := c.Validate(world); err == nil {
+			t.Errorf("case %d (%+v): want error", i, c)
+		}
+	}
+	if err := DefaultMoEConfig(world).Validate(0); err == nil {
+		t.Error("world 0: want error")
+	}
+}
+
+func TestMoEExpertSharding(t *testing.T) {
+	world := 4
+	c := DefaultMoEConfig(world)
+	// The rank ranges must partition [0, Experts) contiguously.
+	next := 0
+	for rank := 0; rank < world; rank++ {
+		lo, hi := c.ExpertsOf(world, rank)
+		if lo != next || hi <= lo {
+			t.Fatalf("rank %d hosts [%d,%d), want contiguous from %d", rank, lo, hi, next)
+		}
+		next = hi
+	}
+	if next != c.Experts {
+		t.Fatalf("sharding covers %d experts, want %d", next, c.Experts)
+	}
+}
+
+func TestMoEHotRanksArePrefix(t *testing.T) {
+	world := 8
+	c := DefaultMoEConfig(world) // 32 experts, 4 hot, 4 per rank -> 1 hot rank
+	hot := c.HotRanks(world)
+	if len(hot) == 0 || len(hot) >= world {
+		t.Fatalf("hot ranks %v must be a proper non-empty subset of %d ranks", hot, world)
+	}
+	for i, r := range hot {
+		if r != i {
+			t.Fatalf("hot ranks %v are not a prefix of the rank space", hot)
+		}
+	}
+	// More hot experts than one rank hosts -> more hot ranks, still capped.
+	c.HotExperts = c.Experts
+	if got := c.HotRanks(world); len(got) != world {
+		t.Errorf("all experts hot: %d hot ranks, want %d", len(got), world)
+	}
+}
+
+func TestBuildMoEWorkerStateDictDeterminism(t *testing.T) {
+	world := 4
+	c := DefaultMoEConfig(world)
+	opt := NewBuildOptions()
+	opt.Seed = 99
+	opt.WithOptimizer = true
+	a, err := BuildMoEWorkerStateDict(c, world, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMoEWorkerStateDict(c, world, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same (config, rank, options) must build identical shards")
+	}
+	other, err := BuildMoEWorkerStateDict(c, world, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(other) {
+		t.Error("different ranks must host different shards")
+	}
+	// Each hosted expert contributes its FFN tensors; with optimizer
+	// moments every tensor triples.
+	per := c.Experts / world
+	wantTensors := 1 + per*4*3 // router + experts*(4 tensors)*(param+2 moments)
+	if got := len(a.TensorEntries()); got != wantTensors {
+		t.Errorf("rank shard has %d tensors, want %d", got, wantTensors)
+	}
+	if _, err := BuildMoEWorkerStateDict(c, world, world, opt); err == nil {
+		t.Error("out-of-range rank: want error")
+	}
+}
+
+func TestMutateHotExpertsTouchesOnlyHotRanks(t *testing.T) {
+	world := 4
+	c := DefaultMoEConfig(world)
+	opt := NewBuildOptions()
+	opt.Seed = 7
+	dicts, err := BuildMoEClusterStateDicts(c, world, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dicts) != world {
+		t.Fatalf("built %d shards, want %d", len(dicts), world)
+	}
+	baseline, err := BuildMoEClusterStateDicts(c, world, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MutateHotExperts(c, world, dicts, 3, opt); err != nil {
+		t.Fatal(err)
+	}
+	hot := map[int]bool{}
+	for _, r := range c.HotRanks(world) {
+		hot[r] = true
+	}
+	for rank := range dicts {
+		changed := !dicts[rank].Equal(baseline[rank])
+		if hot[rank] && !changed {
+			t.Errorf("hot rank %d unchanged after mutation", rank)
+		}
+		if !hot[rank] && changed {
+			t.Errorf("cold rank %d changed — skew model broken", rank)
+		}
+	}
+	// The hot ranks' iteration metadata tracks the step.
+	for _, r := range c.HotRanks(world) {
+		v, ok := dicts[r].Meta("iteration")
+		if !ok {
+			t.Fatalf("hot rank %d lost iteration metadata", r)
+		}
+		if it, _ := v.AsInt(); it != 3 {
+			t.Errorf("hot rank %d iteration = %d, want 3", r, it)
+		}
+	}
+	// Mutation is deterministic: replaying it on a fresh copy converges.
+	replay, err := BuildMoEClusterStateDicts(c, world, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MutateHotExperts(c, world, replay, 3, opt); err != nil {
+		t.Fatal(err)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(replay[rank]) {
+			t.Errorf("rank %d: replayed mutation diverged", rank)
+		}
+	}
+	if err := MutateHotExperts(c, world, []*statedict.StateDict{}, 1, opt); err == nil {
+		t.Error("wrong dict count: want error")
+	}
+}

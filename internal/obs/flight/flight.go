@@ -61,6 +61,10 @@ const (
 	// and the buffer committed. Peer carries the buffer index; gaps
 	// between consecutive EvBuffer spans on one node are pipeline bubbles.
 	EvBuffer
+	// EvBudget is a restore-latency SLO violation: a load round whose wall
+	// time (Dur) overran the configured budget (Bytes carries the budget in
+	// nanoseconds, the only spare numeric field). Op names the round kind.
+	EvBudget
 )
 
 // String returns a short stable name for the event type.
@@ -90,6 +94,8 @@ func (t EventType) String() string {
 		return "membership"
 	case EvBuffer:
 		return "buffer"
+	case EvBudget:
+		return "budget"
 	default:
 		return "unknown"
 	}
@@ -372,6 +378,17 @@ func (r *Recorder) Buffer(op string, node, round, buf int, start time.Time, dur 
 		return
 	}
 	r.append(Event{TS: r.sinceEpoch(start), Dur: dur, Type: EvBuffer, Op: op, Node: node, Peer: buf, Round: round})
+}
+
+// BudgetExceeded records a restore round (op "load", "partial-load" or
+// "remote-load") whose wall time elapsed overran the configured latency
+// budget. The budget rides the Bytes field as nanoseconds so the event
+// stays allocation-free.
+func (r *Recorder) BudgetExceeded(op string, round int, budget, elapsed time.Duration) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TS: r.sinceEpoch(time.Now()), Dur: elapsed, Type: EvBudget, Op: op, Node: -1, Round: round, Bytes: int64(budget)})
 }
 
 // Membership records one membership-protocol step: op names the step

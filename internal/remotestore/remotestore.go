@@ -13,6 +13,8 @@ package remotestore
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -189,6 +191,24 @@ func (s *Store) Has(key string) bool {
 	defer s.mu.Unlock()
 	_, ok := s.objects[key]
 	return ok
+}
+
+// Keys returns the stored object names beginning with prefix, sorted.
+// An empty prefix lists everything. This is the catalog operation a real
+// object store exposes as LIST: restore paths use it to discover which
+// checkpoint versions survive a catastrophic failure, when no in-memory
+// version counter is left to consult.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Delete removes an object (idempotent).

@@ -1,0 +1,124 @@
+package eccheck_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eccheck"
+)
+
+// TestPublicAPIPartialRestore drives the lazy-restore surface: LoadPartial
+// returns exactly the requested ranks, byte-identical to the checkpoint,
+// for strictly fewer fetched bytes than a full Load.
+func TestPublicAPIPartialRestore(t *testing.T) {
+	sys, dicts := smallSystem(t)
+	ctx := context.Background()
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := sys.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep, err := sys.LoadPartial(ctx, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("returned %d ranks, want 2", len(got))
+	}
+	for _, rank := range []int{0, 5} {
+		if got[rank] == nil || !got[rank].Equal(dicts[rank]) {
+			t.Errorf("rank %d: recovered dict differs", rank)
+		}
+	}
+	if rep.Workflow != "partial" {
+		t.Errorf("workflow = %q, want partial on a healthy fleet", rep.Workflow)
+	}
+	if rep.BytesFetched <= 0 || rep.BytesFetched >= full.BytesFetched {
+		t.Errorf("partial fetched %d bytes, full %d — want strictly fewer", rep.BytesFetched, full.BytesFetched)
+	}
+}
+
+// TestPublicAPIPrefetchNode warms a replacement node and verifies the next
+// recovery runs the pure replacement workflow.
+func TestPublicAPIPrefetchNode(t *testing.T) {
+	sys, dicts := smallSystem(t)
+	ctx := context.Background()
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	victim := sys.DataNodes()[0]
+	if err := sys.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ReplaceNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.PrefetchNode(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlreadyIntact || rep.Segments == 0 {
+		t.Errorf("prefetch report = %+v, want a rebuild", rep)
+	}
+	_, lrep, err := sys.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Workflow != "replacement" || len(lrep.MissingChunks) != 0 {
+		t.Errorf("post-prefetch load = {%q, missing %v}, want pure replacement",
+			lrep.Workflow, lrep.MissingChunks)
+	}
+}
+
+// TestPublicAPILoadBudget pins the soft-SLO contract at the root surface.
+func TestPublicAPILoadBudget(t *testing.T) {
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes:        4,
+		GPUsPerNode:  2,
+		TPDegree:     2,
+		PPStages:     4,
+		K:            2,
+		M:            2,
+		BufferSize:   64 << 10,
+		LoadBudget:   time.Nanosecond,
+		FlightEvents: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := sys.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 42
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := sys.Load(ctx)
+	if err != nil {
+		t.Fatalf("budget overrun must not fail the restore: %v", err)
+	}
+	for rank := range dicts {
+		if !dicts[rank].Equal(got[rank]) {
+			t.Errorf("rank %d: recovered dict differs", rank)
+		}
+	}
+	if rep.Budget != time.Nanosecond || !rep.DeadlineExceeded {
+		t.Errorf("budget verdict = {%v, %v}, want {1ns, true}", rep.Budget, rep.DeadlineExceeded)
+	}
+	if len(rep.Postmortem) == 0 {
+		t.Error("budget miss must attach the flight-recorder tail")
+	}
+}
