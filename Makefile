@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke restore-smoke daemon-smoke vulncheck metrics-demo trace-demo
+.PHONY: check fmt vet build test race smoke doclint allocgate chaos-soak scale-smoke restore-smoke daemon-smoke health-smoke vulncheck metrics-demo trace-demo
 
 # The full gate: what CI (and a pre-commit run) should execute.
 check: fmt vet build test race smoke doclint allocgate
@@ -46,10 +46,12 @@ doclint:
 # emitter on a nil recorder and the phase clock's per-buffer Switch on
 # the save hot path must be 0 allocs/op — these tests fail otherwise.
 # Membership-quiescent state queries (Alive/Draining/State/Generation)
-# sit on the same hot path and are gated too.
+# sit on the same hot path and are gated too, as are the round-lifecycle
+# fan-out with no logger/health tracker and the phase clock with the
+# stuck-round watchdog disabled.
 allocgate:
 	$(GO) test -run 'TestDisabledRecorderZeroAlloc' -count=1 ./internal/obs/flight
-	$(GO) test -run 'TestPhaseClockZeroAllocWithoutRecorder' -count=1 ./internal/core
+	$(GO) test -run 'TestPhaseClockZeroAllocWithoutRecorder|TestPhaseClockZeroAllocWatchdogDisabled|TestRoundHooksZeroAllocWhenDisabled' -count=1 ./internal/core
 	$(GO) test -run 'TestMembershipStateZeroAlloc' -count=1 ./internal/cluster
 
 # Randomized elastic-membership churn (preempt/drain/rejoin racing saves
@@ -84,6 +86,18 @@ restore-smoke:
 # clean drain. Skipped under TESTFLAGS=-short, so it needs its own target.
 daemon-smoke:
 	$(GO) test -run 'TestDaemonSmoke' -count=1 -v ./cmd/eccheckd
+
+# Observability gate for the protection-health surface: boots the real
+# eccheckd with JSON logging and the watchdog armed, subscribes to the
+# /v1/events SSE stream, kills machines until the job's level walks
+# OK -> Degraded -> AtRisk -> Unprotected, asserts /readyz flips exactly
+# at AtRisk, and requires every stderr log line to parse as JSON. Runs
+# under the race detector — the health tracker and event bus sit on
+# every round's goroutines. Skipped under TESTFLAGS=-short, so it needs
+# its own target.
+health-smoke:
+	$(GO) test -race -run 'TestHealthSmoke' -count=1 -v ./cmd/eccheckd
+	$(GO) test -race -run 'TestHealthTransitions|TestMetricHelpCoverage|TestRouteCollisions' -count=1 ./internal/daemon
 
 # Known-vulnerability scan over the module graph and reachable call paths.
 # Uses the golang.org/x/vuln scanner; requires network access to the Go

@@ -10,12 +10,18 @@
 //	load     <id>
 //	fail     <id> -node N [-no-replace]
 //	status   <id>
+//	health   <id>
+//	watch    [-job id] [-count N]
+//	readyz
 //	list
 //	delete   <id>
 //	metrics
 //
 // Every command prints the daemon's JSON response; non-2xx responses exit
-// 1 with the daemon's typed error on stderr.
+// 1 with the daemon's typed error on stderr. watch streams the daemon's
+// /v1/events feed line by line until interrupted (or N events with
+// -count), prefixing each protection-level transition with LEVEL so a
+// chaos drill reads at a glance.
 package main
 
 import (
@@ -24,7 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"eccheck"
 	"eccheck/internal/daemon"
 )
 
@@ -33,7 +42,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: eccheckctl [-addr URL] register|save|load|fail|status|list|delete|metrics ...")
+	fmt.Fprintln(os.Stderr, "usage: eccheckctl [-addr URL] register|save|load|fail|status|health|watch|readyz|list|delete|metrics ...")
 }
 
 func run() int {
@@ -139,6 +148,22 @@ func dispatch(ctx context.Context, cli *daemon.Client, cmd string, args []string
 			return nil, err
 		}
 		return cli.Status(ctx, id)
+	case "health":
+		id, _, err := popID(args)
+		if err != nil {
+			return nil, err
+		}
+		return cli.Health(ctx, id)
+	case "readyz":
+		return cli.Readyz(ctx)
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+		job := fs.String("job", "", "stream only this job's events")
+		count := fs.Int("count", 0, "stop after N events (0 streams until interrupted)")
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		return "", watch(ctx, cli, *job, *count)
 	case "list":
 		return cli.List(ctx)
 	case "delete":
@@ -155,4 +180,27 @@ func dispatch(ctx context.Context, cli *daemon.Client, cmd string, args []string
 	default:
 		return nil, errUsage
 	}
+}
+
+// watch tails the daemon's /v1/events stream, one JSON event per line.
+// Protection-level transitions get a LEVEL prefix ("LEVEL degraded <-
+// ok") so the moments that matter stand out in a chaos drill; round and
+// stuck events print bare. Ctrl-C detaches cleanly.
+func watch(ctx context.Context, cli *daemon.Client, job string, count int) error {
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	seen := 0
+	return cli.Watch(ctx, job, func(ev eccheck.HealthEvent) bool {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		if ev.Kind == "health" {
+			fmt.Printf("LEVEL %s <- %s  %s\n", ev.Level, ev.PrevLevel, raw)
+		} else {
+			fmt.Printf("%s\n", raw)
+		}
+		seen++
+		return count <= 0 || seen < count
+	})
 }

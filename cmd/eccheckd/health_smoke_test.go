@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"eccheck"
+	"eccheck/internal/daemon"
+)
+
+// TestHealthSmoke is the observability gate behind `make health-smoke`:
+// it boots the real eccheckd binary with JSON logging and the watchdog
+// armed, attaches an SSE subscriber to /v1/events, then kills machines
+// until the job's protection level walks down to Unprotected — asserting
+// the Degraded and Unprotected transitions arrive on the stream, that
+// /readyz flips from ready to 503 exactly when the fleet reaches AtRisk,
+// and that every line the daemon logged to stderr parses as JSON.
+// Skipped under -short; CI runs it as a dedicated step.
+func TestHealthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("health smoke exercises a real binary over HTTP; skipped in -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "eccheckd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build eccheckd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-log-format", "json", "-log-level", "debug", "-watchdog-factor", "8",
+		"-drain-timeout", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start eccheckd: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// stderr carries only structured logs: collect every line for the
+	// JSON-parseability assertion at the end.
+	var logMu sync.Mutex
+	var logLines []string
+	var logWG sync.WaitGroup
+	logWG.Add(1)
+	go func() {
+		defer logWG.Done()
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			logMu.Lock()
+			logLines = append(logLines, sc.Text())
+			logMu.Unlock()
+		}
+	}()
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	addr, err := awaitListenLine(lines)
+	if err != nil {
+		t.Fatalf("daemon never announced its address: %v", err)
+	}
+	cli := daemon.NewClient("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	// Subscribe to the event stream before the job exists so the walk's
+	// transitions cannot be missed.
+	levelCh := make(chan eccheck.HealthEvent, 32)
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		err := cli.Watch(watchCtx, "", func(ev eccheck.HealthEvent) bool {
+			if ev.Kind == "health" && ev.Job == "chaos" {
+				levelCh <- ev
+			}
+			return true
+		})
+		if err != nil {
+			t.Errorf("watch: %v", err)
+		}
+	}()
+	nextLevel := func(what string) eccheck.HealthEvent {
+		t.Helper()
+		select {
+		case ev := <-levelCh:
+			return ev
+		case <-time.After(60 * time.Second):
+			t.Fatalf("no %s health event on /v1/events", what)
+			return eccheck.HealthEvent{}
+		}
+	}
+
+	// Register (defaults: 4 nodes, k=2 m=2) and commit one checkpoint.
+	// The registration announcement doubles as the subscription handshake.
+	spec := daemon.JobSpec{ID: "chaos", Tenant: "smoke", Scale: 32, BufferBytes: 128 << 10, DisableRemote: true}
+	if _, err := cli.Register(ctx, spec); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if ev := nextLevel("announcement"); ev.Level != eccheck.HealthUnprotected {
+		t.Fatalf("announced level %s, want unprotected", ev.Level)
+	}
+	if _, err := cli.Save(ctx, "chaos", daemon.SaveRequest{Steps: 2}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if ev := nextLevel("OK"); ev.Level != eccheck.HealthOK {
+		t.Fatalf("post-save level %s, want ok", ev.Level)
+	}
+	rz, err := cli.Readyz(ctx)
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	if !rz.Ready {
+		t.Fatalf("daemon not ready with a freshly protected job: %+v", rz)
+	}
+
+	// Kill machines without replacement until protection is gone.
+	noReplace := false
+	for _, step := range []struct {
+		node  int
+		level eccheck.HealthLevel
+	}{
+		{0, eccheck.HealthDegraded},
+		{1, eccheck.HealthAtRisk},
+		{2, eccheck.HealthUnprotected},
+	} {
+		if _, err := cli.Fail(ctx, "chaos", daemon.FailRequest{Node: step.node, Replace: &noReplace}); err != nil {
+			t.Fatalf("fail node %d: %v", step.node, err)
+		}
+		if ev := nextLevel(step.level.String()); ev.Level != step.level {
+			t.Fatalf("after killing node %d: stream level %s, want %s", step.node, ev.Level, step.level)
+		}
+	}
+	rz, err = cli.Readyz(ctx)
+	if err != nil {
+		t.Fatalf("readyz after kills: %v", err)
+	}
+	if rz.Ready {
+		t.Fatalf("daemon still ready with an unprotected job: %+v", rz)
+	}
+	if rz.Worst != eccheck.HealthUnprotected || rz.Jobs["chaos"] != eccheck.HealthUnprotected {
+		t.Fatalf("readyz body %+v, want worst/jobs unprotected", rz)
+	}
+
+	// The event stream must survive daemon drain: SIGTERM closes the bus,
+	// which ends the Watch cleanly (asserted via watchWG after Wait).
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	var tail []string
+	for line := range lines {
+		tail = append(tail, line)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("eccheckd exited dirty: %v\n%s", err, strings.Join(tail, "\n"))
+	}
+	if !containsLine(tail, "eccheckd: drained cleanly") {
+		t.Fatalf("no clean-drain confirmation in stdout:\n%s", strings.Join(tail, "\n"))
+	}
+	watchWG.Wait()
+	logWG.Wait()
+
+	// Every structured-log line must be machine-parseable JSON carrying
+	// level and msg, and the lifecycle must be visible in it.
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logLines) == 0 {
+		t.Fatal("daemon logged nothing to stderr")
+	}
+	joined := strings.Join(logLines, "\n")
+	for i, line := range logLines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line %d is not JSON: %q (%v)", i, line, err)
+		}
+		if rec["level"] == nil || rec["msg"] == nil {
+			t.Fatalf("stderr line %d lacks level/msg: %q", i, line)
+		}
+	}
+	for _, want := range []string{
+		`"msg":"job registered","job":"chaos"`,
+		`"msg":"save committed"`,
+		`"msg":"node failure injected"`,
+		`"msg":"round start"`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("structured logs missing %s", want)
+		}
+	}
+}

@@ -8,13 +8,22 @@
 //
 //	eccheckd [-addr 127.0.0.1:7070] [-max-saves 1]
 //	         [-tenant-mem-bytes 2147483648] [-tenant-bw 1.25e9]
-//	         [-flight-events 4096] [-drain-timeout 30s]
+//	         [-flight-events 4096] [-watchdog-factor 0]
+//	         [-log-level info] [-log-format text]
+//	         [-drain-timeout 30s]
 //
 // The daemon prints "eccheckd listening on ADDR" once the API is up (so
 // scripts binding ":0" can scrape the port), serves until SIGTERM or
 // SIGINT, then drains gracefully: new work is rejected with 503 while
 // in-flight checkpoint rounds get -drain-timeout to finish before the
 // fleets are torn down. A clean drain exits 0.
+//
+// Structured logs go to stderr through log/slog; -log-format json makes
+// every line machine-parseable (the health-smoke CI gate asserts this),
+// and -log-level debug surfaces per-round and chaos-verdict detail.
+// -watchdog-factor N arms each job's stuck-round watchdog: any round
+// phase running longer than N× its rolling p99 is flagged live on the
+// event stream.
 //
 // API summary (see DESIGN.md §11 for the full table):
 //
@@ -25,14 +34,18 @@
 //	POST   /v1/jobs/{id}/save  admission-controlled checkpoint round
 //	POST   /v1/jobs/{id}/load  recover + byte-verify latest checkpoint
 //	POST   /v1/jobs/{id}/fail  inject a machine failure
+//	GET    /v1/jobs/{id}/health  live protection score
+//	GET    /v1/events          health/round/stuck event stream (SSE)
 //	GET    /metrics            per-job admission/quota/round counters
 //	GET    /healthz            liveness ("ok" / 503 "draining")
+//	GET    /readyz             readiness (503 when any job is at-risk)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,45 +59,79 @@ func main() {
 	os.Exit(run())
 }
 
+// newLogger builds the daemon's stderr logger. Routing every diagnostic
+// through it keeps stderr uniformly parseable under -log-format json.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("eccheckd: bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("eccheckd: bad -log-format %q (want json or text)", format)
+	}
+}
+
 func run() int {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
-		maxSaves     = flag.Int("max-saves", 1, "fleet-wide concurrent save-round bound (admission slots)")
-		tenantMem    = flag.Int64("tenant-mem-bytes", 0, "per-tenant host-memory quota in bytes (0 = default 2 GiB, negative disables)")
-		tenantBW     = flag.Float64("tenant-bw", 0, "per-tenant remote-tier bandwidth quota in bytes/sec (0 = default 1.25e9, negative disables)")
-		flightEvents = flag.Int("flight-events", 0, "default per-job flight-recorder ring size (0 = default 4096, negative disables)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight rounds on SIGTERM")
+		addr           = flag.String("addr", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
+		maxSaves       = flag.Int("max-saves", 1, "fleet-wide concurrent save-round bound (admission slots)")
+		tenantMem      = flag.Int64("tenant-mem-bytes", 0, "per-tenant host-memory quota in bytes (0 = default 2 GiB, negative disables)")
+		tenantBW       = flag.Float64("tenant-bw", 0, "per-tenant remote-tier bandwidth quota in bytes/sec (0 = default 1.25e9, negative disables)")
+		flightEvents   = flag.Int("flight-events", 4096, "default per-job flight-recorder ring size (negative disables)")
+		watchdogFactor = flag.Float64("watchdog-factor", 0, "flag round phases stuck past factor × rolling p99 (0 disables, min 1)")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat      = flag.String("log-format", "text", "log encoding on stderr: text or json")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight rounds on SIGTERM")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	d := daemon.New(daemon.Config{
 		MaxConcurrentSaves:  *maxSaves,
 		TenantMemoryBytes:   *tenantMem,
 		TenantBandwidth:     *tenantBW,
 		DefaultFlightEvents: *flightEvents,
+		WatchdogFactor:      *watchdogFactor,
+		Logger:              logger,
 	})
 	srv, err := obs.ServeMux(*addr, d.Mux())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	fmt.Printf("eccheckd listening on %s\n", srv.Addr())
+	logger.Info("eccheckd up", "addr", srv.Addr(), "watchdog_factor", *watchdogFactor)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	got := <-sig
+	// The drain lines stay on stdout next to the listen announcement —
+	// they are the script-scraped lifecycle protocol; stderr carries only
+	// structured logs.
 	fmt.Printf("eccheckd: %s, draining (timeout %s)\n", got, *drainTimeout)
+	logger.Info("draining", "signal", got.String(), "timeout", *drainTimeout)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := d.Shutdown(ctx)
 	closeErr := srv.Close()
 	if drainErr != nil {
-		fmt.Fprintf(os.Stderr, "eccheckd: drain: %v\n", drainErr)
+		logger.Error("drain failed", "err", drainErr)
 		return 1
 	}
 	if closeErr != nil {
-		fmt.Fprintf(os.Stderr, "eccheckd: close: %v\n", closeErr)
+		logger.Error("close failed", "err", closeErr)
 		return 1
 	}
 	fmt.Println("eccheckd: drained cleanly")

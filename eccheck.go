@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"eccheck/internal/core"
 	"eccheck/internal/obs"
 	"eccheck/internal/obs/flight"
+	"eccheck/internal/obs/health"
 	"eccheck/internal/remotestore"
 	"eccheck/internal/transport"
 )
@@ -102,6 +104,18 @@ type Config struct {
 	// or serve it live with System.ServeDebug. 0 (the default) disables
 	// recording at zero cost on the save hot path.
 	FlightEvents int
+	// Logger receives structured logs (stdlib log/slog) of round
+	// lifecycle, membership changes and chaos verdicts, with op/round/
+	// node correlation attributes. Nil disables logging at zero cost on
+	// the hot path.
+	Logger *slog.Logger
+	// WatchdogFactor arms the stuck-round watchdog: a live round whose
+	// current phase exceeds this multiple of the phase's rolling p99 is
+	// flagged in flight (EvStuck flight event, round_stuck_total counter,
+	// a stuck health event, and a live postmortem tail) without waiting
+	// for the round to fail. 0 disables the watchdog at zero cost; values
+	// below 1 are rejected.
+	WatchdogFactor float64
 }
 
 // System is a running ECCheck deployment: the engine plus the cluster,
@@ -115,6 +129,7 @@ type System struct {
 	topo     *Topology
 	metrics  *obs.Registry
 	flight   *flight.Recorder // non-nil when Config.FlightEvents > 0
+	health   *health.Tracker  // always non-nil: protection scoring is cheap
 
 	// killTimers arms the preemption deadlines of non-chaos systems (under
 	// chaos the chaos network owns the deadline). Guarded by timerMu.
@@ -211,6 +226,10 @@ func Initialize(cfg Config) (*System, error) {
 		persistEvery = 0
 		remote = nil
 	}
+	// The health tracker exists before the engine it probes (the engine's
+	// round callbacks need it at construction); SetProbe below closes the
+	// cycle once the engine and cluster are live.
+	tracker := health.NewTracker(nil)
 	ckpt, err := core.New(core.Config{
 		Topo:               topo,
 		K:                  cfg.K,
@@ -225,19 +244,42 @@ func Initialize(cfg Config) (*System, error) {
 		LoadBudget:         cfg.LoadBudget,
 		Metrics:            reg,
 		Flight:             rec,
+		Health:             tracker,
+		Logger:             cfg.Logger,
+		WatchdogFactor:     cfg.WatchdogFactor,
 	}, net, clus, remote)
 	if err != nil {
 		_ = net.Close()
 		return nil, fmt.Errorf("eccheck: %w", err)
 	}
+	tracker.SetProbe(func() health.Probe {
+		p := health.Probe{
+			Version:       ckpt.Version(),
+			M:             ckpt.Code().M(),
+			DegradedSlots: ckpt.DegradedSlots(),
+			DeadNodes:     clus.FailedNodes(),
+		}
+		for node := 0; node < clus.Nodes(); node++ {
+			if clus.Draining(node) {
+				p.DrainingNodes = append(p.DrainingNodes, node)
+			}
+		}
+		return p
+	})
 	if chaosNet != nil {
 		// A chaos kill models a whole-machine crash: the node's transport
 		// dies and its volatile host memory — checkpoint chunks included —
-		// is destroyed in the same instant.
-		chaosNet.SetOnKill(func(node int) { _ = clus.Fail(node) })
+		// is destroyed in the same instant. The kill is a membership
+		// transition, so the protection score is recomputed on the spot.
+		chaosNet.SetOnKill(func(node int) {
+			_ = clus.Fail(node)
+			tracker.Recompute()
+		})
+		chaosNet.SetLogger(cfg.Logger)
 	}
 	return &System{ckpt: ckpt, net: net, chaosNet: chaosNet, clus: clus, remote: remote,
-		topo: topo, metrics: reg, flight: rec, killTimers: make(map[int]*time.Timer)}, nil
+		topo: topo, metrics: reg, flight: rec, health: tracker,
+		killTimers: make(map[int]*time.Timer)}, nil
 }
 
 // RoundHooks observes checkpoint-round lifecycle transitions: RoundStart
@@ -266,6 +308,49 @@ func (s *System) Metrics() Snapshot { return s.metrics.Snapshot() }
 // Config.FlightEvents was 0. Snapshot/Drain it directly, or use
 // WriteTrace / ServeDebug for the rendered forms.
 func (s *System) FlightRecorder() *FlightRecorder { return s.flight }
+
+// HealthTracker is the event-driven protection scorer of one system.
+type HealthTracker = health.Tracker
+
+// HealthReport is the collapsed protection score: level, redundancy
+// margin, staleness, rolling success rates and reason strings.
+type HealthReport = health.Report
+
+// HealthLevel classifies protection, ordered healthy to lost.
+type HealthLevel = health.Level
+
+// HealthEvent is one record on the protection timeline (round
+// lifecycle, health transition, or stuck-round flag).
+type HealthEvent = health.Event
+
+// Protection levels (see health.Level for the exact semantics).
+const (
+	// HealthOK: the full parity margin m stands.
+	HealthOK = health.OK
+	// HealthDegraded: recoverable, but part of the margin is consumed.
+	HealthDegraded = health.Degraded
+	// HealthAtRisk: zero margin — one more loss is unrecoverable.
+	HealthAtRisk = health.AtRisk
+	// HealthUnprotected: the in-memory checkpoint is already gone (or
+	// nothing has committed yet).
+	HealthUnprotected = health.Unprotected
+)
+
+// Health returns the system's current protection score. It is
+// recomputed on membership, round and chaos transitions — never polled —
+// so reading it is cheap.
+func (s *System) Health() HealthReport { return s.health.Report() }
+
+// HealthTracker exposes the underlying tracker so a control plane can
+// subscribe to its event stream (SetSink) or force a recomputation. The
+// tracker is always non-nil.
+func (s *System) HealthTracker() *HealthTracker { return s.health }
+
+// WatchdogPostmortem returns the flight-recorder tail captured at the
+// most recent stuck-round flag — a live postmortem of a round that had
+// not (yet) failed. Nil when Config.WatchdogFactor is 0, the flight
+// recorder is off, or nothing has been flagged.
+func (s *System) WatchdogPostmortem() []FlightEvent { return s.ckpt.WatchdogPostmortem() }
 
 // WriteTrace renders the flight recorder's current contents as Chrome
 // trace_event JSON — load the output in Perfetto (ui.perfetto.dev) or
@@ -378,7 +463,11 @@ func (s *System) PrefetchNode(ctx context.Context, node int) (*PrefetchReport, e
 
 // FailNode simulates a machine failure: the node's volatile host memory —
 // including its checkpoint chunk — is destroyed.
-func (s *System) FailNode(node int) error { return s.clus.Fail(node) }
+func (s *System) FailNode(node int) error {
+	err := s.clus.Fail(node)
+	s.health.Recompute()
+	return err
+}
 
 // ReplaceNode brings a failed machine back as a fresh, empty node. Under
 // chaos, the replacement also gets a working transport again (a chaos kill
@@ -391,7 +480,7 @@ func (s *System) FailNode(node int) error { return s.clus.Fail(node) }
 // stage on the fresh node but commit against a manifest it never staged.
 // The fence makes membership changes and save rounds strictly serial.
 func (s *System) ReplaceNode(node int) error {
-	return s.ckpt.WithSaveFence(context.Background(), func() error {
+	err := s.ckpt.WithSaveFence(context.Background(), func() error {
 		if err := s.clus.Replace(node); err != nil {
 			return err
 		}
@@ -400,6 +489,8 @@ func (s *System) ReplaceNode(node int) error {
 		}
 		return nil
 	})
+	s.health.Recompute()
+	return err
 }
 
 // AliveNodes lists the currently healthy machines.
@@ -490,10 +581,12 @@ func (s *System) CorruptChunk(node int) error {
 func (s *System) killNode(node int) {
 	s.stopKillTimer(node)
 	if s.chaosNet != nil {
+		// The chaos OnKill hook recomputes health.
 		_ = s.chaosNet.KillNow(node)
 		return
 	}
 	_ = s.clus.Fail(node)
+	s.health.Recompute()
 }
 
 // stopKillTimer disarms a non-chaos preemption deadline, if one is armed.
@@ -560,7 +653,10 @@ func (s *System) PreemptNode(ctx context.Context, node int, notice time.Duration
 		if t, ok := s.killTimers[node]; ok {
 			t.Stop()
 		}
-		s.killTimers[node] = time.AfterFunc(notice, func() { _ = s.clus.Fail(node) })
+		s.killTimers[node] = time.AfterFunc(notice, func() {
+			_ = s.clus.Fail(node)
+			s.health.Recompute()
+		})
 		s.timerMu.Unlock()
 	}
 	dctx, cancel := context.WithDeadline(ctx, deadline)

@@ -1,0 +1,151 @@
+package eccheck_test
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"eccheck"
+)
+
+// TestHealthAPI walks the public protection-health surface on a real
+// fleet: the fresh-system report, the transition to OK after a commit,
+// degradation as machines die, and the event stream through the tracker
+// sink.
+func TestHealthAPI(t *testing.T) {
+	sys, dicts := smallSystem(t)
+	ctx := context.Background()
+
+	rep := sys.Health()
+	if rep.Level != eccheck.HealthUnprotected || rep.Version != 0 {
+		t.Fatalf("fresh system health = %s v%d, want unprotected v0", rep.Level, rep.Version)
+	}
+	if len(rep.Reasons) == 0 || !strings.Contains(rep.Reasons[0], "no committed checkpoint") {
+		t.Fatalf("fresh system reasons = %v", rep.Reasons)
+	}
+
+	var events []eccheck.HealthEvent
+	sys.HealthTracker().SetSink(func(ev eccheck.HealthEvent) {
+		if ev.Kind == "health" {
+			events = append(events, ev)
+		}
+	})
+
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	rep = sys.Health()
+	if rep.Level != eccheck.HealthOK || rep.Margin != 2 || rep.Version != 1 {
+		t.Fatalf("post-save health = %s margin %d v%d, want ok 2 v1", rep.Level, rep.Margin, rep.Version)
+	}
+	if rep.SaveWindow != 1 || rep.SaveSuccess != 1 {
+		t.Fatalf("save rate %d/%d, want 1/1", rep.SaveSuccess, rep.SaveWindow)
+	}
+
+	// Losing one machine costs one margin point; losing a second empties
+	// it.
+	if err := sys.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if rep = sys.Health(); rep.Level != eccheck.HealthDegraded || rep.Margin != 1 {
+		t.Fatalf("after 1 failure: %s margin %d, want degraded 1", rep.Level, rep.Margin)
+	}
+	if len(rep.DeadNodes) != 1 || rep.DeadNodes[0] != 0 {
+		t.Fatalf("dead nodes = %v, want [0]", rep.DeadNodes)
+	}
+	if err := sys.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if rep = sys.Health(); rep.Level != eccheck.HealthAtRisk || rep.Margin != 0 {
+		t.Fatalf("after 2 failures: %s margin %d, want at-risk 0", rep.Level, rep.Margin)
+	}
+
+	// Replacing the machines and recovering restores full protection.
+	for _, n := range []int{0, 1} {
+		if err := sys.ReplaceNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := sys.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rep = sys.Health(); rep.Level != eccheck.HealthOK || rep.Margin != 2 {
+		t.Fatalf("after recovery: %s margin %d, want ok 2", rep.Level, rep.Margin)
+	}
+
+	// The sink saw each level change exactly once, in order.
+	var levels []eccheck.HealthLevel
+	for _, ev := range events {
+		levels = append(levels, ev.Level)
+	}
+	want := []eccheck.HealthLevel{eccheck.HealthOK, eccheck.HealthDegraded, eccheck.HealthAtRisk, eccheck.HealthOK}
+	if len(levels) != len(want) {
+		t.Fatalf("health transitions %v, want %v", levels, want)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s (%v)", i, levels[i], want[i], levels)
+		}
+	}
+}
+
+// TestWatchdogFactorValidation: fractional factors silently multiply
+// every phase's budget below its own p99 — reject them at construction.
+func TestWatchdogFactorValidation(t *testing.T) {
+	_, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4, K: 2, M: 2,
+		WatchdogFactor: 0.5,
+	})
+	if err == nil || !strings.Contains(err.Error(), "watchdog factor") {
+		t.Fatalf("Initialize with factor 0.5: err = %v, want watchdog-factor rejection", err)
+	}
+}
+
+// TestLoggerRoundLifecycle: an armed logger must record round start/end
+// for saves and loads with the op attribute; the library default (no
+// logger) is covered by the zero-alloc gate in internal/core.
+func TestLoggerRoundLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	sys, err := eccheck.Initialize(eccheck.Config{
+		Nodes: 4, GPUsPerNode: 2, TPDegree: 2, PPStages: 4, K: 2, M: 2,
+		BufferSize: 64 << 10, Logger: logger, WatchdogFactor: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	opt := eccheck.NewBuildOptions()
+	opt.Scale = 32
+	opt.Seed = 42
+	dicts, err := eccheck.BuildClusterStateDicts(eccheck.ModelZoo()[0], sys.Topology(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sys.Save(ctx, dicts); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"msg":"round start","op":"save"`,
+		`"msg":"round end","op":"save"`,
+		`"msg":"round start","op":"load"`,
+		`"msg":"round end","op":"load"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s\n%s", want, out)
+		}
+	}
+	// Every line the engine logged must be machine-parseable JSON.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line != "" && (line[0] != '{' || line[len(line)-1] != '}') {
+			t.Errorf("non-JSON log line: %q", line)
+		}
+	}
+}

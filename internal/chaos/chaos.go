@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -131,6 +132,10 @@ type Network struct {
 	// Flight recorder for per-injection events; nil (no-op) until
 	// SetFlight.
 	rec *flight.Recorder
+
+	// Structured logger for injection verdicts; nil (no-op) until
+	// SetLogger.
+	log *slog.Logger
 }
 
 // Wrap builds a fault-injecting view of inner under the given plan.
@@ -214,6 +219,15 @@ func (n *Network) SetFlight(rec *flight.Recorder) {
 	n.rec = rec
 }
 
+// SetLogger installs a structured logger that records every injection
+// verdict (notice, kill, drop, error) with the victim, peer and wire
+// tag. A nil logger disables verdict logging.
+func (n *Network) SetLogger(l *slog.Logger) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.log = l
+}
+
 // SetOnKill installs a hook fired exactly once per killed node, outside the
 // network's locks. Deployments use it to destroy the node's volatile host
 // memory at the instant its transport dies, so a kill is a full machine
@@ -285,6 +299,9 @@ func (n *Network) noticeLocked(node, to int, tag string, notice time.Duration) t
 	deadline := time.Now().Add(notice)
 	n.deadlines[node] = deadline
 	n.rec.Chaos("notice", node, to, tag)
+	if n.log != nil {
+		n.log.Warn("chaos verdict", "verdict", "notice", "node", node, "peer", to, "tag", tag, "deadline", deadline)
+	}
 	if t := n.killTimers[node]; t != nil {
 		t.Stop()
 	}
@@ -332,6 +349,9 @@ func (n *Network) markKilledLocked(node, to int, tag string) func() {
 		reg.Counter("chaos_kills_total", obs.L("node", strconv.Itoa(node))).Inc()
 	}
 	n.rec.Chaos("kill", node, to, tag)
+	if n.log != nil {
+		n.log.Warn("chaos verdict", "verdict", "kill", "node", node, "peer", to, "tag", tag)
+	}
 	if t := n.killTimers[node]; t != nil {
 		t.Stop()
 		delete(n.killTimers, node)
@@ -466,12 +486,20 @@ func (n *Network) judgeSend(node, to int, tag string) (verdict sendVerdict, dela
 		n.stats.Dropped++
 		n.mDropped.Inc()
 		n.rec.Chaos("drop", node, to, tag)
+		if n.log != nil {
+			// Drops and errors can be frequent under aggressive plans:
+			// debug level keeps the default stream readable.
+			n.log.Debug("chaos verdict", "verdict", "drop", "node", node, "peer", to, "tag", tag)
+		}
 		return verdictDrop, 0, hook
 	}
 	if n.plan.ErrProb > 0 && n.rng.Float64() < n.plan.ErrProb {
 		n.stats.Errored++
 		n.mErrored.Inc()
 		n.rec.Chaos("error", node, to, tag)
+		if n.log != nil {
+			n.log.Debug("chaos verdict", "verdict", "error", "node", node, "peer", to, "tag", tag)
+		}
 		return verdictError, 0, hook
 	}
 	delay = n.plan.Latency

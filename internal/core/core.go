@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"eccheck/internal/erasure"
 	"eccheck/internal/obs"
 	"eccheck/internal/obs/flight"
+	"eccheck/internal/obs/health"
 	"eccheck/internal/parallel"
 	"eccheck/internal/placement"
 	"eccheck/internal/remotestore"
@@ -141,6 +143,22 @@ type Config struct {
 	// hits. Failed rounds attach their event tail to the report as a
 	// postmortem. Nil disables event emission at zero cost.
 	Flight *flight.Recorder
+	// Health receives round-lifecycle, budget and stuck-round callbacks
+	// for protection scoring (see internal/obs/health). Nil disables
+	// health tracking at zero cost.
+	Health *health.Tracker
+	// Logger receives structured round-lifecycle and membership logs with
+	// op/round/node correlation attributes. Nil disables logging at zero
+	// cost on the hot path.
+	Logger *slog.Logger
+	// WatchdogFactor arms the stuck-round watchdog: a live round whose
+	// current phase exceeds this multiple of the phase's rolling p99
+	// duration is flagged (flight EvStuck event, round_stuck_total
+	// counter, health stuck callback, live postmortem tail) while still
+	// in flight. 0 disables the watchdog at zero cost; values below 1
+	// are rejected (a threshold under the observed p99 would flag
+	// healthy rounds).
+	WatchdogFactor float64
 	// CodeOptions tune the Cauchy Reed-Solomon code.
 	CodeOptions []erasure.Option
 }
@@ -234,6 +252,9 @@ type Checkpointer struct {
 	// hooks is the installed round-lifecycle observer set (SetRoundHooks);
 	// nil until installed.
 	hooks hookSet
+
+	// wd is the stuck-round watchdog; nil when Config.WatchdogFactor is 0.
+	wd *watchdog
 }
 
 // layout bundles a compiled placement plan with its derived key table and
@@ -527,6 +548,9 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 	if cfg.LoadBudget < 0 {
 		return nil, fmt.Errorf("core: load budget must be non-negative, got %v", cfg.LoadBudget)
 	}
+	if cfg.WatchdogFactor != 0 && cfg.WatchdogFactor < 1 {
+		return nil, fmt.Errorf("core: watchdog factor must be 0 (disabled) or at least 1, got %v", cfg.WatchdogFactor)
+	}
 	plan, err := placement.New(cfg.Topo, cfg.K, cfg.M)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -562,6 +586,9 @@ func New(cfg Config, net transport.Network, clus HostStore, remote *remotestore.
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	c.lay.Store(lay)
+	if cfg.WatchdogFactor > 0 {
+		c.wd = newWatchdog(c, cfg.WatchdogFactor)
+	}
 	return c, nil
 }
 
@@ -611,6 +638,7 @@ func (c *Checkpointer) Close() error {
 	if loadAborted {
 		aborted = append(aborted, "load")
 	}
+	c.wd.stop()
 	c.pool.Close()
 	if len(aborted) > 0 {
 		return fmt.Errorf("core: close cancelled in-flight %v round(s): %w", aborted, ErrSaveAborted)

@@ -52,17 +52,32 @@ func (c *Checkpointer) SetRoundHooks(h RoundHooks) {
 	c.hooks.Store(&h)
 }
 
-// roundStart fires the RoundStart hook, if any.
+// roundStart fans a round's entry into flight out to every observer:
+// the RoundHooks (the daemon's per-job accounting), the health tracker
+// and the structured log. It is the single instrumentation point for
+// round starts; all three observers are nil-safe no-ops when unset.
 func (c *Checkpointer) roundStart(op string, version int) {
 	if h := c.hooks.Load(); h != nil && h.RoundStart != nil {
 		h.RoundStart(op, version)
 	}
+	c.cfg.Health.RoundStarted(op, version)
+	if l := c.cfg.Logger; l != nil {
+		l.Info("round start", "op", op, "version", version)
+	}
 }
 
-// roundEnd fires the RoundEnd hook, if any.
+// roundEnd is roundStart's counterpart for a round leaving flight.
 func (c *Checkpointer) roundEnd(op string, version int, err error) {
 	if h := c.hooks.Load(); h != nil && h.RoundEnd != nil {
 		h.RoundEnd(op, version, err)
+	}
+	c.cfg.Health.RoundFinished(op, version, err)
+	if l := c.cfg.Logger; l != nil {
+		if err != nil {
+			l.Error("round failed", "op", op, "version", version, "err", err)
+		} else {
+			l.Info("round end", "op", op, "version", version)
+		}
 	}
 }
 

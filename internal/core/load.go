@@ -397,6 +397,11 @@ func (c *Checkpointer) applyBudget(report *LoadReport, op string, round int, pmS
 		reg.Counter("load_budget_exceeded_total", obs.L("op", op)).Inc()
 	}
 	c.cfg.Flight.BudgetExceeded(op, round, budget, report.Elapsed)
+	c.cfg.Health.NoteBudgetExceeded(op)
+	if l := c.cfg.Logger; l != nil {
+		l.Warn("restore budget exceeded", "op", op, "round", round,
+			"budget", budget, "elapsed", report.Elapsed)
+	}
 	if report.Postmortem == nil {
 		report.Postmortem = c.cfg.Flight.TailSince(pmStart, flight.DefaultPostmortemEvents)
 	}
@@ -418,6 +423,8 @@ func (c *Checkpointer) nodeLoad(ctx context.Context, node int, spec *recoverySpe
 	numBuffers := (packetBytes + bufSize - 1) / bufSize
 	pc := newPhaseClock(PhaseFetch)
 	pc.emitTo(c.cfg.Flight, "load", node, spec.version)
+	pc.watchTo(c.wd, "load", node, spec.version)
+	defer pc.unwatch()
 
 	ep, err := c.endpoint(node)
 	if err != nil {
@@ -793,6 +800,11 @@ func (c *Checkpointer) LoadFromRemote(ctx context.Context, version int) (_ []*st
 			reg.Counter("load_budget_exceeded_total", obs.L("op", OpRemoteLoad)).Inc()
 		}
 		c.cfg.Flight.BudgetExceeded(OpRemoteLoad, version, b, elapsed)
+		c.cfg.Health.NoteBudgetExceeded(OpRemoteLoad)
+		if l := c.cfg.Logger; l != nil {
+			l.Warn("restore budget exceeded", "op", OpRemoteLoad, "round", version,
+				"budget", b, "elapsed", elapsed)
+		}
 	}
 	return out, nil
 }

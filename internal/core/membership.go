@@ -259,6 +259,14 @@ func (c *Checkpointer) DrainNode(ctx context.Context, node int) (*DrainReport, e
 	cancel()
 	c.releaseSave(h)
 	h.complete(nil, err)
+	if l := c.cfg.Logger; l != nil {
+		if err != nil {
+			l.Error("drain failed", "node", node, "err", err)
+		} else {
+			l.Info("node drained", "node", node, "custodian", rep.Custodian, "bytes", rep.BytesMoved)
+		}
+	}
+	c.cfg.Health.Recompute()
 	return rep, err
 }
 
@@ -377,6 +385,14 @@ func (c *Checkpointer) RepairNode(ctx context.Context, node int) (*JoinReport, e
 	cancel()
 	c.releaseSave(h)
 	h.complete(nil, err)
+	if l := c.cfg.Logger; l != nil {
+		if err != nil {
+			l.Error("repair failed", "node", node, "err", err)
+		} else {
+			l.Info("node repaired", "node", node, "custodian", rep.Custodian, "bytes", rep.BytesMoved)
+		}
+	}
+	c.cfg.Health.Recompute()
 	return rep, err
 }
 

@@ -219,6 +219,8 @@ func (c *Checkpointer) LoadPartial(ctx context.Context, ranks []int) (_ map[int]
 	var corrupt atomic.Int64
 	pc := newPhaseClock(PhaseScan)
 	pc.emitTo(c.cfg.Flight, "partial-load", -1, 0)
+	pc.watchTo(c.wd, "partial-load", -1, 0)
+	defer pc.unwatch()
 
 	mans, latest, packetBytes, bufSize := c.scanManifests(fetched)
 	if latest == 0 {

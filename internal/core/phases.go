@@ -98,6 +98,10 @@ type phaseClock struct {
 	op    string
 	node  int
 	round int
+
+	// Watchdog context (see watchTo); wd nil means no supervision.
+	wd   *watchdog
+	slot *wdSlot
 }
 
 // newPhaseClock starts a clock charging the given phase.
@@ -115,6 +119,35 @@ func (p *phaseClock) emitTo(rec *flight.Recorder, op string, node, round int) {
 	p.rec, p.op, p.node, p.round = rec, op, node, round
 }
 
+// watchTo registers the clock's goroutine with the stuck-round watchdog
+// for (op, node, round): closed intervals feed the watchdog's rolling
+// p99 history, and the open phase is policed while the round is live.
+// Safe with a nil watchdog (the disabled configuration): the clock stays
+// unsupervised at zero cost. The caller must Stop the clock (or call
+// unwatch) so the slot unregisters.
+func (p *phaseClock) watchTo(wd *watchdog, op string, node, round int) {
+	if wd == nil {
+		return
+	}
+	p.wd = wd
+	if p.op == "" {
+		p.op = op
+	}
+	p.slot = wd.register(op, node, round)
+	p.slot.setPhase(p.cur, p.mark)
+}
+
+// unwatch unregisters the clock's watchdog slot without freezing the
+// clock. Stop unregisters too; deferring unwatch right after watchTo
+// makes slot cleanup robust to early-error returns that never reach
+// Stop. Idempotent and safe on an unwatched clock.
+func (p *phaseClock) unwatch() {
+	if p.slot != nil {
+		p.slot.unregister()
+		p.slot = nil
+	}
+}
+
 // Switch charges the time since the last boundary to the current phase and
 // starts charging the given one.
 func (p *phaseClock) Switch(phase string) {
@@ -127,11 +160,15 @@ func (p *phaseClock) Switch(phase string) {
 	if p.rec != nil && d >= phaseEventMin {
 		p.rec.Phase(p.op, p.node, p.round, p.cur, p.mark, d)
 	}
+	if p.wd != nil {
+		p.wd.sample(p.op, p.cur, d)
+		p.slot.setPhase(phase, now)
+	}
 	p.cur, p.mark = phase, now
 }
 
 // Stop charges the tail interval and freezes the clock, returning the
-// phase map.
+// phase map. A watched clock unregisters from the watchdog.
 func (p *phaseClock) Stop() map[string]time.Duration {
 	if p.cur != "" {
 		now := time.Now()
@@ -140,7 +177,14 @@ func (p *phaseClock) Stop() map[string]time.Duration {
 		if p.rec != nil && d >= phaseEventMin {
 			p.rec.Phase(p.op, p.node, p.round, p.cur, p.mark, d)
 		}
+		if p.wd != nil {
+			p.wd.sample(p.op, p.cur, d)
+		}
 		p.cur, p.mark = "", now
+	}
+	if p.slot != nil {
+		p.slot.unregister()
+		p.slot = nil
 	}
 	return p.phases
 }

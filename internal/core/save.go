@@ -78,6 +78,8 @@ func (c *Checkpointer) snapshotNode(node, version, packetBytes int, dicts []*sta
 	g := c.cfg.Topo.GPUsPerNode()
 	pc := newPhaseClock(PhaseSerialize)
 	pc.emitTo(c.cfg.Flight, "save", node, version)
+	pc.watchTo(c.wd, "save", node, version)
+	defer pc.unwatch()
 	snap := &nodeSnapshot{
 		node:    node,
 		packets: make(map[int][]byte, g),
@@ -224,6 +226,8 @@ func (c *Checkpointer) nodeDrain(ctx context.Context, snap *nodeSnapshot, versio
 	smalls := snap.smalls
 	pc := newPhaseClock(PhaseP2P)
 	pc.emitTo(c.cfg.Flight, "save", node, version)
+	pc.watchTo(c.wd, "save", node, version)
+	defer pc.unwatch()
 	if !snap.end.IsZero() {
 		pc.mark = snap.end // charge the goroutine handoff to the drain
 	}

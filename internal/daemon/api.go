@@ -43,10 +43,15 @@ type JobSpec struct {
 	// DisableRemote turns off the job's remote persistence tier; the job
 	// then reserves no tenant bandwidth.
 	DisableRemote bool `json:"disable_remote,omitempty"`
+	// WatchdogFactor arms the stuck-round watchdog: a round phase running
+	// longer than factor × the phase's rolling p99 is flagged while still
+	// live. Zero inherits the daemon's -watchdog-factor default; negative
+	// disables the watchdog for this job.
+	WatchdogFactor float64 `json:"watchdog_factor,omitempty"`
 }
 
 // withDefaults fills unset JobSpec fields.
-func (s JobSpec) withDefaults(defaultFlightEvents int) JobSpec {
+func (s JobSpec) withDefaults(defaultFlightEvents int, defaultWatchdog float64) JobSpec {
 	if s.Tenant == "" {
 		s.Tenant = "default"
 	}
@@ -70,6 +75,12 @@ func (s JobSpec) withDefaults(defaultFlightEvents int) JobSpec {
 	}
 	if s.FlightEvents < 0 {
 		s.FlightEvents = 0
+	}
+	if s.WatchdogFactor == 0 {
+		s.WatchdogFactor = defaultWatchdog
+	}
+	if s.WatchdogFactor < 0 {
+		s.WatchdogFactor = 0
 	}
 	if s.RemoteBandwidth == 0 {
 		s.RemoteBandwidth = 5e9 / 8
@@ -132,6 +143,10 @@ type JobStatus struct {
 	// rounds carry their flight-recorder postmortem tail inside.
 	LastSave *eccheck.SaveReport `json:"last_save,omitempty"`
 	LastLoad *eccheck.LoadReport `json:"last_load,omitempty"`
+	// Health is the job's live protection score: redundancy margin of the
+	// latest committed checkpoint, staleness, rolling success rates, and
+	// the collapsed ok/degraded/at-risk/unprotected level with reasons.
+	Health *eccheck.HealthReport `json:"health,omitempty"`
 }
 
 // SaveRequest is the POST /v1/jobs/{id}/save body.
@@ -192,6 +207,23 @@ type FailRequest struct {
 type ListResponse struct {
 	// Jobs holds every registered job's status, ordered by id.
 	Jobs []JobStatus `json:"jobs"`
+}
+
+// ReadyzResponse is the GET /readyz body: fleet-wide protection
+// readiness. The daemon is ready only while it is not draining and no
+// registered job is at-risk or worse — a load balancer should stop
+// placing new jobs on a daemon whose fleet is one failure from data
+// loss, even though the process itself is live (/healthz stays 200).
+type ReadyzResponse struct {
+	// Ready is the gate: not draining and Worst below at-risk.
+	Ready bool `json:"ready"`
+	// Draining reports a shutdown in progress.
+	Draining bool `json:"draining,omitempty"`
+	// Worst is the highest (worst) health level across registered jobs;
+	// "ok" when the daemon has no jobs.
+	Worst eccheck.HealthLevel `json:"worst"`
+	// Jobs lists only the jobs that are not ok, keyed by job id.
+	Jobs map[string]eccheck.HealthLevel `json:"jobs,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx /v1 response

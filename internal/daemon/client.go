@@ -1,13 +1,18 @@
 package daemon
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
+
+	"eccheck"
 )
 
 // Client is the Go client for the eccheckd /v1 API, used by eccheckctl,
@@ -155,6 +160,106 @@ func (c *Client) List(ctx context.Context) (*ListResponse, error) {
 // Delete unregisters a job and tears its fleet down.
 func (c *Client) Delete(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Health fetches one job's live protection score.
+func (c *Client) Health(ctx context.Context, id string) (*eccheck.HealthReport, error) {
+	var rep eccheck.HealthReport
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/health", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Readyz fetches the fleet-protection readiness gate. Unlike the /v1
+// routes a 503 here is not an error: it carries the same JSON body and
+// means "live but not ready", so the response decodes either way.
+func (c *Client) Readyz(ctx context.Context) (*ReadyzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("eccheckd: /readyz returned %d", resp.StatusCode)
+	}
+	var rz ReadyzResponse
+	if err := json.Unmarshal(raw, &rz); err != nil {
+		return nil, err
+	}
+	return &rz, nil
+}
+
+// Watch subscribes to the daemon's /v1/events SSE stream and calls fn
+// for every event (job filters to one job, "" streams the fleet). It
+// returns when fn returns false, ctx is cancelled (returns nil), or the
+// stream ends — at daemon shutdown the stream closes cleanly and Watch
+// returns nil. Watch uses its own un-timed HTTP client: the stream is
+// expected to outlive the Client's 5-minute request timeout.
+func (c *Client) Watch(ctx context.Context, job string, fn func(eccheck.HealthEvent) bool) error {
+	path := c.base + "/v1/events"
+	if job != "" {
+		path += "?job=" + job
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	hc := &http.Client{Transport: c.hc.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return fmt.Errorf("eccheckd: /v1/events returned %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				var ev eccheck.HealthEvent
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return fmt.Errorf("eccheckd: bad event payload: %w", err)
+				}
+				if !fn(ev) {
+					return nil
+				}
+			}
+			data.Reset()
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		}
+		// "event:" and ":" comment lines carry no payload we need — the
+		// kind is inside the JSON too.
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	// A daemon drain closes the stream mid-connection; depending on how
+	// far the chunked terminator got before the listener closed, that
+	// surfaces as a clean EOF or an unexpected one. Both mean the same
+	// thing to a stream consumer: the stream ended.
+	if err := sc.Err(); err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return err
+	}
+	return nil
 }
 
 // Healthy reports whether the daemon answers /healthz with 200.

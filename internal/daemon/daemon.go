@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"eccheck"
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/health"
 )
 
 // Config parameterises a Daemon.
@@ -29,6 +31,14 @@ type Config struct {
 	// DefaultFlightEvents sizes job flight-recorder rings when the spec
 	// leaves FlightEvents zero. 0 selects the default (4096).
 	DefaultFlightEvents int
+	// WatchdogFactor arms every job's stuck-round watchdog when the spec
+	// leaves WatchdogFactor zero (see eccheck.Config.WatchdogFactor). 0
+	// leaves the watchdog off by default.
+	WatchdogFactor float64
+	// Logger receives the daemon's structured admission logs and, scoped
+	// with a per-job attribute, each job engine's round/membership/chaos
+	// logs. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // withDefaults fills unset fields.
@@ -62,6 +72,10 @@ type Daemon struct {
 	reg   *obs.Registry
 	sched *slotScheduler
 	quo   *quotaLedger
+	log   *slog.Logger // nil disables logging
+	// bus fans every job's health/round/stuck events into the /v1/events
+	// SSE streams.
+	bus *health.Bus
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -76,14 +90,18 @@ type Daemon struct {
 // http.Server) and call Shutdown to drain it.
 func New(cfg Config) *Daemon {
 	cfg = cfg.withDefaults()
-	return &Daemon{
+	d := &Daemon{
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
 		sched:    newSlotScheduler(cfg.MaxConcurrentSaves),
 		quo:      newQuotaLedger(cfg.TenantMemoryBytes, cfg.TenantBandwidth),
+		log:      cfg.Logger,
+		bus:      health.NewBus(),
 		jobs:     make(map[string]*job),
 		creating: make(map[string]bool),
 	}
+	d.bus.OnDrop(func() { d.reg.Counter("eccheckd_events_dropped_total").Inc() })
+	return d
 }
 
 // Metrics returns the daemon-level registry: admission, quota and
@@ -122,7 +140,7 @@ func (d *Daemon) Register(spec JobSpec) (*JobStatus, error) {
 		return nil, err
 	}
 	defer done()
-	spec = spec.withDefaults(d.cfg.DefaultFlightEvents)
+	spec = spec.withDefaults(d.cfg.DefaultFlightEvents, d.cfg.WatchdogFactor)
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -142,7 +160,11 @@ func (d *Daemon) Register(spec JobSpec) (*JobStatus, error) {
 		d.mu.Unlock()
 	}
 
-	j, err := newJob(spec)
+	var jobLog *slog.Logger
+	if d.log != nil {
+		jobLog = d.log.With("job", spec.ID)
+	}
+	j, err := newJob(spec, jobLog)
 	if err != nil {
 		unclaim()
 		return nil, err
@@ -178,11 +200,33 @@ func (d *Daemon) Register(spec JobSpec) (*JobStatus, error) {
 		},
 	})
 
+	// Fan the job's protection timeline into the daemon's event bus: the
+	// sink stamps each event with the job id so per-job SSE filters work.
+	tr := j.sys.HealthTracker()
+	tr.SetSink(func(ev health.Event) {
+		ev.Job = spec.ID
+		d.bus.Publish(ev)
+	})
+	// The tracker's initial recompute (Unprotected, "no committed
+	// checkpoint") fired inside Initialize, before the sink existed —
+	// announce the job's starting level explicitly so stream subscribers
+	// see every job at least once. PrevLevel == Level marks it as an
+	// announcement rather than a transition.
+	rep := j.sys.Health()
+	d.bus.Publish(health.Event{
+		Time: time.Now(), Kind: health.KindHealth, Job: spec.ID,
+		Level: rep.Level, PrevLevel: rep.Level, Margin: rep.Margin, Reasons: rep.Reasons,
+	})
+
 	d.mu.Lock()
 	delete(d.creating, spec.ID)
 	d.jobs[spec.ID] = j
 	d.mu.Unlock()
 	d.reg.Counter("eccheckd_jobs_registered_total", obs.L("tenant", spec.Tenant)).Inc()
+	if d.log != nil {
+		d.log.Info("job registered", "job", spec.ID, "tenant", spec.Tenant,
+			"nodes", spec.Nodes, "k", spec.K, "m", spec.M)
+	}
 	st := j.status()
 	return &st, nil
 }
@@ -218,7 +262,13 @@ func (d *Daemon) Save(ctx context.Context, id string, req SaveRequest) (*SaveRes
 
 	rep, err := j.save(ctx, req.Steps)
 	if err != nil {
+		if d.log != nil {
+			d.log.Error("save failed", "job", id, "err", err)
+		}
 		return nil, err
+	}
+	if d.log != nil {
+		d.log.Info("save committed", "job", id, "version", rep.Version, "slot_wait", wait)
 	}
 	return &SaveResponse{Job: j.status(), Report: rep, SlotWait: wait}, nil
 }
@@ -248,7 +298,13 @@ func (d *Daemon) Load(ctx context.Context, id string, req LoadRequest) (*LoadRes
 		rep, verified, err = j.load(ctx)
 	}
 	if err != nil {
+		if d.log != nil {
+			d.log.Error("load failed", "job", id, "err", err)
+		}
 		return nil, err
+	}
+	if d.log != nil {
+		d.log.Info("load verified", "job", id, "version", rep.Version, "step", verified)
 	}
 	return &LoadResponse{Job: j.status(), Report: rep, VerifiedStep: verified}, nil
 }
@@ -272,6 +328,9 @@ func (d *Daemon) Fail(id string, req FailRequest) (*JobStatus, error) {
 		return nil, err
 	}
 	d.reg.Counter("eccheckd_node_failures_injected_total", obs.L("job", id)).Inc()
+	if d.log != nil {
+		d.log.Warn("node failure injected", "job", id, "node", req.Node, "replace", replace)
+	}
 	st := j.status()
 	return &st, nil
 }
@@ -322,8 +381,53 @@ func (d *Daemon) Delete(id string) error {
 	errClose := j.close()
 	d.quo.release(j.spec.Tenant, j.memReserved, j.bwReserved)
 	d.reg.Counter("eccheckd_jobs_deleted_total", obs.L("tenant", j.spec.Tenant)).Inc()
+	if d.log != nil {
+		d.log.Info("job deleted", "job", id, "tenant", j.spec.Tenant)
+	}
 	return errClose
 }
+
+// Health returns one job's current protection score.
+func (d *Daemon) Health(id string) (*eccheck.HealthReport, error) {
+	j, err := d.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	rep := j.sys.Health()
+	return &rep, nil
+}
+
+// Readyz scores the whole fleet's protection: the daemon is ready when
+// it is not draining and no job is AtRisk or worse. Distinct from
+// /healthz liveness — a live daemon whose only job is one failure away
+// from data loss is not ready to take more traffic.
+func (d *Daemon) Readyz() ReadyzResponse {
+	resp := ReadyzResponse{Draining: d.Draining()}
+	d.mu.Lock()
+	jobs := make([]*job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		jobs = append(jobs, j)
+	}
+	d.mu.Unlock()
+	for _, j := range jobs {
+		lvl := j.sys.Health().Level
+		if lvl > resp.Worst {
+			resp.Worst = lvl
+		}
+		if lvl != eccheck.HealthOK {
+			if resp.Jobs == nil {
+				resp.Jobs = make(map[string]eccheck.HealthLevel)
+			}
+			resp.Jobs[j.spec.ID] = lvl
+		}
+	}
+	resp.Ready = !resp.Draining && resp.Worst < eccheck.HealthAtRisk
+	return resp
+}
+
+// Events exposes the daemon's health-event bus (the /v1/events SSE
+// stream subscribes here; tests can too).
+func (d *Daemon) Events() *health.Bus { return d.bus }
 
 // Draining reports whether Shutdown has begun.
 func (d *Daemon) Draining() bool {
@@ -377,6 +481,12 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 			drainErr = err
 		}
 		d.quo.release(j.spec.Tenant, j.memReserved, j.bwReserved)
+	}
+	// Closing the bus last lets teardown events drain to subscribers and
+	// unblocks every open /v1/events stream (their channels close).
+	d.bus.Close()
+	if d.log != nil {
+		d.log.Info("daemon drained", "err", drainErr)
 	}
 	return drainErr
 }

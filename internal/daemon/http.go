@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"eccheck/internal/obs"
+	"eccheck/internal/obs/health"
 )
 
 // Mux builds the daemon's full HTTP surface: the obs debug endpoints
@@ -21,7 +22,12 @@ import (
 //	POST   /v1/jobs/{id}/save admission-controlled checkpoint round
 //	POST   /v1/jobs/{id}/load recover + byte-verify the latest checkpoint
 //	POST   /v1/jobs/{id}/fail inject a machine failure
-//	GET    /healthz           "ok" (200) or "draining" (503)
+//	GET    /v1/jobs/{id}/health  job protection score (HealthReport)
+//	GET    /v1/events         live health/round/stuck event stream (SSE;
+//	                          ?job= filters to one job)
+//	GET    /healthz           liveness: "ok" (200) or "draining" (503)
+//	GET    /readyz            readiness: fleet protection gate (503 when
+//	                          any job is at-risk or worse, or draining)
 //
 // Errors are JSON ErrorBody envelopes with stable codes; quota
 // rejections are 429, double registrations 409, unknown jobs 404.
@@ -34,7 +40,10 @@ func (d *Daemon) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs/{id}/save", d.handleSave)
 	mux.HandleFunc("POST /v1/jobs/{id}/load", d.handleLoad)
 	mux.HandleFunc("POST /v1/jobs/{id}/fail", d.handleFail)
+	mux.HandleFunc("GET /v1/jobs/{id}/health", d.handleJobHealth)
+	mux.HandleFunc("GET /v1/events", d.handleEvents)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	return mux
 }
 
@@ -161,4 +170,57 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (d *Daemon) handleJobHealth(w http.ResponseWriter, r *http.Request) {
+	rep, err := d.Health(r.PathValue("id"))
+	if err != nil {
+		d.writeError(w, "health", err)
+		return
+	}
+	d.writeJSON(w, "health", http.StatusOK, rep)
+}
+
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := d.Readyz()
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	d.writeJSON(w, "readyz", status, resp)
+}
+
+// handleEvents streams the daemon's health bus as server-sent events.
+// Deliberately not wrapped in beginOp: an open stream must not block
+// Shutdown — instead Shutdown closes the bus, which closes every
+// subscriber channel and ends the stream cleanly.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		d.writeError(w, "events", errors.New("daemon: response writer does not support streaming"))
+		return
+	}
+	sub := d.bus.Subscribe(r.URL.Query().Get("job"), 0)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, ": eccheckd event stream\n\n")
+	fl.Flush()
+	d.countResponse("events", http.StatusOK)
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			if err := health.WriteSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

@@ -3,6 +3,7 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"eccheck"
@@ -48,8 +49,9 @@ type job struct {
 }
 
 // newJob builds the job's fleet and its simulated model state. spec must
-// already carry defaults and have passed validation.
-func newJob(spec JobSpec) (*job, error) {
+// already carry defaults and have passed validation; logger (nil-able)
+// is the daemon's logger scoped to this job.
+func newJob(spec JobSpec, logger *slog.Logger) (*job, error) {
 	sys, err := eccheck.Initialize(eccheck.Config{
 		Nodes:           spec.Nodes,
 		GPUsPerNode:     spec.GPUsPerNode,
@@ -61,6 +63,8 @@ func newJob(spec JobSpec) (*job, error) {
 		FlightEvents:    spec.FlightEvents,
 		RemoteBandwidth: spec.RemoteBandwidth,
 		DisableRemote:   spec.DisableRemote,
+		WatchdogFactor:  spec.WatchdogFactor,
+		Logger:          logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -121,6 +125,10 @@ func (j *job) advance(steps int) int {
 			sd.SetMeta(metaStepKey, eccheck.IntValue(int64(s)))
 		}
 	}
+	// Each advanced step widens the gap between live training state and
+	// the last committed checkpoint; the health tracker folds it into the
+	// job's staleness score.
+	j.sys.HealthTracker().NoteMutation(steps)
 	return stop
 }
 
@@ -296,6 +304,7 @@ func (j *job) close() error {
 
 // status snapshots the job without waiting for in-flight rounds.
 func (j *job) status() JobStatus {
+	health := j.sys.Health()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
@@ -317,5 +326,6 @@ func (j *job) status() JobStatus {
 		LastError:           j.lastErr,
 		LastSave:            j.lastSave,
 		LastLoad:            j.lastLoad,
+		Health:              &health,
 	}
 }

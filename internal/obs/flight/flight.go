@@ -65,6 +65,12 @@ const (
 	// time (Dur) overran the configured budget (Bytes carries the budget in
 	// nanoseconds, the only spare numeric field). Op names the round kind.
 	EvBudget
+	// EvStuck is a watchdog flag on a live round: the phase named by
+	// Phase has been running for Dur, past the tripped threshold (Bytes
+	// carries the threshold in nanoseconds). Emitted while the round is
+	// still in flight — unlike every other event it describes an open,
+	// not a closed, interval.
+	EvStuck
 )
 
 // String returns a short stable name for the event type.
@@ -96,6 +102,8 @@ func (t EventType) String() string {
 		return "buffer"
 	case EvBudget:
 		return "budget"
+	case EvStuck:
+		return "stuck"
 	default:
 		return "unknown"
 	}
@@ -389,6 +397,17 @@ func (r *Recorder) BudgetExceeded(op string, round int, budget, elapsed time.Dur
 		return
 	}
 	r.append(Event{TS: r.sinceEpoch(time.Now()), Dur: elapsed, Type: EvBudget, Op: op, Node: -1, Round: round, Bytes: int64(budget)})
+}
+
+// Stuck records a watchdog flag: a live round's current phase has run
+// for elapsed, past threshold (the watchdog factor times the phase's
+// rolling p99). The threshold rides the Bytes field as nanoseconds so
+// the event stays allocation-free.
+func (r *Recorder) Stuck(op string, node, round int, phase string, elapsed, threshold time.Duration) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TS: r.sinceEpoch(time.Now()), Dur: elapsed, Type: EvStuck, Op: op, Phase: phase, Node: node, Round: round, Bytes: int64(threshold)})
 }
 
 // Membership records one membership-protocol step: op names the step

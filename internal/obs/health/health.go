@@ -1,0 +1,428 @@
+// Package health scores how protected a checkpointed job is right now.
+//
+// Where internal/obs answers "how much / how long" and flight answers
+// "what happened", health answers the operator's first question: "if
+// machines die in the next minute, do I still have a checkpoint?" It
+// collapses the redundancy margin of the latest committed checkpoint,
+// checkpoint staleness, rolling save/load success rates and budget burn
+// into one typed Report with an OK / Degraded / AtRisk / Unprotected
+// level and human-readable reason strings.
+//
+// The Tracker is event-driven, not polled: the engine calls back on
+// round lifecycle transitions, membership changes and chaos kills, and
+// each callback recomputes the report from a Probe of the engine's
+// current state. Level transitions, round lifecycle markers and
+// stuck-round flags are emitted as Events to an optional sink (the
+// eccheckd daemon fans them into its SSE stream via a Bus).
+//
+// The same nil-safety doctrine as internal/obs and flight applies: a nil
+// *Tracker is valid and every method on it is a nil-check no-op, so hot
+// paths call it unconditionally.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Level classifies a job's protection, ordered from healthy to lost:
+// comparisons with < and > are meaningful (Unprotected is the worst).
+type Level int
+
+// Protection levels.
+const (
+	// OK: a committed checkpoint exists and every chunk slot can serve,
+	// so the full parity margin m stands between the job and data loss.
+	OK Level = iota
+	// Degraded: the checkpoint is still recoverable, but failures or
+	// unrebuilt joiners have consumed part of the parity margin.
+	Degraded
+	// AtRisk: the margin is exactly zero — one more simultaneous loss
+	// makes the in-memory checkpoint unrecoverable.
+	AtRisk
+	// Unprotected: the in-memory checkpoint is already unrecoverable
+	// (more slots lost than parity covers), or nothing has been
+	// committed yet.
+	Unprotected
+)
+
+// String returns the stable lowercase name of the level.
+func (l Level) String() string {
+	switch l {
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case AtRisk:
+		return "at-risk"
+	case Unprotected:
+		return "unprotected"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// MarshalText encodes the level as its stable name, so JSON bodies carry
+// "degraded" rather than a bare integer.
+func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText decodes the stable name (client-side JSON decoding).
+func (l *Level) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "ok":
+		*l = OK
+	case "degraded":
+		*l = Degraded
+	case "at-risk":
+		*l = AtRisk
+	case "unprotected":
+		*l = Unprotected
+	default:
+		return fmt.Errorf("health: unknown level %q", b)
+	}
+	return nil
+}
+
+// Probe is a point-in-time reading of the redundancy inputs, supplied by
+// the engine through the probe function passed to SetProbe.
+type Probe struct {
+	// Version is the latest committed checkpoint version (0 = none).
+	Version int
+	// M is the code's parity count: the margin of a fully healthy fleet.
+	M int
+	// DegradedSlots counts chunk slots currently unable to serve (dead
+	// machines plus joiners whose chunk has not been rebuilt).
+	DegradedSlots int
+	// DeadNodes and DrainingNodes name the members behind the count.
+	DeadNodes     []int
+	DrainingNodes []int
+}
+
+// Report is the collapsed protection score of one job.
+type Report struct {
+	// Level is the overall verdict.
+	Level Level `json:"level"`
+	// Margin is how many additional simultaneous node losses the latest
+	// committed checkpoint survives: m minus the degraded slots. It goes
+	// negative when the checkpoint is already unrecoverable.
+	Margin int `json:"margin"`
+	// M and DegradedSlots are the margin's inputs.
+	M             int `json:"m"`
+	DegradedSlots int `json:"degraded_slots"`
+	// Version is the latest committed checkpoint version (0 = none).
+	Version int `json:"version"`
+	// DeadNodes and DrainingNodes name the degraded members.
+	DeadNodes     []int `json:"dead_nodes,omitempty"`
+	DrainingNodes []int `json:"draining_nodes,omitempty"`
+	// SinceCommit is the wall time since the last committed checkpoint;
+	// zero when nothing has committed yet.
+	SinceCommit time.Duration `json:"since_commit_ns,omitempty"`
+	// RoundsSinceCommit counts mutation rounds (training steps reported
+	// via NoteMutation) since the last commit: the work at stake.
+	RoundsSinceCommit int `json:"rounds_since_commit"`
+	// SaveSuccess/SaveWindow and LoadSuccess/LoadWindow are the rolling
+	// success counts over the last rateWindow rounds of each class.
+	SaveSuccess int `json:"save_success"`
+	SaveWindow  int `json:"save_window"`
+	LoadSuccess int `json:"load_success"`
+	LoadWindow  int `json:"load_window"`
+	// BudgetOverruns counts restore rounds that blew their LoadBudget.
+	BudgetOverruns int64 `json:"budget_overruns,omitempty"`
+	// StuckRounds counts watchdog flags on live rounds.
+	StuckRounds int64 `json:"stuck_rounds,omitempty"`
+	// Reasons explains every non-OK contribution in plain language.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// rateWindow is the rolling window of round outcomes per class.
+const rateWindow = 32
+
+// outcomeRing is a fixed window of round outcomes.
+type outcomeRing struct {
+	buf  [rateWindow]bool
+	n    int // filled entries
+	next int
+	ok   int // successes among filled entries
+}
+
+func (r *outcomeRing) add(success bool) {
+	if r.n == rateWindow {
+		if r.buf[r.next] {
+			r.ok--
+		}
+	} else {
+		r.n++
+	}
+	r.buf[r.next] = success
+	if success {
+		r.ok++
+	}
+	r.next = (r.next + 1) % rateWindow
+}
+
+// Tracker scores one job. Engine callbacks (RoundStarted, RoundFinished,
+// NoteMutation, NoteBudgetExceeded, NoteStuck, Recompute) are safe for
+// concurrent use and safe on a nil receiver, so the engine calls them
+// unconditionally. Events are delivered to the sink in emission order,
+// one at a time.
+type Tracker struct {
+	// emitMu serializes event delivery so the sink sees seq order.
+	emitMu sync.Mutex
+
+	mu    sync.Mutex
+	probe func() Probe
+	sink  func(Event)
+	seq   uint64
+
+	report     Report
+	computed   bool
+	lastCommit time.Time
+	mutations  int
+	saves      outcomeRing
+	loads      outcomeRing
+	budget     int64
+	stuck      int64
+}
+
+// NewTracker builds a tracker. probe may be nil initially (SetProbe
+// installs it once the engine exists); Recompute is a no-op until then.
+func NewTracker(probe func() Probe) *Tracker {
+	return &Tracker{probe: probe}
+}
+
+// SetProbe installs the engine-state probe and recomputes, resolving the
+// construction cycle where the tracker must exist before the engine it
+// probes.
+func (t *Tracker) SetProbe(probe func() Probe) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.probe = probe
+	ev, emit := t.recomputeLocked()
+	t.mu.Unlock()
+	if emit {
+		t.emit(ev)
+	}
+}
+
+// SetSink installs (or, with nil, clears) the event sink. The sink runs
+// on engine goroutines, serialized so it sees events in seq order — it
+// must be fast and must not call back into the tracker (publishing to a
+// Bus is the intended use).
+func (t *Tracker) SetSink(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
+// emit stamps and delivers one event in seq order.
+func (t *Tracker) emit(ev Event) {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
+	t.mu.Lock()
+	sink := t.sink
+	t.seq++
+	ev.Seq = t.seq
+	t.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+// RoundStarted records a round entering flight and emits a round event.
+func (t *Tracker) RoundStarted(op string, version int) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Time: time.Now(), Kind: KindRound, Op: op, State: "start", Version: version})
+}
+
+// RoundFinished records a round leaving flight: it updates the rolling
+// success rate of the op's class, marks a fresh commit on a successful
+// save, recomputes the report and emits a round event (plus a health
+// event if the level moved).
+func (t *Tracker) RoundFinished(op string, version int, err error) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	switch op {
+	case "save", "incremental":
+		t.saves.add(err == nil)
+		if err == nil {
+			t.lastCommit = time.Now()
+			t.mutations = 0
+		}
+	case "load", "remote-load", "partial-load":
+		t.loads.add(err == nil)
+	}
+	hev, emitHealth := t.recomputeLocked()
+	t.mu.Unlock()
+
+	rev := Event{Time: time.Now(), Kind: KindRound, Op: op, State: "end", Version: version}
+	if err != nil {
+		rev.Err = err.Error()
+	}
+	t.emit(rev)
+	if emitHealth {
+		t.emit(hev)
+	}
+}
+
+// NoteMutation records `steps` training mutations since the last commit:
+// the staleness input. It does not recompute (staleness never moves the
+// level, it only informs the report).
+func (t *Tracker) NoteMutation(steps int) {
+	if t == nil || steps <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.mutations += steps
+	t.mu.Unlock()
+}
+
+// NoteBudgetExceeded records a restore round that overran its LoadBudget.
+func (t *Tracker) NoteBudgetExceeded(op string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.budget++
+	t.mu.Unlock()
+}
+
+// NoteStuck records a watchdog flag on a live round and emits a stuck
+// event carrying the phase, its elapsed time and the tripped threshold.
+func (t *Tracker) NoteStuck(op, phase string, node, round int, elapsed, threshold time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stuck++
+	t.mu.Unlock()
+	t.emit(Event{Time: time.Now(), Kind: KindStuck, Op: op, Phase: phase,
+		Node: node, Version: round, Elapsed: elapsed, Threshold: threshold})
+}
+
+// Recompute re-scores the job from a fresh probe and emits a health
+// event if the level changed. The engine calls it on membership
+// transitions, chaos kills and round completions — never on a timer.
+func (t *Tracker) Recompute() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev, emit := t.recomputeLocked()
+	t.mu.Unlock()
+	if emit {
+		t.emit(ev)
+	}
+}
+
+// Report returns the last computed report. The level inputs only change
+// on the transitions that trigger Recompute, so the cached report is
+// current; SinceCommit is refreshed against the wall clock on each call.
+func (t *Tracker) Report() Report {
+	if t == nil {
+		return Report{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rep := t.report
+	if !t.lastCommit.IsZero() {
+		rep.SinceCommit = time.Since(t.lastCommit)
+	}
+	// Mutation/budget/stuck notes deliberately skip recomputation (they
+	// never move the level); surface their live values here.
+	rep.RoundsSinceCommit = t.mutations
+	rep.BudgetOverruns = t.budget
+	rep.StuckRounds = t.stuck
+	// Don't share the backing arrays with the caller.
+	rep.DeadNodes = append([]int(nil), rep.DeadNodes...)
+	rep.DrainingNodes = append([]int(nil), rep.DrainingNodes...)
+	rep.Reasons = append([]string(nil), rep.Reasons...)
+	return rep
+}
+
+// recomputeLocked probes, scores and stores the report, returning a
+// health-transition event (and true) when the level moved. Caller holds
+// t.mu.
+func (t *Tracker) recomputeLocked() (Event, bool) {
+	if t.probe == nil {
+		return Event{}, false
+	}
+	p := t.probe()
+	rep := Report{
+		Margin:            p.M - p.DegradedSlots,
+		M:                 p.M,
+		DegradedSlots:     p.DegradedSlots,
+		Version:           p.Version,
+		DeadNodes:         p.DeadNodes,
+		DrainingNodes:     p.DrainingNodes,
+		RoundsSinceCommit: t.mutations,
+		SaveSuccess:       t.saves.ok,
+		SaveWindow:        t.saves.n,
+		LoadSuccess:       t.loads.ok,
+		LoadWindow:        t.loads.n,
+		BudgetOverruns:    t.budget,
+		StuckRounds:       t.stuck,
+	}
+	sort.Ints(rep.DeadNodes)
+	sort.Ints(rep.DrainingNodes)
+	switch {
+	case p.Version == 0:
+		rep.Level = Unprotected
+		rep.Reasons = append(rep.Reasons, "no committed checkpoint")
+	case rep.Margin < 0:
+		rep.Level = Unprotected
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("checkpoint unrecoverable: %d slots degraded, parity covers %d", p.DegradedSlots, p.M))
+	case rep.Margin == 0:
+		rep.Level = AtRisk
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("zero margin: one more loss is unrecoverable (%d/%d slots degraded)", p.DegradedSlots, p.M))
+	case rep.Margin < p.M:
+		rep.Level = Degraded
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("margin %d of %d: %d degraded slot(s)", rep.Margin, p.M, p.DegradedSlots))
+	default:
+		rep.Level = OK
+	}
+	if len(rep.DeadNodes) > 0 {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("dead nodes %v", rep.DeadNodes))
+	}
+	if len(rep.DrainingNodes) > 0 {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("draining nodes %v", rep.DrainingNodes))
+	}
+	if t.saves.n > t.saves.ok {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("save success %d/%d over last %d", t.saves.ok, t.saves.n, t.saves.n))
+	}
+	if t.loads.n > t.loads.ok {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("load success %d/%d over last %d", t.loads.ok, t.loads.n, t.loads.n))
+	}
+	if t.budget > 0 {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("%d restore budget overrun(s)", t.budget))
+	}
+	if t.stuck > 0 {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("%d stuck-round flag(s)", t.stuck))
+	}
+
+	prev := t.report.Level
+	changed := !t.computed || prev != rep.Level
+	t.report = rep
+	t.computed = true
+	if !changed {
+		return Event{}, false
+	}
+	return Event{Time: time.Now(), Kind: KindHealth, Level: rep.Level, PrevLevel: prev,
+		Margin: rep.Margin, Version: rep.Version,
+		Reasons: append([]string(nil), rep.Reasons...)}, true
+}
